@@ -1,0 +1,306 @@
+package shatter
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (DESIGN.md §4), plus ablation benches for the
+// design choices DESIGN.md §5 calls out. Each benchmark regenerates its
+// experiment end to end; the b.N loop re-runs the measured phase so
+// `go test -bench` reports per-experiment wall cost.
+//
+// The suite is built once (12-day quick configuration so the full harness
+// completes in minutes) and shared across benchmarks.
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/acyd-lab/shatter/internal/adm"
+	"github.com/acyd-lab/shatter/internal/attack"
+	"github.com/acyd-lab/shatter/internal/core"
+	"github.com/acyd-lab/shatter/internal/home"
+	"github.com/acyd-lab/shatter/internal/solver"
+	"github.com/acyd-lab/shatter/internal/testbed"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *core.Suite
+	benchErr   error
+)
+
+func suite(b *testing.B) *core.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite, benchErr = core.NewSuite(core.SuiteConfig{
+			Days: 12, TrainDays: 9, Seed: 20230427, WindowLen: 10,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSuite
+}
+
+// BenchmarkFig3ControllerCost regenerates Fig 3: daily ASHRAE vs SHATTER
+// control cost for both houses.
+func BenchmarkFig3ControllerCost(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		results, err := s.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.SavingsPct <= 0 {
+				b.Fatalf("house %s: no savings", r.House)
+			}
+		}
+	}
+}
+
+// BenchmarkFig4HyperparameterTuning regenerates Fig 4: the DBSCAN and
+// K-Means validity-index sweeps.
+func BenchmarkFig4HyperparameterTuning(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5ProgressiveTraining regenerates Fig 5: F1 against training
+// days for both ADMs on all four datasets.
+func BenchmarkFig5ProgressiveTraining(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6ClusterGeometry regenerates Fig 6: hull-area comparison of
+// the two clustering backends.
+func BenchmarkFig6ClusterGeometry(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		results, err := s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 2 {
+			b.Fatal("missing backend")
+		}
+	}
+}
+
+// BenchmarkTableIIICaseStudy regenerates the Section V case study window.
+func BenchmarkTableIIICaseStudy(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.CaseStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIVADMPerformance regenerates Table IV: the ADM metric grid
+// across backends, knowledge levels, and datasets.
+func BenchmarkTableIVADMPerformance(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := s.TableIV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 16 {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkTableVAttackCost regenerates Table V: BIoTA vs Greedy vs SHATTER
+// attack cost under both ADMs and knowledge levels.
+func BenchmarkTableVAttackCost(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TableV(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10ApplianceTriggering regenerates Fig 10: attack cost with
+// and without the Algorithm-1 triggering stage.
+func BenchmarkFig10ApplianceTriggering(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		results, err := s.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.TriggerExtra <= 0 {
+				b.Fatalf("house %s: triggering added nothing", r.House)
+			}
+		}
+	}
+}
+
+// BenchmarkTableVIZoneAccess regenerates Table VI: triggering impact under
+// restricted zone-sensor access.
+func BenchmarkTableVIZoneAccess(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TableVI(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableVIIApplianceAccess regenerates Table VII: triggering impact
+// under restricted appliance access.
+func BenchmarkTableVIIApplianceAccess(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TableVII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11aHorizonScaling regenerates Fig 11a: joint search cost
+// against the optimisation horizon (exponential shape).
+func BenchmarkFig11aHorizonScaling(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		points, err := s.Fig11a([]int{4, 6, 8, 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if points[len(points)-1].Nodes <= points[0].Nodes {
+			b.Fatal("no growth")
+		}
+	}
+}
+
+// BenchmarkFig11bZoneScaling regenerates Fig 11b: windowed-DP cost against
+// the number of zones (polynomial shape).
+func BenchmarkFig11bZoneScaling(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig11b([]int{4, 8, 12, 16, 20, 24}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTestbedValidation regenerates the Section VI testbed experiment:
+// dynamics identification plus benign/attacked demonstration hours.
+func BenchmarkTestbedValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := testbed.Validate(testbed.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.IncreasePct <= 0 {
+			b.Fatal("attack did not increase energy")
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationWindowLength sweeps the optimisation horizon I and
+// reports the planning cost of the full SHATTER schedule at each setting.
+func BenchmarkAblationWindowLength(b *testing.B) {
+	s := suite(b)
+	for _, window := range []int{5, 10, 20} {
+		b.Run(benchName("I", window), func(b *testing.B) {
+			model, err := adm.Train(mustTrain(b, s), adm.DefaultConfig(adm.KMeans))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				pl := plannerFor(s, model, window)
+				if _, err := pl.PlanSHATTER(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPruning compares branch-and-bound with and without bound
+// pruning on the same window.
+func BenchmarkAblationPruning(b *testing.B) {
+	oracle := bandOracle{}
+	zones := []home.ZoneID{home.Outside, home.Bedroom, home.Livingroom, home.Kitchen, home.Bathroom}
+	w := solver.Window{
+		StartSlot: 18 * 60, Length: 9,
+		StartZone: home.Livingroom, StartArrival: 18*60 - 3,
+		Zones: zones,
+	}
+	cost := func(_ int, z home.ZoneID) float64 { return float64(int(z)) }
+	allowed := func(int, home.ZoneID) bool { return true }
+	for _, prune := range []bool{true, false} {
+		name := "pruned"
+		if !prune {
+			name = "unpruned"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := solver.BranchAndBound(w, oracle, cost, allowed, solver.BBConfig{Prune: prune}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBatterySize sweeps the battery capacity in the TOU cost
+// model and re-prices the benign month.
+func BenchmarkAblationBatterySize(b *testing.B) {
+	s := suite(b)
+	for _, kwh := range []float64{0, 3, 6} {
+		b.Run(benchName("kWh", int(kwh)), func(b *testing.B) {
+			pricing := s.Pricing
+			pricing.BatteryKWh = kwh
+			for i := 0; i < b.N; i++ {
+				ctrl := NewSHATTERController(s.Params)
+				if _, err := Simulate(s.Houses["A"], ctrl, s.Params, pricing); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// bandOracle accepts stays of 2..12 minutes everywhere (bench helper).
+type bandOracle struct{}
+
+func (bandOracle) MaxStay(int, home.ZoneID, int) (int, bool) { return 12, true }
+func (bandOracle) InRangeStay(_ int, _ home.ZoneID, _ int, stay int) bool {
+	return stay >= 2 && stay <= 12
+}
+
+func mustTrain(b *testing.B, s *core.Suite) *Trace {
+	b.Helper()
+	tr, err := s.Houses["A"].SubTrace(0, s.Config.TrainDays)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func plannerFor(s *core.Suite, model *ADM, window int) *Planner {
+	return NewPlanner(s.Houses["A"], model, s.Params, s.Pricing, attack.Full(s.Houses["A"].House), window)
+}
+
+func benchName(prefix string, v int) string {
+	const digits = "0123456789"
+	if v < 10 {
+		return prefix + "=" + digits[v:v+1]
+	}
+	return prefix + "=" + digits[v/10:v/10+1] + digits[v%10:v%10+1]
+}

@@ -1,0 +1,370 @@
+// Command experiments regenerates every table and figure of the SHATTER
+// paper's evaluation (DESIGN.md §4) and prints them in the paper's layout.
+//
+// Usage:
+//
+//	experiments [-days N] [-train N] [-seed S] [-quick] [-only fig3,tableV,...]
+//
+// -quick runs a reduced 12-day configuration for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/acyd-lab/shatter/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	days := fs.Int("days", 30, "trace length in days")
+	train := fs.Int("train", 25, "ADM training days")
+	seed := fs.Uint64("seed", 20230427, "dataset seed")
+	quick := fs.Bool("quick", false, "reduced 12-day run")
+	only := fs.String("only", "", "comma-separated experiment ids (default all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := core.SuiteConfig{Days: *days, TrainDays: *train, Seed: *seed, WindowLen: 10}
+	if *quick {
+		cfg.Days, cfg.TrainDays = 12, 9
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToLower(id)); id != "" {
+			want[id] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[strings.ToLower(id)] }
+
+	started := time.Now()
+	fmt.Printf("SHATTER experiment suite (days=%d train=%d seed=%d)\n\n", cfg.Days, cfg.TrainDays, cfg.Seed)
+	s, err := core.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+
+	if sel("fig3") {
+		if err := printFig3(s); err != nil {
+			return err
+		}
+	}
+	if sel("fig4") {
+		if err := printFig4(s); err != nil {
+			return err
+		}
+	}
+	if sel("fig5") {
+		if err := printFig5(s); err != nil {
+			return err
+		}
+	}
+	if sel("fig6") {
+		if err := printFig6(s); err != nil {
+			return err
+		}
+	}
+	if sel("tableiii") {
+		if err := printCaseStudy(s); err != nil {
+			return err
+		}
+	}
+	if sel("tableiv") {
+		if err := printTableIV(s); err != nil {
+			return err
+		}
+	}
+	if sel("tablev") {
+		if err := printTableV(s); err != nil {
+			return err
+		}
+	}
+	if sel("fig10") {
+		if err := printFig10(s); err != nil {
+			return err
+		}
+	}
+	if sel("tablevi") {
+		if err := printAccess(s, "Table VI — appliance-triggering impact vs zone access", s.TableVI); err != nil {
+			return err
+		}
+	}
+	if sel("tablevii") {
+		if err := printAccess(s, "Table VII — appliance-triggering impact vs appliance access", s.TableVII); err != nil {
+			return err
+		}
+	}
+	if sel("fig11") {
+		if err := printFig11(s); err != nil {
+			return err
+		}
+	}
+	if sel("testbed") {
+		if err := printTestbed(s); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nall selected experiments done in %s\n", time.Since(started).Round(time.Millisecond))
+	return nil
+}
+
+func printFig3(s *core.Suite) error {
+	fmt.Println("== Fig 3 — ASHRAE vs SHATTER control cost ==")
+	results, err := s.Fig3()
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		var sumA, sumS float64
+		for d := range r.ASHRAE {
+			sumA += r.ASHRAE[d]
+			sumS += r.SHATTER[d]
+		}
+		fmt.Printf("House %s: ASHRAE $%.2f/mo, SHATTER $%.2f/mo, savings %.1f%%\n",
+			r.House, sumA, sumS, r.SavingsPct)
+		fmt.Printf("  daily ASHRAE : %s\n", sparkline(r.ASHRAE))
+		fmt.Printf("  daily SHATTER: %s\n", sparkline(r.SHATTER))
+	}
+	fmt.Println()
+	return nil
+}
+
+func printFig4(s *core.Suite) error {
+	fmt.Println("== Fig 4 — ADM hyperparameter tuning (HAO1) ==")
+	results, err := s.Fig4()
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%s on %s:\n", r.Algorithm, r.Dataset)
+		fmt.Printf("  %6s %8s %8s %8s\n", "hyper", "DBI", "SC", "CHI")
+		for _, p := range r.Points {
+			fmt.Printf("  %6d %8.3f %8.3f %8.1f\n", p.Hyperparameter, p.DaviesBouldin, p.Silhouette, p.CalinskiHara)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func printFig5(s *core.Suite) error {
+	fmt.Println("== Fig 5 — progressive training performance (F1) ==")
+	results, err := s.Fig5()
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-8s %-8s:", r.Algorithm, r.Dataset)
+		for _, p := range r.Points {
+			fmt.Printf("  %dd=%.2f", p.TrainDays, p.F1)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+func printFig6(s *core.Suite) error {
+	fmt.Println("== Fig 6 — cluster geometry (HAO1-style) ==")
+	results, err := s.Fig6()
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-8s: clusters=%d hullArea=%.0f noisePruned=%d\n",
+			r.Algorithm, r.Stats.Clusters, r.Stats.TotalArea, r.Stats.NoisePruned)
+	}
+	fmt.Println()
+	return nil
+}
+
+func printCaseStudy(s *core.Suite) error {
+	fmt.Println("== Table III — case study (6:00-6:09 PM) ==")
+	cs, err := s.CaseStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("day %d, slots %d-%d\n", cs.Day, cs.StartSlot, cs.StartSlot+len(cs.Slots)-1)
+	rows := []string{"Actual ", "Greedy ", "SHATTER"}
+	for o := 0; o < 2; o++ {
+		fmt.Printf("occupant %d:\n", o)
+		for ri, name := range rows {
+			fmt.Printf("  %s:", name)
+			for _, sl := range cs.Slots {
+				var z int
+				switch ri {
+				case 0:
+					z = int(sl.Actual[o])
+				case 1:
+					z = int(sl.Greedy[o])
+				default:
+					z = int(sl.SHATTER[o])
+				}
+				fmt.Printf(" %d", z)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("  range  :")
+		for _, sl := range cs.Slots {
+			if sl.StayMin[o] < 0 {
+				fmt.Printf(" []")
+			} else {
+				fmt.Printf(" [%d-%d]", sl.StayMin[o], sl.StayMax[o])
+			}
+		}
+		fmt.Println()
+		fmt.Printf("  trigger:")
+		for _, sl := range cs.Slots {
+			fmt.Printf(" %v", boolMark(sl.Trigger[o]))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("window cost: actual %.2f¢, greedy %.2f¢, SHATTER %.2f¢\n\n",
+		cs.ActualCostCents, cs.GreedyCostCents, cs.SHATTERCostCents)
+	return nil
+}
+
+func printTableIV(s *core.Suite) error {
+	fmt.Println("== Table IV — ADM performance vs attacker knowledge ==")
+	rows, err := s.TableIV()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-9s %-13s %-6s %6s %6s %6s %6s\n", "ADM", "Knowledge", "Data", "Acc", "Prec", "Rec", "F1")
+	for _, r := range rows {
+		fmt.Printf("%-9s %-13s %-6s %6.2f %6.2f %6.2f %6.2f\n",
+			r.Algorithm, r.Knowledge, r.Dataset,
+			r.Metrics.Accuracy(), r.Metrics.Precision(), r.Metrics.Recall(), r.Metrics.F1())
+	}
+	fmt.Println()
+	return nil
+}
+
+func printTableV(s *core.Suite) error {
+	fmt.Println("== Table V — attack cost: BIoTA vs Greedy vs SHATTER ==")
+	benign, err := s.BenignCosts()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benign control cost: House A $%.2f, House B $%.2f\n", benign["A"], benign["B"])
+	rows, err := s.TableV()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-9s %-12s %-13s %10s %10s %8s %8s\n",
+		"Framework", "ADM", "Knowledge", "A ($)", "B ($)", "detA", "detB")
+	for _, r := range rows {
+		fmt.Printf("%-9s %-12s %-13s %10.2f %10.2f %8.2f %8.2f\n",
+			r.Framework, r.ADM, r.Knowledge,
+			r.CostUSD["A"], r.CostUSD["B"], r.DetectionRate["A"], r.DetectionRate["B"])
+	}
+	fmt.Println()
+	return nil
+}
+
+func printFig10(s *core.Suite) error {
+	fmt.Println("== Fig 10 — appliance-triggering contribution ==")
+	results, err := s.Fig10()
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("House %s: trigger extra $%.2f (+%.1f%% on the non-trigger attack)\n",
+			r.House, r.TriggerExtra, r.TriggerPct)
+		fmt.Printf("  benign      : %s\n", sparkline(r.Benign))
+		fmt.Printf("  w/o trigger : %s\n", sparkline(r.WithoutTrigger))
+		fmt.Printf("  with trigger: %s\n", sparkline(r.WithTrigger))
+	}
+	fmt.Println()
+	return nil
+}
+
+func printAccess(s *core.Suite, title string, f func() ([]core.AccessRow, error)) error {
+	fmt.Println("==", title, "==")
+	rows, err := f()
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-14s House A $%.2f  House B $%.2f\n", r.Label, r.ImpactUSD["A"], r.ImpactUSD["B"])
+	}
+	fmt.Println()
+	return nil
+}
+
+func printFig11(s *core.Suite) error {
+	fmt.Println("== Fig 11 — scalability ==")
+	a, err := s.Fig11a([]int{4, 6, 8, 10, 12})
+	if err != nil {
+		return err
+	}
+	fmt.Println("(a) horizon scaling (joint branch-and-bound):")
+	for _, p := range a {
+		fmt.Printf("  I=%-3d nodes=%-10d t=%s\n", p.X, p.Nodes, p.Elapsed.Round(time.Microsecond))
+	}
+	b, err := s.Fig11b([]int{4, 8, 12, 16, 20, 24})
+	if err != nil {
+		return err
+	}
+	fmt.Println("(b) zone scaling (windowed DP, lookback 10):")
+	for _, p := range b {
+		fmt.Printf("  zones=%-3d states=%-8d t=%s\n", p.X, p.Nodes, p.Elapsed.Round(time.Microsecond))
+	}
+	fmt.Println()
+	return nil
+}
+
+func printTestbed(s *core.Suite) error {
+	fmt.Println("== Section VI — testbed validation ==")
+	res, err := s.Testbed()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dynamics identification error: %.2f%% (paper: <2%%)\n", res.FitErrorPct)
+	fmt.Printf("benign energy %.1f Wh, attacked %.1f Wh, increase %.1f%% (paper: 78%%)\n",
+		res.Benign.EnergyWh, res.Attacked.EnergyWh, res.IncreasePct)
+	fmt.Printf("worst occupied-zone excursion: benign %.2f°F, attacked %.2f°F\n\n",
+		res.Benign.MaxRiseF, res.Attacked.MaxRiseF)
+	return nil
+}
+
+func sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	marks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		i := 0
+		if hi > lo {
+			i = int((x - lo) / (hi - lo) * float64(len(marks)-1))
+		}
+		b.WriteRune(marks[i])
+	}
+	return fmt.Sprintf("%s  [min $%.2f max $%.2f]", b.String(), lo, hi)
+}
+
+func boolMark(v bool) string {
+	if v {
+		return "T"
+	}
+	return "f"
+}

@@ -1,0 +1,193 @@
+// Command shatter is the framework's CLI: generate datasets, train and
+// evaluate ADMs, and synthesise stealthy attack schedules.
+//
+// Subcommands:
+//
+//	generate  -house A -days 30 -seed 1 -out trace.csv
+//	train     -house A -days 30 -seed 1 -adm dbscan|kmeans
+//	attack    -house A -days 30 -seed 1 -adm kmeans -strategy shatter|greedy|biota [-trigger]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	shatter "github.com/acyd-lab/shatter"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "shatter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: shatter <generate|train|attack> [flags]")
+	}
+	switch args[0] {
+	case "generate":
+		return cmdGenerate(args[1:])
+	case "train":
+		return cmdTrain(args[1:])
+	case "attack":
+		return cmdAttack(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+type common struct {
+	house *shatter.House
+	trace *shatter.Trace
+}
+
+func load(fs *flag.FlagSet, args []string) (*common, *flag.FlagSet, error) {
+	houseName := fs.String("house", "A", "house A or B")
+	days := fs.Int("days", 30, "trace length (days)")
+	seed := fs.Uint64("seed", 1, "dataset seed")
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	h, err := shatter.NewHouse(*houseName)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := shatter.Generate(h, shatter.GeneratorConfig{Days: *days, Seed: *seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &common{house: h, trace: tr}, fs, nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	out := fs.String("out", "", "CSV output path (default stdout)")
+	c, _, err := load(fs, args)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return c.trace.WriteCSV(w)
+}
+
+func admConfig(name string, trainDays int) (shatter.ADMConfig, error) {
+	switch name {
+	case "dbscan":
+		cfg := shatter.DefaultADMConfig(shatter.DBSCAN)
+		cfg.MinPts = max(3, trainDays/3)
+		cfg.Eps = 25
+		return cfg, nil
+	case "kmeans":
+		return shatter.DefaultADMConfig(shatter.KMeans), nil
+	default:
+		return shatter.ADMConfig{}, fmt.Errorf("unknown ADM %q (want dbscan or kmeans)", name)
+	}
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	admName := fs.String("adm", "dbscan", "ADM backend: dbscan or kmeans")
+	c, _, err := load(fs, args)
+	if err != nil {
+		return err
+	}
+	cfg, err := admConfig(*admName, c.trace.NumDays())
+	if err != nil {
+		return err
+	}
+	model, err := shatter.TrainADM(c.trace, cfg)
+	if err != nil {
+		return err
+	}
+	st := model.Stats()
+	fmt.Printf("trained %v ADM on %d days of house %s\n", cfg.Algorithm, c.trace.NumDays(), c.house.Name)
+	fmt.Printf("clusters=%d hullArea=%.0f noisePruned=%d\n", st.Clusters, st.TotalArea, st.NoisePruned)
+	for o := range c.house.Occupants {
+		eps := c.trace.Episodes(o)
+		flagged := 0
+		for _, e := range eps {
+			if model.EpisodeAnomalous(e) {
+				flagged++
+			}
+		}
+		fmt.Printf("occupant %d: %d episodes, %d flagged on training data (FP surface)\n", o, len(eps), flagged)
+	}
+	return nil
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
+	admName := fs.String("adm", "kmeans", "attacker/defender ADM backend")
+	strategy := fs.String("strategy", "shatter", "shatter, greedy, or biota")
+	trigger := fs.Bool("trigger", false, "run the appliance-triggering stage")
+	window := fs.Int("window", 10, "optimisation horizon I")
+	c, _, err := load(fs, args)
+	if err != nil {
+		return err
+	}
+	trainDays := c.trace.NumDays() * 4 / 5
+	if trainDays < 1 {
+		trainDays = 1
+	}
+	train, err := c.trace.SubTrace(0, trainDays)
+	if err != nil {
+		return err
+	}
+	cfg, err := admConfig(*admName, trainDays)
+	if err != nil {
+		return err
+	}
+	model, err := shatter.TrainADM(train, cfg)
+	if err != nil {
+		return err
+	}
+	params, pricing := shatter.DefaultHVACParams(), shatter.DefaultPricing()
+	cap := shatter.FullCapability(c.house)
+	planner := shatter.NewPlanner(c.trace, model, params, pricing, cap, *window)
+	var plan *shatter.Plan
+	switch *strategy {
+	case "shatter":
+		plan, err = planner.PlanSHATTER()
+	case "greedy":
+		plan, err = planner.PlanGreedy()
+	case "biota":
+		plan, err = planner.PlanBIoTA()
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	if err != nil {
+		return err
+	}
+	if *trigger {
+		n := shatter.TriggerAppliances(c.trace, plan, model, cap)
+		fmt.Printf("triggered %d appliance-minutes\n", n)
+	}
+	ctrl := shatter.NewSHATTERController(params)
+	imp, err := shatter.EvaluateImpact(c.trace, plan, model, ctrl, params, pricing, shatter.EvalOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("strategy=%s adm=%v injectedSlots=%d\n", plan.Strategy, cfg.Algorithm, plan.InjectedSlots(c.trace))
+	fmt.Printf("benign   $%.2f\n", imp.Benign.TotalCostUSD)
+	fmt.Printf("attacked $%.2f (+$%.2f)\n", imp.Attacked.TotalCostUSD, imp.ExtraCostUSD)
+	fmt.Printf("detection rate %.1f%% over %d detected days\n", imp.DetectionRate*100, imp.DetectedDays)
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,331 @@
+package aras
+
+import (
+	"errors"
+	"math"
+
+	"github.com/acyd-lab/shatter/internal/home"
+	"github.com/acyd-lab/shatter/internal/rng"
+)
+
+// GeneratorConfig parameterises the synthetic trace generator.
+type GeneratorConfig struct {
+	// Days is the number of days to generate (the paper uses 30).
+	Days int
+	// Seed makes generation reproducible.
+	Seed uint64
+	// IrregularProb is the per-day probability that an occupant has an
+	// irregular day (heavier jitter, reordered blocks). Irregular days
+	// supply the noise points DBSCAN prunes and K-Means absorbs.
+	// Defaults to 0.08 when zero.
+	IrregularProb float64
+	// SummerMeanF is the mean outdoor temperature (°F); defaults to 84
+	// (cooling-dominated season, as in the paper's energy experiments).
+	SummerMeanF float64
+}
+
+func (c GeneratorConfig) withDefaults() GeneratorConfig {
+	if c.IrregularProb == 0 {
+		c.IrregularProb = 0.08
+	}
+	if c.SummerMeanF == 0 {
+		c.SummerMeanF = 84
+	}
+	return c
+}
+
+// ErrBadConfig is returned for non-positive day counts.
+var ErrBadConfig = errors.New("aras: Days must be positive")
+
+// routine describes an occupant's habitual daily schedule. All times are
+// minutes after midnight; all durations in minutes.
+type routine struct {
+	// worker occupants leave for work on weekdays.
+	worker bool
+	// wakeMean/wakeStd control the wake-up anchor.
+	wakeMean, wakeStd float64
+	// bedMean/bedStd control the bedtime anchor.
+	bedMean, bedStd float64
+	// leaveMean/returnMean are the weekday work window anchors.
+	leaveMean, returnMean float64
+	// showerMorning is the probability of a morning shower.
+	showerMorning float64
+	// eveningTVMean is the evening television block length.
+	eveningTVMean float64
+	// choresWeight scales how much daytime is spent on active chores
+	// (cleaning, laundry) vs sedentary activities.
+	choresWeight float64
+}
+
+// routineFor returns the behaviour archetype for an occupant of a house.
+// House A: Alice studies/works from home, Bob commutes. House B: both
+// occupants are out most of the day (hence House B's lower benign and
+// attacked costs throughout the paper's tables).
+func routineFor(houseName string, occupant int) routine {
+	switch {
+	case houseName == "A" && occupant == 0: // Alice, home-based
+		return routine{
+			worker:        false,
+			wakeMean:      7*60 + 10, wakeStd: 18,
+			bedMean: 23 * 60, bedStd: 25,
+			showerMorning: 0.75,
+			eveningTVMean: 95,
+			choresWeight:  1.0,
+		}
+	case houseName == "A" && occupant == 1: // Bob, commuter
+		return routine{
+			worker:        true,
+			wakeMean:      6*60 + 40, wakeStd: 15,
+			bedMean: 22*60 + 45, bedStd: 20,
+			leaveMean:     8*60 + 40,
+			returnMean:    17*60 + 45,
+			showerMorning: 0.85,
+			eveningTVMean: 80,
+			choresWeight:  0.5,
+		}
+	case houseName == "B" && occupant == 0: // Carol, long-hours commuter
+		return routine{
+			worker:        true,
+			wakeMean:      6*60 + 20, wakeStd: 15,
+			bedMean: 22*60 + 30, bedStd: 20,
+			leaveMean:     7*60 + 50,
+			returnMean:    18*60 + 30,
+			showerMorning: 0.8,
+			eveningTVMean: 60,
+			choresWeight:  0.6,
+		}
+	default: // Dave, commuter with evening activities out
+		return routine{
+			worker:        true,
+			wakeMean:      7 * 60, wakeStd: 18,
+			bedMean: 23*60 + 15, bedStd: 25,
+			leaveMean:     8*60 + 30,
+			returnMean:    19*60 + 15,
+			showerMorning: 0.7,
+			eveningTVMean: 70,
+			choresWeight:  0.4,
+		}
+	}
+}
+
+// block is one contiguous activity in the day plan.
+type block struct {
+	act home.ActivityID
+	dur int
+}
+
+// Generate produces a synthetic trace for the house.
+func Generate(house *home.House, cfg GeneratorConfig) (*Trace, error) {
+	if cfg.Days <= 0 {
+		return nil, ErrBadConfig
+	}
+	cfg = cfg.withDefaults()
+	r := rng.New(cfg.Seed)
+	tr := &Trace{
+		House:   house,
+		Days:    make([]Day, cfg.Days),
+		Weather: make([]Weather, cfg.Days),
+	}
+	occRngs := make([]*rng.Source, len(house.Occupants))
+	for o := range occRngs {
+		occRngs[o] = r.Fork()
+	}
+	weatherRng := r.Fork()
+	for d := 0; d < cfg.Days; d++ {
+		day := NewDay(len(house.Occupants), len(house.Appliances))
+		weekday := d%7 < 5
+		for o := range house.Occupants {
+			rt := routineFor(house.Name, o)
+			irregular := occRngs[o].Bool(cfg.IrregularProb)
+			plan := planDay(rt, weekday, irregular, occRngs[o])
+			rasterize(house, plan, &day, o, occRngs[o])
+		}
+		tr.Days[d] = day
+		tr.Weather[d] = genWeather(cfg.SummerMeanF, weatherRng)
+	}
+	return tr, nil
+}
+
+// planDay builds the ordered block list for one occupant-day, beginning at
+// midnight (asleep) and covering all 1440 minutes.
+func planDay(rt routine, weekday, irregular bool, r *rng.Source) []block {
+	jit := 1.0
+	if irregular {
+		jit = 3.0
+	}
+	norm := func(mean, std float64) int {
+		v := r.Norm(mean, std*jit)
+		if v < 1 {
+			v = 1
+		}
+		return int(v)
+	}
+	var plan []block
+	total := 0
+	add := func(act home.ActivityID, dur int) {
+		if dur <= 0 {
+			return
+		}
+		if total+dur > SlotsPerDay {
+			dur = SlotsPerDay - total
+		}
+		if dur <= 0 {
+			return
+		}
+		plan = append(plan, block{act, dur})
+		total += dur
+	}
+	// padUntil inserts a filler activity so the next block starts near the
+	// anchor minute.
+	padUntil := func(anchor int, filler home.ActivityID) {
+		if anchor > total {
+			add(filler, anchor-total)
+		}
+	}
+
+	wake := norm(rt.wakeMean, rt.wakeStd)
+	add(home.Sleeping, wake)
+	// Morning routine.
+	add(home.Toileting, norm(8, 2))
+	if r.Bool(rt.showerMorning) {
+		add(home.HavingShower, norm(14, 3))
+	}
+	add(home.BrushingTeeth, norm(3, 1))
+	add(home.ChangingClothes, norm(5, 2))
+	add(home.PreparingBreakfast, norm(17, 4))
+	add(home.HavingBreakfast, norm(15, 4))
+
+	if rt.worker && weekday {
+		// Out for the work day.
+		ret := norm(rt.returnMean, 25)
+		padUntil(ret, home.GoingOut)
+	} else {
+		// Home day: anchored lunch, daytime activity mix.
+		lunchAt := norm(12*60+20, 15)
+		fillDaytime(rt, r, lunchAt, add, &total)
+		padUntil(lunchAt, home.UsingInternet)
+		add(home.PreparingLunch, norm(16, 4))
+		add(home.HavingLunch, norm(20, 5))
+		add(home.WashingDishes, norm(8, 2))
+		afternoonEnd := norm(17*60+50, 20)
+		fillDaytime(rt, r, afternoonEnd, add, &total)
+		padUntil(afternoonEnd, home.WatchingTV)
+	}
+
+	// Evening: dinner, leisure, night routine, bed.
+	add(home.PreparingDinner, norm(24, 5))
+	add(home.HavingDinner, norm(25, 5))
+	add(home.WashingDishes, norm(10, 3))
+	add(home.WatchingTV, norm(rt.eveningTVMean, 20))
+	if r.Bool(0.6) {
+		add(home.UsingInternet, norm(35, 12))
+	}
+	if r.Bool(0.25) {
+		add(home.HavingConversation, norm(20, 8))
+	}
+	add(home.Toileting, norm(6, 2))
+	add(home.BrushingTeeth, norm(3, 1))
+	bed := norm(rt.bedMean, rt.bedStd)
+	padUntil(bed, home.ReadingBook)
+	// Sleep to midnight.
+	add(home.Sleeping, SlotsPerDay-total)
+	return plan
+}
+
+// fillDaytime adds a few randomly chosen home-day activities until close to
+// the anchor minute.
+func fillDaytime(rt routine, r *rng.Source, anchor int, add func(home.ActivityID, int), total *int) {
+	sedentary := []home.ActivityID{
+		home.UsingInternet, home.WatchingTV, home.ReadingBook,
+		home.Studying, home.TalkingOnPhone, home.ListeningToMusic, home.HavingSnack,
+	}
+	active := []home.ActivityID{home.Cleaning, home.Laundry, home.Napping}
+	for *total < anchor-20 {
+		var act home.ActivityID
+		if r.Bool(0.22 * rt.choresWeight) {
+			act = active[r.Intn(len(active))]
+		} else {
+			act = sedentary[r.Intn(len(sedentary))]
+		}
+		var dur int
+		switch act {
+		case home.Napping:
+			dur = int(r.Norm(55, 15))
+		case home.Laundry:
+			dur = int(r.Norm(25, 6))
+		case home.HavingSnack:
+			dur = int(r.Norm(12, 3))
+		default:
+			dur = int(r.Norm(45, 15))
+		}
+		if dur < 3 {
+			dur = 3
+		}
+		if *total+dur > anchor {
+			dur = anchor - *total
+		}
+		add(act, dur)
+	}
+}
+
+// rasterize writes the plan into the day's slot arrays and switches linked
+// appliances on during activity blocks.
+func rasterize(house *home.House, plan []block, day *Day, occupant int, r *rng.Source) {
+	t := 0
+	for _, b := range plan {
+		act := home.ActivityByID(b.act)
+		for i := 0; i < b.dur && t < SlotsPerDay; i, t = i+1, t+1 {
+			day.Zone[occupant][t] = act.Zone
+			day.Act[occupant][t] = b.act
+		}
+		// Appliances linked to the activity run for (most of) the block.
+		for _, ai := range house.AppliancesForActivity(b.act) {
+			runStart := t - b.dur
+			runLen := b.dur
+			// Short-cycle appliances (kettle, coffee maker, hair dryer) run
+			// only a few minutes.
+			switch house.Appliances[ai].Name {
+			case "Kettle", "CoffeeMaker":
+				runLen = minInt(runLen, 4+r.Intn(3))
+			case "HairDryer":
+				runLen = minInt(runLen, 3+r.Intn(3))
+			case "Microwave":
+				runLen = minInt(runLen, 3+r.Intn(5))
+			}
+			for i := 0; i < runLen && runStart+i < SlotsPerDay; i++ {
+				if runStart+i >= 0 {
+					day.Appliance[ai][runStart+i] = true
+				}
+			}
+		}
+	}
+	// Safety: fill any remaining slots as sleeping in the bedroom.
+	for ; t < SlotsPerDay; t++ {
+		day.Zone[occupant][t] = home.Bedroom
+		day.Act[occupant][t] = home.Sleeping
+	}
+}
+
+// genWeather produces a diurnal outdoor temperature curve (sinusoid peaking
+// mid-afternoon plus a random daily offset and minute noise) and a nearly
+// constant outdoor CO2 level around 420 ppm.
+func genWeather(meanF float64, r *rng.Source) Weather {
+	w := Weather{
+		TempF:  make([]float64, SlotsPerDay),
+		CO2PPM: make([]float64, SlotsPerDay),
+	}
+	dailyOffset := r.Norm(0, 2.5)
+	for t := 0; t < SlotsPerDay; t++ {
+		phase := 2 * math.Pi * float64(t-15*60) / SlotsPerDay
+		w.TempF[t] = meanF + dailyOffset + 8*math.Cos(phase) + r.Norm(0, 0.2)
+		w.CO2PPM[t] = 420 + r.Norm(0, 1.5)
+	}
+	return w
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+// Package attack implements the SHATTER attack analytics (Sections III-IV):
+// the attacker capability model, the three schedule-synthesis strategies the
+// paper compares (BIoTA-style rule-aware FDI, greedy scheduling per
+// Algorithm 2, and the SHATTER windowed dynamic schedule), the real-time
+// appliance-triggering decision of Algorithm 1, the falsified sensor views
+// fed to the controller, and the impact/detection evaluation behind
+// Tables V-VII and Fig 10.
+package attack
+
+import (
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// Capability models the attacker's access (Section III-B.4): which zones'
+// sensor measurements (IAQ, occupancy) can be read and altered (Z^A), which
+// occupants' tracking streams can be forged (O^A), which appliances can be
+// triggered by inaudible voice commands (D^A), and which time slots are
+// attackable (T^A).
+type Capability struct {
+	// Zones[z] grants read/alter access to zone z's sensor measurements.
+	Zones map[home.ZoneID]bool
+	// Appliances[d] grants triggering access to appliance d.
+	Appliances map[int]bool
+	// Occupants[o] grants access to occupant o's tracking measurements.
+	Occupants map[int]bool
+	// SlotAllowed restricts attackable slots; nil means all slots.
+	SlotAllowed func(slot int) bool
+}
+
+// Full returns the unrestricted capability for the house: every zone,
+// appliance, occupant, and slot.
+func Full(h *home.House) Capability {
+	c := Capability{
+		Zones:      make(map[home.ZoneID]bool, len(h.Zones)),
+		Appliances: make(map[int]bool, len(h.Appliances)),
+		Occupants:  make(map[int]bool, len(h.Occupants)),
+	}
+	for _, z := range h.Zones {
+		c.Zones[z.ID] = true
+	}
+	for i := range h.Appliances {
+		c.Appliances[i] = true
+	}
+	for o := range h.Occupants {
+		c.Occupants[o] = true
+	}
+	return c
+}
+
+// WithZones returns a copy whose sensor access is limited to the listed
+// zones (Outside needs no sensors and is always reachable).
+func (c Capability) WithZones(zones ...home.ZoneID) Capability {
+	out := c.clone()
+	out.Zones = make(map[home.ZoneID]bool, len(zones))
+	for _, z := range zones {
+		out.Zones[z] = true
+	}
+	return out
+}
+
+// WithAppliances returns a copy whose triggering access is limited to the
+// listed appliance indices.
+func (c Capability) WithAppliances(appliances ...int) Capability {
+	out := c.clone()
+	out.Appliances = make(map[int]bool, len(appliances))
+	for _, a := range appliances {
+		out.Appliances[a] = true
+	}
+	return out
+}
+
+// WithOccupants returns a copy restricted to the listed occupants' streams.
+func (c Capability) WithOccupants(occupants ...int) Capability {
+	out := c.clone()
+	out.Occupants = make(map[int]bool, len(occupants))
+	for _, o := range occupants {
+		out.Occupants[o] = true
+	}
+	return out
+}
+
+func (c Capability) clone() Capability {
+	out := Capability{
+		Zones:       make(map[home.ZoneID]bool, len(c.Zones)),
+		Appliances:  make(map[int]bool, len(c.Appliances)),
+		Occupants:   make(map[int]bool, len(c.Occupants)),
+		SlotAllowed: c.SlotAllowed,
+	}
+	for k, v := range c.Zones {
+		out.Zones[k] = v
+	}
+	for k, v := range c.Appliances {
+		out.Appliances[k] = v
+	}
+	for k, v := range c.Occupants {
+		out.Occupants[k] = v
+	}
+	return out
+}
+
+// slotOK applies the T^A restriction.
+func (c Capability) slotOK(slot int) bool {
+	return c.SlotAllowed == nil || c.SlotAllowed(slot)
+}
+
+// zoneOK reports sensor access to z; Outside has no in-home sensors to
+// forge, so it is always reachable.
+func (c Capability) zoneOK(z home.ZoneID) bool {
+	if !z.Conditioned() {
+		return true
+	}
+	return c.Zones[z]
+}
+
+// CanReport decides whether occupant o, actually in actualZone, may be
+// reported in reportZone at the slot (Section IV-C: the attacker needs
+// access to both the actual occupant zone and the scheduled zone; reporting
+// the truth needs no access at all).
+func (c Capability) CanReport(o int, slot int, actualZone, reportZone home.ZoneID) bool {
+	if reportZone == actualZone {
+		return true
+	}
+	if !c.Occupants[o] || !c.slotOK(slot) {
+		return false
+	}
+	return c.zoneOK(actualZone) && c.zoneOK(reportZone)
+}
+
+// CanTrigger decides whether appliance d can be voice-triggered at the slot.
+func (c Capability) CanTrigger(d int, slot int) bool {
+	return c.Appliances[d] && c.slotOK(slot)
+}

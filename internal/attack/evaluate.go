@@ -1,0 +1,149 @@
+package attack
+
+import (
+	"fmt"
+
+	"github.com/acyd-lab/shatter/internal/adm"
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/hvac"
+)
+
+// EvalOptions configures impact evaluation.
+type EvalOptions struct {
+	// AbortDetectedDays models the defender acting on alarms: any day on
+	// which the defender's ADM flags an injected episode reverts to its
+	// benign cost (the attack vector was not stealthy, so its impact does
+	// not materialise). Table V's SHATTER/Greedy rows under partial
+	// attacker knowledge shrink through exactly this mechanism.
+	AbortDetectedDays bool
+}
+
+// Impact is the outcome of an attack campaign.
+type Impact struct {
+	Strategy string
+	// Benign and Attacked are the full simulation results.
+	Benign   hvac.Result
+	Attacked hvac.Result
+	// ExtraCostUSD = Attacked − Benign total cost.
+	ExtraCostUSD float64
+	// DetectionRate is the fraction of injected reported episodes the
+	// defender's ADM flags as anomalous.
+	DetectionRate float64
+	// DetectedDays counts days with at least one flagged injected episode.
+	DetectedDays int
+	// InfeasibleWindows is carried from the plan.
+	InfeasibleWindows int
+}
+
+// EvaluateImpact simulates the benign and attacked systems and scores
+// stealthiness against the defender's ADM (which may differ from the
+// attacker's estimate under partial knowledge).
+func EvaluateImpact(trace *aras.Trace, plan *Plan, defender *adm.Model, ctrl hvac.Controller, params hvac.Params, pricing hvac.Pricing, opts EvalOptions) (Impact, error) {
+	benign, err := hvac.Simulate(trace, ctrl, params, pricing, hvac.Options{})
+	if err != nil {
+		return Impact{}, fmt.Errorf("attack: benign simulation: %w", err)
+	}
+
+	injected, flagged := 0, 0
+	detectedDay := make([]bool, trace.NumDays())
+	if defender != nil {
+		for d := 0; d < trace.NumDays(); d++ {
+			for o := range trace.House.Occupants {
+				for _, e := range plan.DayReportedEpisodes(trace, d, o) {
+					if !e.Injected {
+						continue
+					}
+					injected++
+					if defender.EpisodeAnomalous(e.Episode) {
+						flagged++
+						detectedDay[d] = true
+					}
+				}
+			}
+		}
+	}
+
+	effective := plan
+	if opts.AbortDetectedDays {
+		effective = plan.revertDays(trace, detectedDay)
+	}
+	view, err := NewView(trace, effective)
+	if err != nil {
+		return Impact{}, err
+	}
+	attacked, err := hvac.Simulate(trace, ctrl, params, pricing, hvac.Options{
+		View:              view,
+		ActualApplianceOn: view.ActualApplianceOn,
+	})
+	if err != nil {
+		return Impact{}, fmt.Errorf("attack: attacked simulation: %w", err)
+	}
+
+	imp := Impact{
+		Strategy:          plan.Strategy,
+		Benign:            benign,
+		Attacked:          attacked,
+		ExtraCostUSD:      attacked.TotalCostUSD - benign.TotalCostUSD,
+		InfeasibleWindows: plan.InfeasibleWindows,
+	}
+	if injected > 0 {
+		imp.DetectionRate = float64(flagged) / float64(injected)
+	}
+	for _, det := range detectedDay {
+		if det {
+			imp.DetectedDays++
+		}
+	}
+	return imp, nil
+}
+
+// revertDays returns a copy of the plan with the flagged days restored to
+// truth-telling (no injections, no triggers): a fresh truth plan with the
+// surviving days' falsifications overlaid.
+func (p *Plan) revertDays(trace *aras.Trace, revert []bool) *Plan {
+	fresh := newPlan(trace, p.Strategy)
+	for d := range p.RepZone {
+		if revert[d] {
+			continue
+		}
+		for o := range p.RepZone[d] {
+			copy(fresh.RepZone[d][o], p.RepZone[d][o])
+			copy(fresh.RepAct[d][o], p.RepAct[d][o])
+		}
+		for a := range p.Triggered[d] {
+			copy(fresh.Triggered[d][a], p.Triggered[d][a])
+		}
+	}
+	fresh.InfeasibleWindows = p.InfeasibleWindows
+	return fresh
+}
+
+// SensorDeltas synthesises the IAQ component of the FDI attack vector for
+// one day: the δ^C series (Eq 14) that must be injected into each zone's
+// CO2 sensor so the reported measurements stay consistent with the reported
+// occupancy under the plant's mass balance. (Temperature deltas follow the
+// same construction via Eq 15; CO2 is the binding consistency check because
+// occupancy drives it directly.)
+func SensorDeltas(trace *aras.Trace, plan *Plan, ctrl hvac.Controller, params hvac.Params, day int) ([][]float64, error) {
+	benignView := &hvac.TraceView{Trace: trace}
+	attackView, err := NewView(trace, plan)
+	if err != nil {
+		return nil, err
+	}
+	benign, err := hvac.BelievedCO2Series(trace, benignView, ctrl, params, day)
+	if err != nil {
+		return nil, err
+	}
+	attacked, err := hvac.BelievedCO2Series(trace, attackView, ctrl, params, day)
+	if err != nil {
+		return nil, err
+	}
+	deltas := make([][]float64, len(benign))
+	for t := range benign {
+		deltas[t] = make([]float64, len(benign[t]))
+		for z := range benign[t] {
+			deltas[t][z] = attacked[t][z] - benign[t][z]
+		}
+	}
+	return deltas, nil
+}

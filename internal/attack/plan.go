@@ -1,0 +1,211 @@
+package attack
+
+import (
+	"errors"
+
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/home"
+	"github.com/acyd-lab/shatter/internal/hvac"
+)
+
+// Plan is a complete falsified-measurement campaign over a trace: the
+// occupancy/activity stream the attacker reports to the control system plus
+// any appliances really triggered by inaudible voice commands.
+type Plan struct {
+	// Strategy names the generator ("BIoTA", "Greedy", "SHATTER").
+	Strategy string
+	// RepZone[d][o][t] is the reported zone of occupant o at slot t, day d.
+	RepZone [][][]home.ZoneID
+	// RepAct[d][o][t] is the reported activity.
+	RepAct [][][]home.ActivityID
+	// Triggered[d][a][t] marks appliance a really switched on by the
+	// attacker at slot t of day d (Algorithm 1).
+	Triggered [][][]bool
+	// InfeasibleWindows counts optimisation windows that fell back to
+	// truth-telling because no stealthy schedule existed.
+	InfeasibleWindows int
+}
+
+// newPlan allocates a truth-telling plan (reported = actual) to be edited
+// by the strategies.
+func newPlan(trace *aras.Trace, strategy string) *Plan {
+	days := trace.NumDays()
+	p := &Plan{
+		Strategy:  strategy,
+		RepZone:   make([][][]home.ZoneID, days),
+		RepAct:    make([][][]home.ActivityID, days),
+		Triggered: make([][][]bool, days),
+	}
+	for d := 0; d < days; d++ {
+		occ := len(trace.House.Occupants)
+		p.RepZone[d] = make([][]home.ZoneID, occ)
+		p.RepAct[d] = make([][]home.ActivityID, occ)
+		for o := 0; o < occ; o++ {
+			p.RepZone[d][o] = append([]home.ZoneID(nil), trace.Days[d].Zone[o]...)
+			p.RepAct[d][o] = append([]home.ActivityID(nil), trace.Days[d].Act[o]...)
+		}
+		p.Triggered[d] = make([][]bool, len(trace.House.Appliances))
+		for a := range p.Triggered[d] {
+			p.Triggered[d][a] = make([]bool, aras.SlotsPerDay)
+		}
+	}
+	return p
+}
+
+// setReport records a falsified observation, choosing the activity: the
+// truth when the zone is truthful, otherwise the most intense activity of
+// the reported zone (maximum demand, Algorithm 2's G-maximising choice).
+func (p *Plan) setReport(trace *aras.Trace, day, occupant, slot int, z home.ZoneID) {
+	actual := trace.Days[day].Zone[occupant][slot]
+	p.RepZone[day][occupant][slot] = z
+	if z == actual {
+		p.RepAct[day][occupant][slot] = trace.Days[day].Act[occupant][slot]
+		return
+	}
+	if z.Conditioned() {
+		p.RepAct[day][occupant][slot] = home.MostIntenseActivityInZone(z)
+	} else {
+		p.RepAct[day][occupant][slot] = home.GoingOut
+	}
+}
+
+// InjectedSlots counts occupant-slots whose reported zone differs from the
+// actual zone — the attack vector's footprint.
+func (p *Plan) InjectedSlots(trace *aras.Trace) int {
+	n := 0
+	for d := range p.RepZone {
+		for o := range p.RepZone[d] {
+			for t, z := range p.RepZone[d][o] {
+				if z != trace.Days[d].Zone[o][t] {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// TriggeredSlots counts appliance-slots the attacker really switched on.
+func (p *Plan) TriggeredSlots() int {
+	n := 0
+	for d := range p.Triggered {
+		for a := range p.Triggered[d] {
+			for _, on := range p.Triggered[d][a] {
+				if on {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// ReportedEpisodes converts the reported occupancy stream of one day and
+// occupant into episodes (the stream the ADM checks). Injected marks an
+// episode whose (zone, arrival, duration) does not occur in the actual
+// stream — covering both directly falsified stays and stays distorted by
+// neighbouring injections; episodes matching reality exactly are the
+// defender's ordinary false-positive surface, not attack artefacts.
+type ReportedEpisode struct {
+	aras.Episode
+	Injected bool
+}
+
+// DayReportedEpisodes extracts episodes from the reported stream.
+func (p *Plan) DayReportedEpisodes(trace *aras.Trace, day, occupant int) []ReportedEpisode {
+	zones := p.RepZone[day][occupant]
+	natural := make(map[[3]int]bool)
+	for _, e := range trace.DayEpisodes(day, occupant) {
+		natural[[3]int{int(e.Zone), e.ArrivalSlot, e.Duration}] = true
+	}
+	var out []ReportedEpisode
+	start := 0
+	for t := 1; t <= aras.SlotsPerDay; t++ {
+		if t < aras.SlotsPerDay && zones[t] == zones[start] {
+			continue
+		}
+		ep := aras.Episode{
+			Day:         day,
+			Occupant:    occupant,
+			Zone:        zones[start],
+			ArrivalSlot: start,
+			Duration:    t - start,
+		}
+		out = append(out, ReportedEpisode{
+			Episode:  ep,
+			Injected: !natural[[3]int{int(ep.Zone), ep.ArrivalSlot, ep.Duration}],
+		})
+		if t < aras.SlotsPerDay {
+			start = t
+		}
+	}
+	return out
+}
+
+// View adapts the plan into the hvac.View the attacked controller consumes:
+// reported occupancy/activity, and appliance status including really
+// triggered appliances (their status sensors read "on" because they are on).
+type View struct {
+	trace *aras.Trace
+	plan  *Plan
+}
+
+var _ hvac.View = (*View)(nil)
+
+// ErrNilPlan guards View construction.
+var ErrNilPlan = errors.New("attack: nil plan or trace")
+
+// NewView builds the falsified controller view.
+func NewView(trace *aras.Trace, plan *Plan) (*View, error) {
+	if trace == nil || plan == nil {
+		return nil, ErrNilPlan
+	}
+	return &View{trace: trace, plan: plan}, nil
+}
+
+// Occupants implements hvac.View.
+func (v *View) Occupants(day, slot int) []hvac.OccupantObs {
+	occ := len(v.plan.RepZone[day])
+	obs := make([]hvac.OccupantObs, occ)
+	for o := 0; o < occ; o++ {
+		obs[o] = hvac.OccupantObs{
+			Zone:     v.plan.RepZone[day][o][slot],
+			Activity: v.plan.RepAct[day][o][slot],
+		}
+	}
+	return obs
+}
+
+// ApplianceOn implements hvac.View. Beyond the real statuses (including
+// really-triggered appliances), the attacker injects δ^D false status
+// measurements consistent with the reported activities: an occupant
+// reported PreparingDinner comes with the oven and microwave reading "on"
+// (the activity-appliance relationship makes the story self-consistent),
+// so the controller supplies cooling for their heat.
+func (v *View) ApplianceOn(day, slot, appliance int) bool {
+	if v.trace.Days[day].Appliance[appliance][slot] || v.plan.Triggered[day][appliance][slot] {
+		return true
+	}
+	appl := v.trace.House.Appliances[appliance]
+	for o := range v.plan.RepZone[day] {
+		z := v.plan.RepZone[day][o][slot]
+		if z != appl.Zone || z == v.trace.Days[day].Zone[o][slot] {
+			continue // only falsified presences carry forged statuses
+		}
+		for _, ai := range v.trace.House.AppliancesForActivity(v.plan.RepAct[day][o][slot]) {
+			if ai == appliance {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ActualApplianceOn reports the true electrical state (trace plus really
+// triggered appliances) for energy accounting. Forged δ^D statuses are
+// beliefs only — they make the controller move air, but draw no power
+// themselves.
+func (v *View) ActualApplianceOn(day, slot, appliance int) bool {
+	return v.trace.Days[day].Appliance[appliance][slot] ||
+		v.plan.Triggered[day][appliance][slot]
+}

@@ -1,0 +1,320 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/acyd-lab/shatter/internal/geometry"
+	"github.com/acyd-lab/shatter/internal/rng"
+)
+
+// twoBlobs generates two well-separated Gaussian blobs plus optional
+// uniform noise points.
+func twoBlobs(r *rng.Source, perBlob, noise int) []geometry.Point {
+	pts := make([]geometry.Point, 0, 2*perBlob+noise)
+	for i := 0; i < perBlob; i++ {
+		pts = append(pts, geometry.Point{X: r.Norm(10, 1), Y: r.Norm(10, 1)})
+	}
+	for i := 0; i < perBlob; i++ {
+		pts = append(pts, geometry.Point{X: r.Norm(50, 1), Y: r.Norm(50, 1)})
+	}
+	for i := 0; i < noise; i++ {
+		pts = append(pts, geometry.Point{X: r.Range(0, 60), Y: r.Range(0, 60)})
+	}
+	return pts
+}
+
+func TestKMeansBadK(t *testing.T) {
+	pts := []geometry.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}
+	if _, err := KMeans(pts, 0, 1); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := KMeans(pts, 3, 1); err == nil {
+		t.Error("k>n should error")
+	}
+}
+
+func TestKMeansTwoBlobs(t *testing.T) {
+	r := rng.New(7)
+	pts := twoBlobs(r, 50, 0)
+	res, err := KMeans(pts, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first 50 points should share a label, and differ from the last 50.
+	first := res.Labels[0]
+	for i := 1; i < 50; i++ {
+		if res.Labels[i] != first {
+			t.Fatalf("point %d not in same cluster as blob mates", i)
+		}
+	}
+	second := res.Labels[50]
+	if second == first {
+		t.Fatal("blobs merged into one cluster")
+	}
+	for i := 51; i < 100; i++ {
+		if res.Labels[i] != second {
+			t.Fatalf("point %d not in same cluster as blob mates", i)
+		}
+	}
+}
+
+func TestKMeansAssignsEveryPoint(t *testing.T) {
+	r := rng.New(3)
+	pts := twoBlobs(r, 30, 10)
+	res, err := KMeans(pts, 5, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoiseCount() != 0 {
+		t.Error("k-means must not produce noise labels")
+	}
+	for i, l := range res.Labels {
+		if l < 0 || l >= res.K {
+			t.Fatalf("label out of range at %d: %d", i, l)
+		}
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	r := rng.New(11)
+	pts := twoBlobs(r, 40, 5)
+	a, err := KMeans(pts, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed should reproduce identical clustering")
+		}
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	pts := make([]geometry.Point, 10)
+	for i := range pts {
+		pts[i] = geometry.Point{X: 5, Y: 5}
+	}
+	res, err := KMeans(pts, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 10 {
+		t.Fatal("missing labels")
+	}
+}
+
+func TestDBSCANBadParams(t *testing.T) {
+	pts := []geometry.Point{{X: 1, Y: 1}}
+	if _, err := DBSCAN(pts, DBSCANParams{Eps: 0, MinPts: 3}); err == nil {
+		t.Error("Eps=0 should error")
+	}
+	if _, err := DBSCAN(pts, DBSCANParams{Eps: 1, MinPts: 0}); err == nil {
+		t.Error("MinPts=0 should error")
+	}
+}
+
+func TestDBSCANTwoBlobsWithNoise(t *testing.T) {
+	r := rng.New(5)
+	pts := twoBlobs(r, 60, 8)
+	res, err := DBSCAN(pts, DBSCANParams{Eps: 2.5, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("found %d clusters, want 2", res.K)
+	}
+	// Blob members should be non-noise.
+	for i := 0; i < 120; i++ {
+		if res.Labels[i] == Noise {
+			// A blob point can occasionally be a border case; tolerate a few.
+			continue
+		}
+	}
+	if res.NoiseCount() == 0 {
+		t.Error("expected some uniform points to be labelled noise")
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	// Points too far apart for any cluster.
+	pts := []geometry.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 0, Y: 100}, {X: 100, Y: 100}}
+	res, err := DBSCAN(pts, DBSCANParams{Eps: 1, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 0 || res.NoiseCount() != 4 {
+		t.Errorf("got K=%d noise=%d, want K=0 noise=4", res.K, res.NoiseCount())
+	}
+}
+
+func TestDBSCANSingleDenseCluster(t *testing.T) {
+	r := rng.New(9)
+	pts := make([]geometry.Point, 50)
+	for i := range pts {
+		pts[i] = geometry.Point{X: r.Norm(0, 0.5), Y: r.Norm(0, 0.5)}
+	}
+	res, err := DBSCAN(pts, DBSCANParams{Eps: 3, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Fatalf("found %d clusters, want 1", res.K)
+	}
+	if res.NoiseCount() != 0 {
+		t.Errorf("dense cluster should have no noise, got %d", res.NoiseCount())
+	}
+}
+
+// Property: every DBSCAN label is either Noise or a valid cluster index,
+// and cluster ids are contiguous from 0.
+func TestPropertyDBSCANLabelsValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(80)
+		pts := make([]geometry.Point, n)
+		for i := range pts {
+			pts[i] = geometry.Point{X: r.Range(0, 30), Y: r.Range(0, 30)}
+		}
+		res, err := DBSCAN(pts, DBSCANParams{Eps: r.Range(0.5, 5), MinPts: 1 + r.Intn(6)})
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, l := range res.Labels {
+			if l == Noise {
+				continue
+			}
+			if l < 0 || l >= res.K {
+				return false
+			}
+			seen[l] = true
+		}
+		return len(seen) == res.K
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: k-means assignment is nearest-centroid stable: recomputing each
+// cluster's centroid and reassigning changes nothing after convergence.
+func TestPropertyKMeansConverged(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 20 + r.Intn(60)
+		pts := make([]geometry.Point, n)
+		for i := range pts {
+			pts[i] = geometry.Point{X: r.Range(0, 100), Y: r.Range(0, 100)}
+		}
+		k := 2 + r.Intn(4)
+		res, err := KMeans(pts, k, seed)
+		if err != nil {
+			return false
+		}
+		// Compute centroids from the labels.
+		sums := make([]geometry.Point, k)
+		counts := make([]int, k)
+		for i, p := range pts {
+			c := res.Labels[i]
+			sums[c].X += p.X
+			sums[c].Y += p.Y
+			counts[c]++
+		}
+		cents := make([]geometry.Point, k)
+		for c := range cents {
+			if counts[c] == 0 {
+				continue
+			}
+			cents[c] = geometry.Point{X: sums[c].X / float64(counts[c]), Y: sums[c].Y / float64(counts[c])}
+		}
+		// Every point must be at least as close to its own centroid as to
+		// any other non-empty centroid (allowing fp tolerance).
+		for i, p := range pts {
+			own := res.Labels[i]
+			if counts[own] == 0 {
+				return false
+			}
+			dOwn := sqDist(p, cents[own])
+			for c := 0; c < k; c++ {
+				if counts[c] == 0 || c == own {
+					continue
+				}
+				if sqDist(p, cents[c]) < dOwn-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidityIndicesOnSeparatedBlobs(t *testing.T) {
+	r := rng.New(21)
+	pts := twoBlobs(r, 50, 0)
+	good, err := KMeans(pts, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := KMeans(pts, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Well-separated 2-clustering should beat an over-split 7-clustering on
+	// all three indices.
+	if DaviesBouldin(pts, good) >= DaviesBouldin(pts, bad) {
+		t.Error("DBI: 2 clusters should score lower (better) than 7")
+	}
+	if Silhouette(pts, good) <= Silhouette(pts, bad) {
+		t.Error("Silhouette: 2 clusters should score higher than 7")
+	}
+	if CalinskiHarabasz(pts, good) <= CalinskiHarabasz(pts, bad) {
+		t.Error("CHI: 2 clusters should score higher than 7")
+	}
+}
+
+func TestValidityDegenerate(t *testing.T) {
+	pts := []geometry.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}}
+	one := Result{Labels: []int{0, 0, 0}, K: 1}
+	if !math.IsNaN(DaviesBouldin(pts, one)) {
+		t.Error("DBI of single cluster should be NaN")
+	}
+	if !math.IsNaN(Silhouette(pts, one)) {
+		t.Error("Silhouette of single cluster should be NaN")
+	}
+	if !math.IsNaN(CalinskiHarabasz(pts, one)) {
+		t.Error("CHI of single cluster should be NaN")
+	}
+}
+
+func TestSilhouetteRange(t *testing.T) {
+	r := rng.New(17)
+	pts := twoBlobs(r, 30, 10)
+	res, err := KMeans(pts, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Silhouette(pts, res)
+	if s < -1 || s > 1 {
+		t.Errorf("silhouette %v out of [-1,1]", s)
+	}
+}
+
+func TestMembersAndNoiseCount(t *testing.T) {
+	pts := []geometry.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}, {X: 9, Y: 9}}
+	res := Result{Labels: []int{0, 0, 1, Noise}, K: 2}
+	if got := len(res.Members(pts, 0)); got != 2 {
+		t.Errorf("cluster 0 members = %d, want 2", got)
+	}
+	if got := res.NoiseCount(); got != 1 {
+		t.Errorf("noise = %d, want 1", got)
+	}
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"errors"
+
+	"github.com/acyd-lab/shatter/internal/geometry"
+)
+
+// DBSCANParams configures DBSCAN. The paper tunes MinPts (Fig 4a, optimum
+// 30) and fixes Eps = 3 ("maximum distance in between within cluster
+// samples ... the minimum number of points to create a convex hull").
+type DBSCANParams struct {
+	// Eps is the neighbourhood radius.
+	Eps float64
+	// MinPts is the minimum neighbourhood size (including the point itself)
+	// for a point to be a core point.
+	MinPts int
+}
+
+// ErrBadParams is returned for non-positive Eps or MinPts.
+var ErrBadParams = errors.New("cluster: DBSCAN requires Eps > 0 and MinPts >= 1")
+
+// DBSCAN clusters pts by density reachability. Points in no dense region
+// are labelled Noise — the property that keeps DBSCAN hulls tight around
+// habitual behaviour and makes the DBSCAN-based ADM harder to evade
+// (Section VII-A).
+//
+// The implementation is the textbook O(n²) region-query algorithm, which is
+// ample for ADM training sets (≤ tens of thousands of points) and keeps the
+// code auditable.
+func DBSCAN(pts []geometry.Point, params DBSCANParams) (Result, error) {
+	if params.Eps <= 0 || params.MinPts < 1 {
+		return Result{}, ErrBadParams
+	}
+	n := len(pts)
+	const unvisited = -2
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = unvisited
+	}
+	eps2 := params.Eps * params.Eps
+	neighbours := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if sqDist(pts[i], pts[j]) <= eps2 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		nb := neighbours(i)
+		if len(nb) < params.MinPts {
+			labels[i] = Noise
+			continue
+		}
+		// Start a new cluster and expand it breadth-first.
+		labels[i] = cluster
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == Noise {
+				labels[j] = cluster // border point
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = cluster
+			nbj := neighbours(j)
+			if len(nbj) >= params.MinPts {
+				queue = append(queue, nbj...)
+			}
+		}
+		cluster++
+	}
+	return Result{Labels: labels, K: cluster}, nil
+}

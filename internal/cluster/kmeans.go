@@ -1,0 +1,166 @@
+// Package cluster implements the two clustering algorithms the SHATTER ADM
+// is built on — K-Means (Hartigan & Wong, paper reference [22]) and DBSCAN
+// (paper reference [21]) — together with the three internal validity indices
+// used for hyperparameter tuning in Fig 4: the Davies-Bouldin index, the
+// Silhouette coefficient, and the Calinski-Harabasz index.
+//
+// All algorithms operate on 2-D points because the ADM feature space is
+// (arrival time, stay duration); the distance metric is Euclidean.
+package cluster
+
+import (
+	"errors"
+	"math"
+
+	"github.com/acyd-lab/shatter/internal/geometry"
+	"github.com/acyd-lab/shatter/internal/rng"
+)
+
+// Noise is the cluster label DBSCAN assigns to outlier points. K-Means never
+// produces Noise labels (every sample is assigned to a cluster — the exact
+// property that makes K-Means hulls larger in Fig 6 and the K-Means ADM
+// easier to evade in Table V).
+const Noise = -1
+
+// Result holds a clustering: Labels[i] is the cluster index of point i
+// (or Noise), and K is the number of clusters found.
+type Result struct {
+	Labels []int
+	K      int
+}
+
+// Members returns the points of cluster c.
+func (r Result) Members(pts []geometry.Point, c int) []geometry.Point {
+	var out []geometry.Point
+	for i, l := range r.Labels {
+		if l == c {
+			out = append(out, pts[i])
+		}
+	}
+	return out
+}
+
+// NoiseCount returns the number of points labelled Noise.
+func (r Result) NoiseCount() int {
+	n := 0
+	for _, l := range r.Labels {
+		if l == Noise {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrBadK is returned when k is out of range for the sample count.
+var ErrBadK = errors.New("cluster: k must satisfy 1 <= k <= len(points)")
+
+// KMeans clusters pts into k clusters using k-means++ seeding and Lloyd
+// iterations, stopping at convergence or maxIter. The seed makes runs
+// reproducible. Empty clusters are re-seeded from the farthest point.
+func KMeans(pts []geometry.Point, k int, seed uint64) (Result, error) {
+	const maxIter = 200
+	n := len(pts)
+	if k < 1 || k > n {
+		return Result{}, ErrBadK
+	}
+	r := rng.New(seed)
+	centroids := seedPlusPlus(pts, k, r)
+	labels := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		// Assignment step.
+		for i, p := range pts {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := sqDist(p, cen); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		// Update step.
+		sums := make([]geometry.Point, k)
+		counts := make([]int, k)
+		for i, p := range pts {
+			c := labels[i]
+			sums[c].X += p.X
+			sums[c].Y += p.Y
+			counts[c]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// current centroid assignment.
+				centroids[c] = farthestPoint(pts, centroids, labels)
+				changed = true
+				continue
+			}
+			centroids[c] = geometry.Point{
+				X: sums[c].X / float64(counts[c]),
+				Y: sums[c].Y / float64(counts[c]),
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return Result{Labels: labels, K: k}, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ strategy:
+// the first uniformly, subsequent ones proportional to squared distance
+// from the nearest chosen centroid.
+func seedPlusPlus(pts []geometry.Point, k int, r *rng.Source) []geometry.Point {
+	n := len(pts)
+	centroids := make([]geometry.Point, 0, k)
+	centroids = append(centroids, pts[r.Intn(n)])
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range pts {
+			d2[i] = math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < d2[i] {
+					d2[i] = d
+				}
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; pick uniformly.
+			centroids = append(centroids, pts[r.Intn(n)])
+			continue
+		}
+		target := r.Float64() * total
+		acc := 0.0
+		chosen := n - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= target {
+				chosen = i
+				break
+			}
+		}
+		centroids = append(centroids, pts[chosen])
+	}
+	return centroids
+}
+
+func farthestPoint(pts, centroids []geometry.Point, labels []int) geometry.Point {
+	bestD, best := -1.0, pts[0]
+	for i, p := range pts {
+		d := sqDist(p, centroids[labels[i]])
+		if d > bestD {
+			bestD, best = d, p
+		}
+	}
+	return best
+}
+
+func sqDist(a, b geometry.Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"math"
+
+	"github.com/acyd-lab/shatter/internal/geometry"
+)
+
+// Validity indices (Fig 4). All three ignore Noise-labelled points so they
+// are comparable between DBSCAN and K-Means results. Each returns NaN when
+// the clustering is degenerate for that index (fewer than 2 clusters, or a
+// cluster with fewer than 1 member), mirroring scikit-learn behaviour the
+// paper's tuning relies on.
+
+// DaviesBouldin returns the Davies-Bouldin index — the mean over clusters of
+// the worst ratio (σi + σj) / d(ci, cj). Lower is better.
+func DaviesBouldin(pts []geometry.Point, res Result) float64 {
+	cents, scatters, valid := clusterScatter(pts, res)
+	if len(valid) < 2 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, i := range valid {
+		worst := 0.0
+		for _, j := range valid {
+			if i == j {
+				continue
+			}
+			d := cents[i].Dist(cents[j])
+			if d == 0 {
+				continue
+			}
+			if r := (scatters[i] + scatters[j]) / d; r > worst {
+				worst = r
+			}
+		}
+		sum += worst
+	}
+	return sum / float64(len(valid))
+}
+
+// Silhouette returns the mean silhouette coefficient over all non-noise
+// points: (b − a) / max(a, b), with a = mean intra-cluster distance and
+// b = smallest mean distance to another cluster. Higher is better; range
+// [−1, 1].
+func Silhouette(pts []geometry.Point, res Result) float64 {
+	// Group member indices by cluster.
+	groups := make(map[int][]int)
+	for i, l := range res.Labels {
+		if l != Noise {
+			groups[l] = append(groups[l], i)
+		}
+	}
+	if len(groups) < 2 {
+		return math.NaN()
+	}
+	var total float64
+	var count int
+	for c, members := range groups {
+		for _, i := range members {
+			a := meanDistTo(pts, i, members)
+			b := math.Inf(1)
+			for oc, others := range groups {
+				if oc == c {
+					continue
+				}
+				if d := meanDistTo(pts, i, others); d < b {
+					b = d
+				}
+			}
+			if len(members) == 1 {
+				// Singleton clusters score 0 by convention.
+				count++
+				continue
+			}
+			den := math.Max(a, b)
+			if den > 0 {
+				total += (b - a) / den
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return total / float64(count)
+}
+
+// CalinskiHarabasz returns the variance-ratio criterion:
+// (between-cluster dispersion / (k−1)) / (within-cluster dispersion / (n−k)).
+// Higher is better.
+func CalinskiHarabasz(pts []geometry.Point, res Result) float64 {
+	groups := make(map[int][]int)
+	var all []int
+	for i, l := range res.Labels {
+		if l != Noise {
+			groups[l] = append(groups[l], i)
+			all = append(all, i)
+		}
+	}
+	k, n := len(groups), len(all)
+	if k < 2 || n <= k {
+		return math.NaN()
+	}
+	overall := meanOf(pts, all)
+	var between, within float64
+	for _, members := range groups {
+		c := meanOf(pts, members)
+		dc := c.Dist(overall)
+		between += float64(len(members)) * dc * dc
+		for _, i := range members {
+			d := pts[i].Dist(c)
+			within += d * d
+		}
+	}
+	if within == 0 {
+		return math.Inf(1)
+	}
+	return (between / float64(k-1)) / (within / float64(n-k))
+}
+
+// clusterScatter returns, per cluster id, the centroid and the mean distance
+// of members to the centroid, plus the list of non-empty cluster ids.
+func clusterScatter(pts []geometry.Point, res Result) (map[int]geometry.Point, map[int]float64, []int) {
+	groups := make(map[int][]int)
+	for i, l := range res.Labels {
+		if l != Noise {
+			groups[l] = append(groups[l], i)
+		}
+	}
+	cents := make(map[int]geometry.Point, len(groups))
+	scatters := make(map[int]float64, len(groups))
+	valid := make([]int, 0, len(groups))
+	for c, members := range groups {
+		cent := meanOf(pts, members)
+		var s float64
+		for _, i := range members {
+			s += pts[i].Dist(cent)
+		}
+		cents[c] = cent
+		scatters[c] = s / float64(len(members))
+		valid = append(valid, c)
+	}
+	return cents, scatters, valid
+}
+
+func meanOf(pts []geometry.Point, idx []int) geometry.Point {
+	var sx, sy float64
+	for _, i := range idx {
+		sx += pts[i].X
+		sy += pts[i].Y
+	}
+	n := float64(len(idx))
+	return geometry.Point{X: sx / n, Y: sy / n}
+}
+
+// meanDistTo returns the mean distance from point i to the points in idx,
+// excluding i itself.
+func meanDistTo(pts []geometry.Point, i int, idx []int) float64 {
+	var sum float64
+	var count int
+	for _, j := range idx {
+		if j == i {
+			continue
+		}
+		sum += pts[i].Dist(pts[j])
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}

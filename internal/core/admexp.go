@@ -1,0 +1,200 @@
+package core
+
+import (
+	"github.com/acyd-lab/shatter/internal/adm"
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/attack"
+	"github.com/acyd-lab/shatter/internal/stats"
+)
+
+// Fig4Result is the hyperparameter-tuning sweep for one ADM backend on one
+// dataset (Fig 4): validity scores per hyperparameter value.
+type Fig4Result struct {
+	Dataset   string
+	Algorithm adm.Algorithm
+	Points    []adm.TunePoint
+}
+
+// Fig4 sweeps DBSCAN MinPts and K-Means k on the HAO1 dataset.
+func (s *Suite) Fig4() ([]Fig4Result, error) {
+	train, err := s.trainSplit("A")
+	if err != nil {
+		return nil, err
+	}
+	name := aras.DatasetName("A", 0)
+	return []Fig4Result{
+		{Dataset: name, Algorithm: adm.DBSCAN, Points: adm.TuneDBSCAN(train, 0, 25, 5, 50, 5)},
+		{Dataset: name, Algorithm: adm.KMeans, Points: adm.TuneKMeans(train, 0, s.Config.Seed, 2, 40, 3)},
+	}, nil
+}
+
+// Fig5Point is one (training days, F1) measurement.
+type Fig5Point struct {
+	TrainDays int
+	F1        float64
+}
+
+// Fig5Result is the progressive-training curve for one ADM on one dataset.
+type Fig5Result struct {
+	Dataset   string
+	Occupant  int
+	House     string
+	Algorithm adm.Algorithm
+	Points    []Fig5Point
+}
+
+// Fig5 reproduces the progressive incremental performance study: ADMs
+// trained on 10/15/20/25-day prefixes, scored by F1 against BIoTA attack
+// episodes plus held-out benign episodes.
+func (s *Suite) Fig5() ([]Fig5Result, error) {
+	days := []int{10, 15, 20, 25}
+	var out []Fig5Result
+	for _, alg := range []adm.Algorithm{adm.DBSCAN, adm.KMeans} {
+		for _, house := range []string{"A", "B"} {
+			for o := range s.Houses[house].House.Occupants {
+				res := Fig5Result{
+					Dataset:   aras.DatasetName(house, o),
+					Occupant:  o,
+					House:     house,
+					Algorithm: alg,
+				}
+				for _, td := range days {
+					if td >= s.Config.Days {
+						continue
+					}
+					f1, err := s.progressiveF1(house, o, alg, td)
+					if err != nil {
+						return nil, err
+					}
+					res.Points = append(res.Points, Fig5Point{TrainDays: td, F1: f1})
+				}
+				out = append(out, res)
+			}
+		}
+	}
+	return out, nil
+}
+
+// progressiveF1 trains an ADM on a prefix and scores it on labelled
+// episodes: held-out benign days plus BIoTA-generated attack episodes.
+func (s *Suite) progressiveF1(house string, occupant int, alg adm.Algorithm, trainDays int) (float64, error) {
+	trainTr, err := s.Houses[house].SubTrace(0, trainDays)
+	if err != nil {
+		return 0, err
+	}
+	cfg := adm.DefaultConfig(alg)
+	if alg == adm.DBSCAN {
+		cfg.MinPts = maxInt(3, trainDays/5)
+		cfg.Eps = 30
+	}
+	model, err := adm.Train(trainTr, cfg)
+	if err != nil {
+		return 0, err
+	}
+	labeled, err := s.labeledEpisodes(house, occupant, model, false)
+	if err != nil {
+		return 0, err
+	}
+	return adm.Evaluate(model, labeled).F1(), nil
+}
+
+// labeledEpisodes builds the Table IV / Fig 5 evaluation set for one
+// occupant: benign episodes from the held-out days plus the injected
+// episodes of a BIoTA attack over those days. With partial knowledge the
+// attacker only alters measurements in the time windows they observed data
+// for (alternating hours), which changes the attack-sample distribution the
+// ADM is scored on — the Table IV "Partial Data" axis.
+func (s *Suite) labeledEpisodes(house string, occupant int, attackerModel *adm.Model, partial bool) ([]adm.LabeledEpisode, error) {
+	test, err := s.testSplit(house)
+	if err != nil {
+		return nil, err
+	}
+	var labeled []adm.LabeledEpisode
+	for _, e := range test.Episodes(occupant) {
+		labeled = append(labeled, adm.LabeledEpisode{Episode: e})
+	}
+	cap := attack.Full(test.House)
+	if partial {
+		cap.SlotAllowed = func(slot int) bool { return (slot/60)%2 == 0 }
+	}
+	pl := s.planner(house, attackerModel, cap)
+	pl.Trace = test
+	plan, err := pl.PlanBIoTA()
+	if err != nil {
+		return nil, err
+	}
+	for d := 0; d < test.NumDays(); d++ {
+		for _, e := range plan.DayReportedEpisodes(test, d, occupant) {
+			if e.Injected {
+				labeled = append(labeled, adm.LabeledEpisode{Episode: e.Episode, Attack: true})
+			}
+		}
+	}
+	return labeled, nil
+}
+
+// Fig6Result compares the learned cluster geometry of the two backends on
+// HAO1 (Fig 6): K-Means covers more area because it absorbs every sample.
+type Fig6Result struct {
+	Algorithm adm.Algorithm
+	Stats     adm.HullStats
+}
+
+// Fig6 reports hull statistics for both backends.
+func (s *Suite) Fig6() ([]Fig6Result, error) {
+	var out []Fig6Result
+	for _, alg := range []adm.Algorithm{adm.DBSCAN, adm.KMeans} {
+		model, err := s.trainADM("A", alg, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig6Result{Algorithm: alg, Stats: model.Stats()})
+	}
+	return out, nil
+}
+
+// TableIVRow is one row of the ADM-performance grid (Table IV).
+type TableIVRow struct {
+	Algorithm adm.Algorithm
+	Knowledge string // "All Data" or "Partial Data"
+	Dataset   string
+	Metrics   stats.Confusion
+}
+
+// TableIV evaluates both ADMs on all four datasets against BIoTA attack
+// samples generated with full or partial attacker knowledge.
+func (s *Suite) TableIV() ([]TableIVRow, error) {
+	var out []TableIVRow
+	for _, alg := range []adm.Algorithm{adm.DBSCAN, adm.KMeans} {
+		for _, partial := range []bool{false, true} {
+			knowledge := "All Data"
+			if partial {
+				knowledge = "Partial Data"
+			}
+			for _, house := range []string{"A", "B"} {
+				defender, err := s.trainADM(house, alg, false)
+				if err != nil {
+					return nil, err
+				}
+				attacker, err := s.trainADM(house, alg, partial)
+				if err != nil {
+					return nil, err
+				}
+				for o := range s.Houses[house].House.Occupants {
+					labeled, err := s.labeledEpisodes(house, o, attacker, partial)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, TableIVRow{
+						Algorithm: alg,
+						Knowledge: knowledge,
+						Dataset:   aras.DatasetName(house, o),
+						Metrics:   adm.Evaluate(defender, labeled),
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/acyd-lab/shatter/internal/adm"
+	"github.com/acyd-lab/shatter/internal/attack"
+	"github.com/acyd-lab/shatter/internal/home"
+	"github.com/acyd-lab/shatter/internal/solver"
+	"github.com/acyd-lab/shatter/internal/testbed"
+)
+
+// TableVRow is one row of the attack-cost comparison (Table V).
+type TableVRow struct {
+	Framework string // "BIoTA", "Greedy", "SHATTER"
+	ADM       string // "Rules-based", "DBSCAN", "K-Means"
+	Knowledge string // "-", "All Data", "Partial Data"
+	// CostUSD maps house name to total monthly energy cost under attack.
+	CostUSD map[string]float64
+	// DetectionRate maps house name to the defender ADM's detection rate
+	// over the injected episodes.
+	DetectionRate map[string]float64
+}
+
+// BenignCosts returns the no-attack monthly cost per house (the Table V
+// reference line; paper: $244.69 for House A).
+func (s *Suite) BenignCosts() (map[string]float64, error) {
+	out := make(map[string]float64, 2)
+	for _, house := range []string{"A", "B"} {
+		res, err := attack.EvaluateImpact(s.Houses[house], s.truthPlan(house), nil, s.controller(), s.Params, s.Pricing, attack.EvalOptions{})
+		if err != nil {
+			return nil, err
+		}
+		out[house] = res.Benign.TotalCostUSD
+	}
+	return out, nil
+}
+
+// truthPlan builds a no-op plan (reported = actual).
+func (s *Suite) truthPlan(house string) *attack.Plan {
+	pl := s.planner(house, nil, attack.Capability{})
+	plan, err := pl.PlanBIoTA() // powerless capability ⇒ pure truth
+	if err != nil {
+		// PlanBIoTA cannot fail with a powerless capability.
+		panic(fmt.Sprintf("core: truth plan: %v", err))
+	}
+	return plan
+}
+
+// TableV reproduces the BIoTA / Greedy / SHATTER cost grid. Greedy and
+// SHATTER rows are evaluated with detected days aborted (a flagged vector's
+// impact does not materialise); the BIoTA row reports its raw rule-based
+// impact plus the rate at which each clustering ADM would have caught it.
+func (s *Suite) TableV() ([]TableVRow, error) {
+	biota := TableVRow{
+		Framework:     "BIoTA",
+		ADM:           "Rules-based",
+		Knowledge:     "-",
+		CostUSD:       make(map[string]float64),
+		DetectionRate: make(map[string]float64),
+	}
+	var rows []TableVRow
+	for _, house := range []string{"A", "B"} {
+		defender, err := s.trainADM(house, adm.DBSCAN, false)
+		if err != nil {
+			return nil, err
+		}
+		pl := s.planner(house, nil, attack.Full(s.Houses[house].House))
+		plan, err := pl.PlanBIoTA()
+		if err != nil {
+			return nil, err
+		}
+		imp, err := attack.EvaluateImpact(s.Houses[house], plan, defender, s.controller(), s.Params, s.Pricing, attack.EvalOptions{})
+		if err != nil {
+			return nil, err
+		}
+		biota.CostUSD[house] = imp.Attacked.TotalCostUSD
+		biota.DetectionRate[house] = imp.DetectionRate
+	}
+	rows = append(rows, biota)
+
+	for _, framework := range []string{"Greedy", "SHATTER"} {
+		for _, alg := range []adm.Algorithm{adm.DBSCAN, adm.KMeans} {
+			for _, partial := range []bool{false, true} {
+				knowledge := "All Data"
+				if partial {
+					knowledge = "Partial Data"
+				}
+				row := TableVRow{
+					Framework:     framework,
+					ADM:           alg.String(),
+					Knowledge:     knowledge,
+					CostUSD:       make(map[string]float64),
+					DetectionRate: make(map[string]float64),
+				}
+				for _, house := range []string{"A", "B"} {
+					defender, err := s.trainADM(house, alg, false)
+					if err != nil {
+						return nil, err
+					}
+					attacker, err := s.trainADM(house, alg, partial)
+					if err != nil {
+						return nil, err
+					}
+					pl := s.planner(house, attacker, attack.Full(s.Houses[house].House))
+					var plan *attack.Plan
+					if framework == "Greedy" {
+						plan, err = pl.PlanGreedy()
+					} else {
+						plan, err = pl.PlanSHATTER()
+					}
+					if err != nil {
+						return nil, err
+					}
+					imp, err := attack.EvaluateImpact(s.Houses[house], plan, defender, s.controller(), s.Params, s.Pricing, attack.EvalOptions{AbortDetectedDays: true})
+					if err != nil {
+						return nil, err
+					}
+					row.CostUSD[house] = imp.Attacked.TotalCostUSD
+					row.DetectionRate[house] = imp.DetectionRate
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig10Result holds the appliance-triggering comparison for one house:
+// daily benign cost, attacked cost without triggering, and attacked cost
+// with triggering, plus the trigger-attributable monthly delta.
+type Fig10Result struct {
+	House          string
+	Benign         []float64
+	WithoutTrigger []float64
+	WithTrigger    []float64
+	TriggerExtra   float64
+	TriggerPct     float64
+}
+
+// Fig10 runs the DBSCAN-ADM SHATTER attack with and without the Algorithm-1
+// appliance-triggering stage.
+func (s *Suite) Fig10() ([]Fig10Result, error) {
+	var out []Fig10Result
+	for _, house := range []string{"A", "B"} {
+		res, err := s.triggerImpact(house, attack.Full(s.Houses[house].House))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *res)
+	}
+	return out, nil
+}
+
+// triggerImpact measures the triggering stage's contribution under a
+// capability.
+func (s *Suite) triggerImpact(house string, cap attack.Capability) (*Fig10Result, error) {
+	attacker, err := s.trainADM(house, adm.DBSCAN, false)
+	if err != nil {
+		return nil, err
+	}
+	pl := s.planner(house, attacker, cap)
+	plan, err := pl.PlanSHATTER()
+	if err != nil {
+		return nil, err
+	}
+	noTrig, err := attack.EvaluateImpact(s.Houses[house], plan, attacker, s.controller(), s.Params, s.Pricing, attack.EvalOptions{})
+	if err != nil {
+		return nil, err
+	}
+	attack.TriggerAppliances(s.Houses[house], plan, attacker, cap)
+	withTrig, err := attack.EvaluateImpact(s.Houses[house], plan, attacker, s.controller(), s.Params, s.Pricing, attack.EvalOptions{})
+	if err != nil {
+		return nil, err
+	}
+	extra := withTrig.Attacked.TotalCostUSD - noTrig.Attacked.TotalCostUSD
+	pct := 0.0
+	if noTrig.Attacked.TotalCostUSD > 0 {
+		pct = extra / noTrig.Attacked.TotalCostUSD * 100
+	}
+	return &Fig10Result{
+		House:          house,
+		Benign:         noTrig.Benign.DailyCostUSD,
+		WithoutTrigger: noTrig.Attacked.DailyCostUSD,
+		WithTrigger:    withTrig.Attacked.DailyCostUSD,
+		TriggerExtra:   extra,
+		TriggerPct:     pct,
+	}, nil
+}
+
+// AccessRow is one row of the capability sweeps (Tables VI and VII).
+type AccessRow struct {
+	Label string
+	// ImpactUSD maps house name to the triggering attack's added cost.
+	ImpactUSD map[string]float64
+}
+
+// TableVI sweeps zone-measurement access: all four zones, three (no
+// bathroom), and two (no bathroom or kitchen — dropping the heavy-appliance
+// zone collapses the impact, the paper's defensive insight).
+func (s *Suite) TableVI() ([]AccessRow, error) {
+	zoneSets := []struct {
+		label string
+		zones []home.ZoneID
+	}{
+		{"4 Zones", []home.ZoneID{home.Bedroom, home.Livingroom, home.Kitchen, home.Bathroom}},
+		{"3 Zones", []home.ZoneID{home.Bedroom, home.Livingroom, home.Kitchen}},
+		{"2 Zones", []home.ZoneID{home.Bedroom, home.Livingroom}},
+	}
+	var out []AccessRow
+	for _, zs := range zoneSets {
+		row := AccessRow{Label: zs.label, ImpactUSD: make(map[string]float64)}
+		for _, house := range []string{"A", "B"} {
+			cap := attack.Full(s.Houses[house].House).WithZones(zs.zones...)
+			res, err := s.triggerImpact(house, cap)
+			if err != nil {
+				return nil, err
+			}
+			row.ImpactUSD[house] = res.TriggerExtra
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// TableVII sweeps appliance-triggering access: all 13 appliances, 8, and a
+// high-wattage 3 (oven, kettle, dryer).
+func (s *Suite) TableVII() ([]AccessRow, error) {
+	sets := []struct {
+		label      string
+		appliances []int
+	}{
+		{"13 Appliances", []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}},
+		{"8 Appliances", []int{0, 1, 2, 3, 4, 10, 11, 12}},
+		{"3 Appliances", []int{0, 3, 12}},
+	}
+	var out []AccessRow
+	for _, as := range sets {
+		row := AccessRow{Label: as.label, ImpactUSD: make(map[string]float64)}
+		for _, house := range []string{"A", "B"} {
+			cap := attack.Full(s.Houses[house].House).WithAppliances(as.appliances...)
+			res, err := s.triggerImpact(house, cap)
+			if err != nil {
+				return nil, err
+			}
+			row.ImpactUSD[house] = res.TriggerExtra
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ScalePoint is one scalability measurement (Fig 11).
+type ScalePoint struct {
+	X       int
+	Elapsed time.Duration
+	Nodes   int
+}
+
+// Fig11a measures joint branch-and-bound solve time against the horizon I —
+// the exponential profile of Fig 11a. The oracle is a dense five-zone stay
+// model (every zone reachable, stays of 2..k minutes) so the search tree's
+// branching factor reflects the full schedule space rather than one
+// particular evening's habits.
+func (s *Suite) Fig11a(horizons []int) ([]ScalePoint, error) {
+	oracle := newSyntheticOracle(5)
+	zones := make([]home.ZoneID, 5)
+	for i := range zones {
+		zones[i] = home.ZoneID(i)
+	}
+	cost := func(_ int, z home.ZoneID) float64 { return float64(int(z)%7) + 0.5 }
+	var out []ScalePoint
+	for _, h := range horizons {
+		w := solver.Window{
+			StartSlot: 18 * 60, Length: h,
+			StartZone: zones[1], StartArrival: 18*60 - 3,
+			Zones: zones,
+		}
+		start := time.Now()
+		_, st, err := solver.BranchAndBound(w, oracle, cost, func(int, home.ZoneID) bool { return true },
+			solver.BBConfig{Prune: false, NodeBudget: 50_000_000})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScalePoint{X: h, Elapsed: time.Since(start), Nodes: st.NodesExpanded})
+	}
+	return out, nil
+}
+
+// Fig11b measures window-optimisation time against the number of zones
+// (horizontal scaling, lookback 10) on a synthetic oracle.
+func (s *Suite) Fig11b(zoneCounts []int) ([]ScalePoint, error) {
+	var out []ScalePoint
+	for _, n := range zoneCounts {
+		oracle := newSyntheticOracle(n)
+		zones := make([]home.ZoneID, n)
+		for i := range zones {
+			zones[i] = home.ZoneID(i)
+		}
+		w := solver.Window{
+			StartSlot: 600, Length: 10,
+			StartZone: zones[0], StartArrival: 595,
+			Zones: zones,
+		}
+		cost := func(_ int, z home.ZoneID) float64 { return float64(int(z)%7) + 0.5 }
+		start := time.Now()
+		var nodes int
+		// Repeat to get a measurable duration for small n.
+		const reps = 200
+		for r := 0; r < reps; r++ {
+			_, st, err := solver.OptimizeWindow(w, oracle, cost, func(int, home.ZoneID) bool { return true })
+			if err != nil {
+				return nil, err
+			}
+			nodes += st.NodesExpanded
+		}
+		out = append(out, ScalePoint{X: n, Elapsed: time.Since(start) / reps, Nodes: nodes / reps})
+	}
+	return out, nil
+}
+
+// syntheticOracle gives every zone a simple stay band, for zone-scaling
+// benchmarks where no trained model exists.
+type syntheticOracle struct{ n int }
+
+func newSyntheticOracle(n int) syntheticOracle { return syntheticOracle{n: n} }
+
+func (o syntheticOracle) MaxStay(_ int, z home.ZoneID, _ int) (int, bool) {
+	return 5 + int(z)%11, true
+}
+
+func (o syntheticOracle) InRangeStay(_ int, z home.ZoneID, _ int, stay int) bool {
+	return stay >= 2 && stay <= 5+int(z)%11
+}
+
+// TestbedResult wraps the Section VI validation.
+type TestbedResult = testbed.ValidationResult
+
+// Testbed runs the full scaled-testbed validation (identification error and
+// MITM attack energy increase).
+func (s *Suite) Testbed() (TestbedResult, error) {
+	return testbed.Validate(testbed.DefaultConfig())
+}
+
+func allZoneIDs(h *home.House) []home.ZoneID {
+	out := make([]home.ZoneID, 0, len(h.Zones))
+	for _, z := range h.Zones {
+		out = append(out, z.ID)
+	}
+	return out
+}
+

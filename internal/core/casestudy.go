@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/acyd-lab/shatter/internal/adm"
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/attack"
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// CaseStudySlot is one timeline column of the Table III case study.
+type CaseStudySlot struct {
+	Slot int
+	// Actual/Greedy/SHATTER are the per-occupant zones at the slot.
+	Actual  []home.ZoneID
+	Greedy  []home.ZoneID
+	SHATTER []home.ZoneID
+	// StayMin/StayMax bound the stealthy stay for each occupant's SHATTER
+	// zone given its arrival (the "Range Threshold" row); -1,-1 when the
+	// arrival is uncovered.
+	StayMin []int
+	StayMax []int
+	// Trigger is Algorithm 1's per-occupant triggering decision.
+	Trigger []bool
+}
+
+// CaseStudyResult is the Section V case study: a 10-slot evening window of
+// House A with per-strategy schedules and window cost accounting.
+type CaseStudyResult struct {
+	Day       int
+	StartSlot int
+	Slots     []CaseStudySlot
+	// Surrogate window costs (¢) per strategy summed over both occupants.
+	ActualCostCents  float64
+	GreedyCostCents  float64
+	SHATTERCostCents float64
+	// Whole-day surrogate costs (¢): the lookahead schedule may sacrifice a
+	// single window (e.g. when reality is already at peak dinner-time cost)
+	// for a better day, so the day totals are the meaningful comparison.
+	DayActualCents  float64
+	DayGreedyCents  float64
+	DaySHATTERCents float64
+}
+
+// CaseStudy reproduces Table III: the 6:00-6:09 PM window, comparing the
+// actual occupancy, the greedy schedule, and the SHATTER schedule, with the
+// ADM stay thresholds and appliance-trigger decisions.
+func (s *Suite) CaseStudy() (*CaseStudyResult, error) {
+	const start = 18 * 60 // 6:00 PM
+	const span = 10
+	house := "A"
+	day := 4
+	if day >= s.Config.Days {
+		day = s.Config.Days - 1
+	}
+	model, err := s.trainADM(house, adm.KMeans, false)
+	if err != nil {
+		return nil, err
+	}
+	tr := s.Houses[house]
+	pl := s.planner(house, model, attack.Full(tr.House))
+	greedy, err := pl.PlanGreedy()
+	if err != nil {
+		return nil, fmt.Errorf("core: case study greedy: %w", err)
+	}
+	shatter, err := pl.PlanSHATTER()
+	if err != nil {
+		return nil, fmt.Errorf("core: case study shatter: %w", err)
+	}
+	attack.TriggerAppliances(tr, shatter, model, attack.Full(tr.House))
+
+	occ := len(tr.House.Occupants)
+	res := &CaseStudyResult{Day: day, StartSlot: start}
+	for t := start; t < start+span; t++ {
+		slot := CaseStudySlot{
+			Slot:    t,
+			Actual:  make([]home.ZoneID, occ),
+			Greedy:  make([]home.ZoneID, occ),
+			SHATTER: make([]home.ZoneID, occ),
+			StayMin: make([]int, occ),
+			StayMax: make([]int, occ),
+			Trigger: make([]bool, occ),
+		}
+		for o := 0; o < occ; o++ {
+			slot.Actual[o] = tr.Days[day].Zone[o][t]
+			slot.Greedy[o] = greedy.RepZone[day][o][t]
+			slot.SHATTER[o] = shatter.RepZone[day][o][t]
+			arr := reportedArrival(shatter, day, o, t)
+			if mn, mx, ok := model.StayRange(o, slot.SHATTER[o], arr); ok {
+				slot.StayMin[o], slot.StayMax[o] = mn, mx
+			} else {
+				slot.StayMin[o], slot.StayMax[o] = -1, -1
+			}
+			// Trigger status: the reported zone is within the min-stay
+			// window of its arrival and really unoccupied (Algorithm 1).
+			if slot.SHATTER[o].Conditioned() {
+				thresh := 0
+				if mn, ok := model.MinStay(o, slot.SHATTER[o], arr); ok {
+					thresh = mn
+				}
+				if t-arr <= thresh && !actuallyOccupied(tr, day, t, slot.SHATTER[o]) {
+					slot.Trigger[o] = true
+				}
+			}
+		}
+		res.Slots = append(res.Slots, slot)
+	}
+	// Window and whole-day surrogate costs in cents.
+	for o := 0; o < occ; o++ {
+		cost := pl.CostFnFor(day, o)
+		for t := start; t < start+span; t++ {
+			res.ActualCostCents += cost(t, tr.Days[day].Zone[o][t]) * 100
+			res.GreedyCostCents += cost(t, greedy.RepZone[day][o][t]) * 100
+			res.SHATTERCostCents += cost(t, shatter.RepZone[day][o][t]) * 100
+		}
+		for t := 0; t < aras.SlotsPerDay; t++ {
+			res.DayActualCents += cost(t, tr.Days[day].Zone[o][t]) * 100
+			res.DayGreedyCents += cost(t, greedy.RepZone[day][o][t]) * 100
+			res.DaySHATTERCents += cost(t, shatter.RepZone[day][o][t]) * 100
+		}
+	}
+	return res, nil
+}
+
+// reportedArrival scans back through the reported stream to the stay start.
+func reportedArrival(p *attack.Plan, day, occupant, slot int) int {
+	zones := p.RepZone[day][occupant]
+	z := zones[slot]
+	for slot > 0 && zones[slot-1] == z {
+		slot--
+	}
+	return slot
+}
+
+func actuallyOccupied(tr *aras.Trace, day, slot int, z home.ZoneID) bool {
+	for o := range tr.Days[day].Zone {
+		if tr.Days[day].Zone[o][slot] == z {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,162 @@
+// Package core orchestrates the full SHATTER reproduction: it owns the
+// generated ARAS-style datasets and exposes one typed experiment per table
+// and figure of the paper's evaluation (see DESIGN.md §4 for the index).
+// The cmd/experiments binary and the repository's benchmark harness are
+// thin wrappers over this package.
+package core
+
+import (
+	"fmt"
+
+	"github.com/acyd-lab/shatter/internal/adm"
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/attack"
+	"github.com/acyd-lab/shatter/internal/home"
+	"github.com/acyd-lab/shatter/internal/hvac"
+)
+
+// SuiteConfig parameterises a reproduction run.
+type SuiteConfig struct {
+	// Days is the trace length (paper: 30). Shorter values speed up
+	// exploratory runs.
+	Days int
+	// TrainDays is the ADM training prefix (the rest is the test split).
+	TrainDays int
+	// Seed fixes the synthetic datasets.
+	Seed uint64
+	// WindowLen is the attack optimisation horizon I (paper: 10).
+	WindowLen int
+}
+
+// DefaultSuiteConfig mirrors the paper's setup.
+func DefaultSuiteConfig() SuiteConfig {
+	return SuiteConfig{Days: 30, TrainDays: 25, Seed: 20230427, WindowLen: 10}
+}
+
+// Suite holds the generated worlds and shared parameters.
+type Suite struct {
+	Config  SuiteConfig
+	Params  hvac.Params
+	Pricing hvac.Pricing
+	// Houses maps "A"/"B" to the generated traces.
+	Houses map[string]*aras.Trace
+}
+
+// NewSuite generates both houses' traces.
+func NewSuite(cfg SuiteConfig) (*Suite, error) {
+	if cfg.Days < 2 || cfg.TrainDays < 1 || cfg.TrainDays >= cfg.Days {
+		return nil, fmt.Errorf("core: need Days >= 2 and 1 <= TrainDays < Days, got %d/%d", cfg.TrainDays, cfg.Days)
+	}
+	if cfg.WindowLen <= 0 {
+		cfg.WindowLen = 10
+	}
+	s := &Suite{
+		Config:  cfg,
+		Params:  hvac.DefaultParams(),
+		Pricing: hvac.DefaultPricing(),
+		Houses:  make(map[string]*aras.Trace, 2),
+	}
+	for i, name := range []string{"A", "B"} {
+		h, err := home.NewHouse(name)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := aras.Generate(h, aras.GeneratorConfig{Days: cfg.Days, Seed: cfg.Seed + uint64(i)})
+		if err != nil {
+			return nil, fmt.Errorf("core: generate house %s: %w", name, err)
+		}
+		s.Houses[name] = tr
+	}
+	return s, nil
+}
+
+// trainSplit returns the training prefix of a house's trace.
+func (s *Suite) trainSplit(house string) (*aras.Trace, error) {
+	return s.Houses[house].SubTrace(0, s.Config.TrainDays)
+}
+
+// testSplit returns the held-out suffix.
+func (s *Suite) testSplit(house string) (*aras.Trace, error) {
+	return s.Houses[house].SubTrace(s.Config.TrainDays, s.Config.Days)
+}
+
+// trainADM fits an ADM of the given algorithm on a house's training split.
+// Partial-knowledge attacker models train on only the first half of the
+// training days (Section VII's "partial data").
+func (s *Suite) trainADM(house string, alg adm.Algorithm, partial bool) (*adm.Model, error) {
+	end := s.Config.TrainDays
+	if partial {
+		end = (s.Config.TrainDays + 1) / 2
+	}
+	tr, err := s.Houses[house].SubTrace(0, end)
+	if err != nil {
+		return nil, err
+	}
+	cfg := adm.DefaultConfig(alg)
+	if alg == adm.DBSCAN {
+		// Scale the density threshold with the training length so short
+		// exploratory runs still form clusters: roughly one fifth of the
+		// days must support a habit before it counts.
+		cfg.MinPts = maxInt(3, end/5)
+		cfg.Eps = 30
+	}
+	return adm.Train(tr, cfg)
+}
+
+// planner builds an attack planner against a house with the given attacker
+// model and capability.
+func (s *Suite) planner(house string, model *adm.Model, cap attack.Capability) *attack.Planner {
+	tr := s.Houses[house]
+	return &attack.Planner{
+		Trace:     tr,
+		Model:     model,
+		Cost:      hvac.NewCostModel(tr.House, s.Params, s.Pricing),
+		Cap:       cap,
+		WindowLen: s.Config.WindowLen,
+	}
+}
+
+// controller returns the SHATTER DCHVAC controller under the suite params.
+func (s *Suite) controller() hvac.Controller {
+	return &hvac.SHATTERController{Params: s.Params}
+}
+
+// Fig3Result is one house's controller-cost comparison (Fig 3): the daily
+// cost series under the ASHRAE baseline and the activity-aware SHATTER
+// controller, plus the monthly saving.
+type Fig3Result struct {
+	House      string
+	ASHRAE     []float64
+	SHATTER    []float64
+	SavingsPct float64
+}
+
+// Fig3 reproduces the Fig 3 controller comparison for both houses.
+func (s *Suite) Fig3() ([]Fig3Result, error) {
+	var out []Fig3Result
+	for _, house := range []string{"A", "B"} {
+		tr := s.Houses[house]
+		shatter, err := hvac.Simulate(tr, s.controller(), s.Params, s.Pricing, hvac.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("core: fig3 %s shatter: %w", house, err)
+		}
+		ashrae, err := hvac.Simulate(tr, hvac.NewASHRAEController(s.Params, tr.House), s.Params, s.Pricing, hvac.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("core: fig3 %s ashrae: %w", house, err)
+		}
+		out = append(out, Fig3Result{
+			House:      house,
+			ASHRAE:     ashrae.DailyCostUSD,
+			SHATTER:    shatter.DailyCostUSD,
+			SavingsPct: (1 - shatter.TotalCostUSD/ashrae.TotalCostUSD) * 100,
+		})
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,303 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/acyd-lab/shatter/internal/rng"
+)
+
+func TestConvexHullEmpty(t *testing.T) {
+	if _, err := ConvexHull(nil); err == nil {
+		t.Fatal("expected error for empty point set")
+	}
+}
+
+func TestConvexHullSinglePoint(t *testing.T) {
+	h, err := ConvexHull([]Point{{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Vertices) != 1 {
+		t.Fatalf("got %d vertices, want 1", len(h.Vertices))
+	}
+	if !h.Contains(Point{3, 4}) {
+		t.Error("degenerate hull must contain its point")
+	}
+	if h.Contains(Point{3, 5}) {
+		t.Error("degenerate hull must not contain other points")
+	}
+	if h.Area() != 0 {
+		t.Errorf("point hull area = %v, want 0", h.Area())
+	}
+}
+
+func TestConvexHullCollinear(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	h, err := ConvexHull(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Vertices) != 2 {
+		t.Fatalf("collinear hull has %d vertices, want 2", len(h.Vertices))
+	}
+	if !h.Contains(Point{1.5, 1.5}) {
+		t.Error("collinear hull should contain interior point of the segment")
+	}
+	if h.Contains(Point{1.5, 1.6}) {
+		t.Error("collinear hull should not contain off-segment point")
+	}
+	if h.Area() != 0 {
+		t.Errorf("segment hull area = %v, want 0", h.Area())
+	}
+}
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{{0, 0}, {2, 0}, {2, 2}, {0, 2}, {1, 1}, {0.5, 0.5}}
+	h, err := ConvexHull(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Vertices) != 4 {
+		t.Fatalf("square hull has %d vertices, want 4", len(h.Vertices))
+	}
+	if got := h.Area(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("area = %v, want 4", got)
+	}
+	if got := h.Perimeter(); math.Abs(got-8) > 1e-12 {
+		t.Errorf("perimeter = %v, want 8", got)
+	}
+	for _, p := range pts {
+		if !h.Contains(p) {
+			t.Errorf("hull should contain input point %v", p)
+		}
+	}
+	outside := []Point{{-0.1, 1}, {2.1, 1}, {1, -0.1}, {1, 2.1}, {3, 3}}
+	for _, p := range outside {
+		if h.Contains(p) {
+			t.Errorf("hull should not contain %v", p)
+		}
+	}
+}
+
+func TestConvexHullCCWOrientation(t *testing.T) {
+	pts := []Point{{0, 0}, {4, 0}, {4, 3}, {0, 3}, {2, 1}}
+	h, err := ConvexHull(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every consecutive triple must turn left (CCW).
+	n := len(h.Vertices)
+	for i := 0; i < n; i++ {
+		a, b, c := h.Vertices[i], h.Vertices[(i+1)%n], h.Vertices[(i+2)%n]
+		if Cross(a, b, c) <= 0 {
+			t.Fatalf("vertices not CCW at %d: %v %v %v", i, a, b, c)
+		}
+	}
+}
+
+func TestContainsDuplicatePoints(t *testing.T) {
+	pts := []Point{{1, 1}, {1, 1}, {1, 1}, {2, 2}, {2, 2}}
+	h, err := ConvexHull(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Vertices) != 2 {
+		t.Fatalf("got %d vertices, want 2 after dedup", len(h.Vertices))
+	}
+}
+
+func TestYRangeAtX(t *testing.T) {
+	// Triangle with apex at (1,2), base from (0,0) to (2,0).
+	h, err := ConvexHull([]Point{{0, 0}, {2, 0}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, ok := h.YRangeAtX(1)
+	if !ok {
+		t.Fatal("expected intersection at x=1")
+	}
+	if math.Abs(lo-0) > 1e-9 || math.Abs(hi-2) > 1e-9 {
+		t.Errorf("y-range at x=1 = [%v,%v], want [0,2]", lo, hi)
+	}
+	lo, hi, ok = h.YRangeAtX(0.5)
+	if !ok {
+		t.Fatal("expected intersection at x=0.5")
+	}
+	if math.Abs(lo-0) > 1e-9 || math.Abs(hi-1) > 1e-9 {
+		t.Errorf("y-range at x=0.5 = [%v,%v], want [0,1]", lo, hi)
+	}
+	if _, _, ok := h.YRangeAtX(5); ok {
+		t.Error("x=5 should not intersect the hull")
+	}
+}
+
+func TestYRangeAtXVerticalEdge(t *testing.T) {
+	h, err := ConvexHull([]Point{{0, 0}, {0, 3}, {2, 0}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, ok := h.YRangeAtX(0)
+	if !ok || math.Abs(lo) > 1e-9 || math.Abs(hi-3) > 1e-9 {
+		t.Errorf("vertical edge y-range = [%v,%v] ok=%v, want [0,3] true", lo, hi, ok)
+	}
+}
+
+func TestSegmentPredicates(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{1, 0}}
+	if !s.LeftOfLineSegment(Point{0.5, 1}) {
+		t.Error("point above rightward segment should be left")
+	}
+	if s.LeftOfLineSegment(Point{0.5, -1}) {
+		t.Error("point below rightward segment should not be left")
+	}
+	if !s.LeftOrOn(Point{0.5, 0}) {
+		t.Error("point on the segment line should satisfy LeftOrOn")
+	}
+}
+
+func TestBoundingBoxAndCentroid(t *testing.T) {
+	h, err := ConvexHull([]Point{{0, 0}, {4, 0}, {4, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minX, minY, maxX, maxY := h.BoundingBox()
+	if minX != 0 || minY != 0 || maxX != 4 || maxY != 2 {
+		t.Errorf("bbox = (%v,%v,%v,%v), want (0,0,4,2)", minX, minY, maxX, maxY)
+	}
+	c := h.Centroid()
+	if math.Abs(c.X-2) > 1e-9 || math.Abs(c.Y-1) > 1e-9 {
+		t.Errorf("centroid = %v, want (2,1)", c)
+	}
+}
+
+// Property: a hull contains all of its input points.
+func TestPropertyHullContainsInputs(t *testing.T) {
+	src := rng.New(42)
+	f := func(seed uint64) bool {
+		r := rng.New(seed ^ src.Uint64())
+		n := 3 + r.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{r.Range(0, 1440), r.Range(0, 480)}
+		}
+		h, err := ConvexHull(pts)
+		if err != nil {
+			return false
+		}
+		for _, p := range pts {
+			if !h.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hull is invariant under permutation of the input order.
+func TestPropertyHullOrderInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(25)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{r.Range(-100, 100), r.Range(-100, 100)}
+		}
+		h1, err := ConvexHull(pts)
+		if err != nil {
+			return false
+		}
+		shuffled := make([]Point, n)
+		copy(shuffled, pts)
+		r.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		h2, err := ConvexHull(shuffled)
+		if err != nil {
+			return false
+		}
+		if len(h1.Vertices) != len(h2.Vertices) {
+			return false
+		}
+		return math.Abs(h1.Area()-h2.Area()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the centroid of the hull vertices is contained in the hull
+// (convexity), for non-degenerate hulls.
+func TestPropertyCentroidInside(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(30)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{r.Range(0, 50), r.Range(0, 50)}
+		}
+		h, err := ConvexHull(pts)
+		if err != nil || len(h.Vertices) < 3 {
+			return true // degenerate, skip
+		}
+		return h.Contains(h.Centroid())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: YRangeAtX is consistent with Contains — midpoints of the
+// reported interval are inside; points just outside the interval are not.
+func TestPropertyYRangeConsistent(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(20)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{r.Range(0, 100), r.Range(0, 100)}
+		}
+		h, err := ConvexHull(pts)
+		if err != nil || len(h.Vertices) < 3 {
+			return true
+		}
+		minX, _, maxX, _ := h.BoundingBox()
+		x := r.Range(minX, maxX)
+		lo, hi, ok := h.YRangeAtX(x)
+		if !ok {
+			return true
+		}
+		mid := (lo + hi) / 2
+		if !h.Contains(Point{x, mid}) {
+			return false
+		}
+		if hi-lo > 1 {
+			if h.Contains(Point{x, hi + 1}) || h.Contains(Point{x, lo - 1}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistToSegment(t *testing.T) {
+	tests := []struct {
+		p, a, b Point
+		want    float64
+	}{
+		{Point{0, 1}, Point{0, 0}, Point{2, 0}, 1},
+		{Point{3, 0}, Point{0, 0}, Point{2, 0}, 1},
+		{Point{-1, 0}, Point{0, 0}, Point{2, 0}, 1},
+		{Point{1, 0}, Point{1, 0}, Point{1, 0}, 0}, // degenerate segment
+	}
+	for i, tc := range tests {
+		if got := distToSegment(tc.p, tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("case %d: distToSegment = %v, want %v", i, got, tc.want)
+		}
+	}
+}

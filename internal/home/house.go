@@ -1,0 +1,178 @@
+package home
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Occupant describes one resident. The demographics factor scales the
+// per-MET CO2/heat rates (Persily & de Jonge observe, e.g., a middle-aged
+// man generating roughly twice an infant's pollutants — Section II
+// reason 3).
+type Occupant struct {
+	ID   int
+	Name string
+	// Demographics scales physiological generation rates (1.0 = average
+	// adult).
+	Demographics float64
+}
+
+// Appliance describes one smart appliance.
+type Appliance struct {
+	ID   int
+	Name string
+	// Zone is where the appliance is installed (D_{z,d} in the paper).
+	Zone ZoneID
+	// PowerW is the electrical draw when on (P^PC_d).
+	PowerW float64
+	// HeatFraction is the fraction of PowerW radiated as sensible heat into
+	// the zone (P^HRF_d; e.g. LED lighting radiates ≈12% — paper ref [34]).
+	HeatFraction float64
+	// VoiceTriggerable reports whether the appliance can be activated via
+	// (inaudible) voice commands — the appliance-triggering attack surface.
+	VoiceTriggerable bool
+}
+
+// HeatW returns the appliance's sensible heat contribution in watts when on.
+func (a Appliance) HeatW() float64 { return a.PowerW * a.HeatFraction }
+
+// House is a complete home configuration: geometry, residents, appliances.
+type House struct {
+	Name       string
+	Zones      []Zone
+	Occupants  []Occupant
+	Appliances []Appliance
+
+	// activityAppliances[activity] lists appliance indices habitually used
+	// during that activity in this house.
+	activityAppliances [NumActivities][]int
+}
+
+// ErrUnknownHouse is returned by NewHouse for unrecognised names.
+var ErrUnknownHouse = errors.New("home: unknown house (want \"A\" or \"B\")")
+
+// NewHouse constructs one of the two ARAS-style houses. House A is the
+// larger apartment with two working-age adults; House B is smaller with one
+// adult away most of the day, which is why the paper's House B costs run
+// lower across Tables V-VII.
+func NewHouse(name string) (*House, error) {
+	switch name {
+	case "A", "a":
+		return houseA(), nil
+	case "B", "b":
+		return houseB(), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHouse, name)
+	}
+}
+
+// MustHouse is NewHouse for the two known names; it panics on programmer
+// error and exists for tests and examples.
+func MustHouse(name string) *House {
+	h, err := NewHouse(name)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func standardZones(scale float64) []Zone {
+	return []Zone{
+		{ID: Outside, Name: "Outside", VolumeFt3: 0, AreaFt2: 0, MaxOccupancy: 1 << 20},
+		{ID: Bedroom, Name: "Bedroom", VolumeFt3: 1080 * scale, AreaFt2: 120 * scale, MaxOccupancy: 3},
+		{ID: Livingroom, Name: "Livingroom", VolumeFt3: 1620 * scale, AreaFt2: 180 * scale, MaxOccupancy: 6},
+		{ID: Kitchen, Name: "Kitchen", VolumeFt3: 972 * scale, AreaFt2: 108 * scale, MaxOccupancy: 4},
+		{ID: Bathroom, Name: "Bathroom", VolumeFt3: 486 * scale, AreaFt2: 54 * scale, MaxOccupancy: 2},
+	}
+}
+
+// standardAppliances returns the 13-appliance fit-out used by Table VII.
+func standardAppliances() []Appliance {
+	return []Appliance{
+		{ID: 0, Name: "Oven", Zone: Kitchen, PowerW: 2000, HeatFraction: 0.35, VoiceTriggerable: true},
+		{ID: 1, Name: "Microwave", Zone: Kitchen, PowerW: 1100, HeatFraction: 0.25, VoiceTriggerable: true},
+		{ID: 2, Name: "Dishwasher", Zone: Kitchen, PowerW: 1200, HeatFraction: 0.30, VoiceTriggerable: true},
+		{ID: 3, Name: "Kettle", Zone: Kitchen, PowerW: 1500, HeatFraction: 0.40, VoiceTriggerable: true},
+		{ID: 4, Name: "CoffeeMaker", Zone: Kitchen, PowerW: 900, HeatFraction: 0.35, VoiceTriggerable: true},
+		{ID: 5, Name: "TV", Zone: Livingroom, PowerW: 150, HeatFraction: 0.90, VoiceTriggerable: true},
+		{ID: 6, Name: "Stereo", Zone: Livingroom, PowerW: 80, HeatFraction: 0.90, VoiceTriggerable: true},
+		{ID: 7, Name: "Computer", Zone: Livingroom, PowerW: 200, HeatFraction: 0.90, VoiceTriggerable: true},
+		{ID: 8, Name: "GameConsole", Zone: Livingroom, PowerW: 120, HeatFraction: 0.90, VoiceTriggerable: true},
+		{ID: 9, Name: "BedroomTV", Zone: Bedroom, PowerW: 100, HeatFraction: 0.90, VoiceTriggerable: true},
+		{ID: 10, Name: "HairDryer", Zone: Bathroom, PowerW: 1200, HeatFraction: 0.60, VoiceTriggerable: true},
+		{ID: 11, Name: "Washer", Zone: Bathroom, PowerW: 500, HeatFraction: 0.30, VoiceTriggerable: true},
+		{ID: 12, Name: "Dryer", Zone: Bathroom, PowerW: 1800, HeatFraction: 0.40, VoiceTriggerable: true},
+	}
+}
+
+// linkActivities wires the activity→appliance relationships for the
+// standard fit-out.
+func (h *House) linkActivities() {
+	link := map[ActivityID][]int{
+		PreparingBreakfast: {3, 4},     // kettle, coffee maker
+		PreparingLunch:     {1},        // microwave
+		PreparingDinner:    {0, 1},     // oven, microwave
+		WashingDishes:      {2},        // dishwasher
+		WatchingTV:         {5},        // tv
+		ListeningToMusic:   {6},        // stereo
+		UsingInternet:      {7},        // computer
+		Studying:           {7},        // computer
+		Laundry:            {11, 12},   // washer, dryer
+		Shaving:            {10},       // hair dryer (grooming)
+		HavingGuest:        {5},        // tv
+	}
+	for act, appls := range link {
+		h.activityAppliances[act] = appls
+	}
+}
+
+// AppliancesForActivity returns the appliance indices habitually on during
+// the activity (empty for activities that use none).
+func (h *House) AppliancesForActivity(a ActivityID) []int {
+	if a < 0 || int(a) >= NumActivities {
+		return nil
+	}
+	return h.activityAppliances[a]
+}
+
+// AppliancesInZone returns the indices of appliances installed in zone z.
+func (h *House) AppliancesInZone(z ZoneID) []int {
+	var out []int
+	for i, a := range h.Appliances {
+		if a.Zone == z {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Zone returns the zone with the given id.
+func (h *House) Zone(id ZoneID) Zone { return h.Zones[id] }
+
+func houseA() *House {
+	h := &House{
+		Name:  "A",
+		Zones: standardZones(1.0),
+		Occupants: []Occupant{
+			{ID: 0, Name: "Alice", Demographics: 1.0},
+			{ID: 1, Name: "Bob", Demographics: 1.15},
+		},
+		Appliances: standardAppliances(),
+	}
+	h.linkActivities()
+	return h
+}
+
+func houseB() *House {
+	h := &House{
+		Name:  "B",
+		Zones: standardZones(0.8),
+		Occupants: []Occupant{
+			{ID: 0, Name: "Carol", Demographics: 0.9},
+			{ID: 1, Name: "Dave", Demographics: 1.1},
+		},
+		Appliances: standardAppliances(),
+	}
+	h.linkActivities()
+	return h
+}

@@ -1,0 +1,70 @@
+package hvac
+
+import (
+	"errors"
+
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// ErrBadDay is returned for out-of-range day indices.
+var ErrBadDay = errors.New("hvac: day index out of range")
+
+// BelievedCO2Series computes the zone-CO2 trajectory implied by a view's
+// occupancy under the controller's fresh-air actuation — the measurement
+// series a stealthy FDI attacker must make the CO2 sensors report so the
+// Eq 14 consistency constraint holds. Indexing: series[slot][zone].
+//
+// Unlike Simulate (whose plant evolves from ground truth), the generation
+// term here comes from the view itself: the attacker fabricates a
+// self-consistent world.
+func BelievedCO2Series(trace *aras.Trace, view View, ctrl Controller, params Params, day int) ([][]float64, error) {
+	if day < 0 || day >= trace.NumDays() {
+		return nil, ErrBadDay
+	}
+	house := trace.House
+	w := trace.Weather[day]
+	nz := len(house.Zones)
+	zoneCO2 := make([]float64, nz)
+	for zi := range zoneCO2 {
+		zoneCO2[zi] = w.CO2PPM[0]
+	}
+	series := make([][]float64, aras.SlotsPerDay)
+	for t := 0; t < aras.SlotsPerDay; t++ {
+		cond := ZoneConditions{
+			OutdoorTempF:  w.TempF[t],
+			OutdoorCO2PPM: w.CO2PPM[t],
+			ZoneCO2PPM:    zoneCO2,
+		}
+		demands := ctrl.Plan(house, view, day, t, cond)
+		// Generation from the believed occupancy.
+		gen := make([]float64, nz)
+		for o, ob := range view.Occupants(day, t) {
+			if !ob.Zone.Conditioned() {
+				continue
+			}
+			demo := house.Occupants[o].Demographics
+			act := home.ActivityByID(ob.Activity)
+			gen[ob.Zone] += act.CO2Ft3PerMin(demo)
+		}
+		for zi := range house.Zones {
+			z := house.Zones[zi]
+			if !z.ID.Conditioned() || z.VolumeFt3 <= 0 {
+				continue
+			}
+			r := 0.0
+			if zi < len(demands) {
+				r = demands[zi].FreshCFM * SlotMinutes / z.VolumeFt3
+			}
+			if r > 1 {
+				r = 1
+			}
+			genPPM := gen[zi] * SlotMinutes / z.VolumeFt3 * 1e6
+			zoneCO2[zi] = (1-r)*zoneCO2[zi] + r*w.CO2PPM[t] + genPPM
+		}
+		snapshot := make([]float64, nz)
+		copy(snapshot, zoneCO2)
+		series[t] = snapshot
+	}
+	return series, nil
+}

@@ -1,0 +1,271 @@
+package hvac
+
+import (
+	"errors"
+	"math"
+
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// TraceView is the benign View: the controller's beliefs equal ground truth.
+type TraceView struct {
+	Trace *aras.Trace
+}
+
+var _ View = (*TraceView)(nil)
+
+// Occupants implements View.
+func (v *TraceView) Occupants(day, slot int) []OccupantObs {
+	d := v.Trace.Days[day]
+	obs := make([]OccupantObs, len(d.Zone))
+	for o := range d.Zone {
+		obs[o] = OccupantObs{Zone: d.Zone[o][slot], Activity: d.Act[o][slot]}
+	}
+	return obs
+}
+
+// ApplianceOn implements View.
+func (v *TraceView) ApplianceOn(day, slot, appliance int) bool {
+	return v.Trace.Days[day].Appliance[appliance][slot]
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// View supplies controller beliefs; nil means the benign TraceView.
+	View View
+	// ActualApplianceOn reports the true status of an appliance (actual
+	// electrical draw). Nil means the trace's recorded statuses. Attacks
+	// that really trigger appliances override this.
+	ActualApplianceOn func(day, slot, appliance int) bool
+}
+
+// Result aggregates a simulation.
+type Result struct {
+	Controller string
+	// DailyCostUSD and DailyKWh are per-day totals.
+	DailyCostUSD []float64
+	DailyKWh     []float64
+	// Energy decomposition over the whole run.
+	CoilKWh      float64
+	FanKWh       float64
+	ApplianceKWh float64
+	BaseKWh      float64
+	// ZoneCoilKWh attributes coil+fan energy to zones.
+	ZoneCoilKWh []float64
+	// TotalCostUSD and TotalKWh are run totals.
+	TotalCostUSD float64
+	TotalKWh     float64
+}
+
+// ErrEmptyTrace is returned when the trace has no days.
+var ErrEmptyTrace = errors.New("hvac: empty trace")
+
+// Simulate runs the controller over the full trace and returns cost/energy
+// accounting per Eqs 3-4. The plant CO2 state evolves from ground-truth
+// occupancy and the delivered fresh airflow; the controller acts on the
+// (possibly falsified) View.
+func Simulate(trace *aras.Trace, ctrl Controller, params Params, pricing Pricing, opts Options) (Result, error) {
+	if trace.NumDays() == 0 {
+		return Result{}, ErrEmptyTrace
+	}
+	if err := params.Validate(); err != nil {
+		return Result{}, err
+	}
+	view := opts.View
+	if view == nil {
+		view = &TraceView{Trace: trace}
+	}
+	actualAppl := opts.ActualApplianceOn
+	if actualAppl == nil {
+		actualAppl = func(day, slot, a int) bool {
+			return trace.Days[day].Appliance[a][slot]
+		}
+	}
+	house := trace.House
+	res := Result{
+		Controller:   ctrl.Name(),
+		DailyCostUSD: make([]float64, trace.NumDays()),
+		DailyKWh:     make([]float64, trace.NumDays()),
+		ZoneCoilKWh:  make([]float64, len(house.Zones)),
+	}
+	zoneCO2 := make([]float64, len(house.Zones))
+	for d := 0; d < trace.NumDays(); d++ {
+		w := trace.Weather[d]
+		for zi := range zoneCO2 {
+			if zoneCO2[zi] == 0 {
+				zoneCO2[zi] = w.CO2PPM[0]
+			}
+		}
+		peakKWh := 0.0
+		for t := 0; t < aras.SlotsPerDay; t++ {
+			cond := ZoneConditions{
+				OutdoorTempF:  w.TempF[t],
+				OutdoorCO2PPM: w.CO2PPM[t],
+				ZoneCO2PPM:    zoneCO2,
+			}
+			demands := ctrl.Plan(house, view, d, t, cond)
+			// Energy: coil on the fresh/return mix (Eq 3) plus fan power.
+			var slotW float64
+			for zi, dem := range demands {
+				if dem.SupplyCFM <= 0 {
+					continue
+				}
+				tMix := mixedAirTempF(dem, w.TempF[t], params.ZoneSetpointF)
+				coilW := dem.SupplyCFM * math.Max(0, tMix-params.SupplyAirTempF) * SensibleHeatFactor
+				fanW := dem.SupplyCFM * params.FanWPerCFM
+				slotW += coilW + fanW
+				kwh := (coilW + fanW) * SlotMinutes / 60000
+				res.CoilKWh += coilW * SlotMinutes / 60000
+				res.FanKWh += fanW * SlotMinutes / 60000
+				res.ZoneCoilKWh[zi] += kwh
+			}
+			// Appliance and base loads (actual draw).
+			for ai, appl := range house.Appliances {
+				if actualAppl(d, t, ai) {
+					slotW += appl.PowerW
+					res.ApplianceKWh += appl.PowerW * SlotMinutes / 60000
+				}
+			}
+			slotW += params.BaseLoadW
+			res.BaseKWh += params.BaseLoadW * SlotMinutes / 60000
+
+			slotKWh := slotW * SlotMinutes / 60000
+			rate := pricing.RateAt(t, peakKWh)
+			if pricing.InPeak(t) {
+				peakKWh += slotKWh
+			}
+			res.DailyKWh[d] += slotKWh
+			res.DailyCostUSD[d] += slotKWh * rate
+
+			// Plant CO2 mass balance from ground truth occupancy and the
+			// delivered fresh air.
+			stepZoneCO2(trace, params, d, t, demands, w, zoneCO2)
+		}
+		res.TotalCostUSD += res.DailyCostUSD[d]
+		res.TotalKWh += res.DailyKWh[d]
+	}
+	return res, nil
+}
+
+// mixedAirTempF returns the AHU mixing-chamber temperature for a demand:
+// the fresh fraction at outdoor temperature, the rest at return (zone
+// setpoint) temperature.
+func mixedAirTempF(dem Demand, outdoorF, returnF float64) float64 {
+	if dem.SupplyCFM <= 0 {
+		return returnF
+	}
+	frac := dem.FreshCFM / dem.SupplyCFM
+	frac = math.Max(0, math.Min(1, frac))
+	return frac*outdoorF + (1-frac)*returnF
+}
+
+// stepZoneCO2 advances each conditioned zone's CO2 with the Eq 1 mass
+// balance using ground-truth generation and delivered fresh airflow.
+func stepZoneCO2(trace *aras.Trace, params Params, day, slot int, demands []Demand, w aras.Weather, zoneCO2 []float64) {
+	house := trace.House
+	gen := make([]float64, len(house.Zones))
+	dd := trace.Days[day]
+	for o := range dd.Zone {
+		z := dd.Zone[o][slot]
+		if !z.Conditioned() {
+			continue
+		}
+		demo := house.Occupants[o].Demographics
+		act := home.ActivityByID(dd.Act[o][slot])
+		gen[z] += act.CO2Ft3PerMin(demo)
+	}
+	for zi := range house.Zones {
+		z := house.Zones[zi]
+		if !z.ID.Conditioned() || z.VolumeFt3 <= 0 {
+			continue
+		}
+		r := 0.0
+		if zi < len(demands) {
+			r = demands[zi].FreshCFM * SlotMinutes / z.VolumeFt3
+		}
+		r = math.Min(r, 1)
+		genPPM := gen[zi] * SlotMinutes / z.VolumeFt3 * 1e6
+		zoneCO2[zi] = (1-r)*zoneCO2[zi] + r*w.CO2PPM[slot] + genPPM
+	}
+}
+
+// CostModel precomputes per-slot marginal costs the attack optimiser uses
+// as its additive surrogate objective: the $ cost of one believed occupant
+// conducting an activity in a zone for one minute, and of one triggered
+// appliance running for one minute. Exact attack costs are re-evaluated
+// with Simulate after scheduling (Section V's case-study accounting).
+type CostModel struct {
+	house   *home.House
+	params  Params
+	pricing Pricing
+}
+
+// NewCostModel builds a CostModel.
+func NewCostModel(house *home.House, params Params, pricing Pricing) *CostModel {
+	return &CostModel{house: house, params: params, pricing: pricing}
+}
+
+// OccupantSlotCost returns the marginal per-minute USD cost of a believed
+// occupant in zone z performing activity act at slot (minute-of-day),
+// assuming the zone is otherwise unconditioned (so the envelope load
+// activates with the occupant). Outdoor temperature defaults to the design
+// summer mean when weather is nil.
+func (m *CostModel) OccupantSlotCost(occupant int, z home.ZoneID, act home.ActivityID, slot int, outdoorF float64) float64 {
+	if !z.Conditioned() {
+		return 0
+	}
+	p := m.params
+	zone := m.house.Zone(z)
+	demo := m.house.Occupants[occupant].Demographics
+	a := home.ActivityByID(act)
+	heat := a.HeatW(demo) + p.EnvelopeUAWPerF2*zone.AreaFt2*math.Max(0, outdoorF-p.ZoneSetpointF)
+	// The activity-appliance relationship: a reported activity carries its
+	// habitual appliances' status (δ^D in the attack vector), so their heat
+	// becomes believed cooling load.
+	for _, ai := range m.house.AppliancesForActivity(act) {
+		if m.house.Appliances[ai].Zone == z {
+			heat += m.house.Appliances[ai].HeatW()
+		}
+	}
+	qs := supplyAirForHeat(heat, p.ZoneSetpointF, p.SupplyAirTempF)
+	// Steady-state fresh air to hold the setpoint against this occupant's
+	// generation: r·(set − out) = genPPM.
+	genPPM := a.CO2Ft3PerMin(demo) * SlotMinutes / zone.VolumeFt3 * 1e6
+	qf := 0.0
+	if den := p.CO2SetpointPPM - 420; den > 0 {
+		qf = genPPM / den * zone.VolumeFt3 / SlotMinutes
+	}
+	q := math.Min(math.Max(qs, qf), p.MaxZoneCFM)
+	fresh := math.Min(qf, q)
+	tMix := mixedAirTempF(Demand{SupplyCFM: q, FreshCFM: fresh}, outdoorF, p.ZoneSetpointF)
+	watts := q*math.Max(0, tMix-p.SupplyAirTempF)*SensibleHeatFactor + q*p.FanWPerCFM
+	kwh := watts * SlotMinutes / 60000
+	return kwh * m.rateApprox(slot)
+}
+
+// ApplianceSlotCost returns the marginal per-minute USD cost of appliance
+// ai running at slot: its electrical draw plus the induced coil load in its
+// (conditioned) zone.
+func (m *CostModel) ApplianceSlotCost(ai, slot int, outdoorF float64) float64 {
+	p := m.params
+	appl := m.house.Appliances[ai]
+	watts := appl.PowerW
+	if appl.Zone.Conditioned() {
+		qs := supplyAirForHeat(appl.HeatW(), p.ZoneSetpointF, p.SupplyAirTempF)
+		qs = math.Min(qs, p.MaxZoneCFM)
+		tMix := mixedAirTempF(Demand{SupplyCFM: qs}, outdoorF, p.ZoneSetpointF)
+		watts += qs*math.Max(0, tMix-p.SupplyAirTempF)*SensibleHeatFactor + qs*p.FanWPerCFM
+	}
+	kwh := watts * SlotMinutes / 60000
+	return kwh * m.rateApprox(slot)
+}
+
+// rateApprox prices a slot ignoring battery state (the surrogate does not
+// track cumulative peak energy; Simulate re-applies Eq 4 exactly).
+func (m *CostModel) rateApprox(slot int) float64 {
+	if m.pricing.InPeak(slot) {
+		return m.pricing.PeakUSDPerKWh
+	}
+	return m.pricing.OffPeakUSDPerKWh
+}

@@ -1,0 +1,224 @@
+// Package mqtt implements the minimal MQTT-style publish/subscribe
+// transport of the prototype testbed (paper Section VI, Fig 9): sensor
+// nodes publish topic-tagged measurements to a broker; the supervisory
+// controller subscribes; and a man-in-the-middle proxy — the Raspberry-Pi
+// attacker of the paper — can intercept and rewrite messages in flight
+// (the Polymorph/Scapy packet-crafting role).
+//
+// The wire protocol is deliberately small: a 4-byte big-endian frame length
+// followed by a JSON-encoded Message. It is not the MQTT 3.1.1 wire format,
+// but it preserves the properties the experiment needs — topic routing,
+// ordered delivery per connection, and rewritability in transit.
+package mqtt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Message is one published datum.
+type Message struct {
+	Topic   string          `json:"topic"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// maxFrame bounds a frame to keep a malformed or malicious peer from
+// forcing huge allocations.
+const maxFrame = 1 << 20
+
+// ErrFrameTooBig is returned when a peer announces an oversized frame.
+var ErrFrameTooBig = errors.New("mqtt: frame exceeds limit")
+
+// writeFrame encodes and writes one message.
+func writeFrame(w io.Writer, m Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("mqtt: marshal: %w", err)
+	}
+	if len(data) > maxFrame {
+		return ErrFrameTooBig
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// readFrame reads one message.
+func readFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return Message{}, ErrFrameTooBig
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return Message{}, err
+	}
+	var m Message
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Message{}, fmt.Errorf("mqtt: unmarshal: %w", err)
+	}
+	return m, nil
+}
+
+// control frames clients send to the broker.
+type control struct {
+	Op    string  `json:"op"` // "sub" or "pub"
+	Topic string  `json:"topic,omitempty"`
+	Msg   Message `json:"msg,omitempty"`
+}
+
+// Broker is a topic-routing pub/sub hub over TCP.
+type Broker struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	subs   map[string]map[net.Conn]*subscriber // topic → conn → writer
+	conns  map[net.Conn]struct{}               // every live connection
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+type subscriber struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  net.Conn
+}
+
+func (s *subscriber) send(m Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := writeFrame(s.w, m); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// NewBroker starts a broker on addr ("127.0.0.1:0" for an ephemeral port).
+func NewBroker(addr string) (*Broker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mqtt: listen: %w", err)
+	}
+	b := &Broker{
+		ln:    ln,
+		subs:  make(map[string]map[net.Conn]*subscriber),
+		conns: make(map[net.Conn]struct{}),
+	}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr returns the broker's listen address.
+func (b *Broker) Addr() string { return b.ln.Addr().String() }
+
+func (b *Broker) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			conn.Close()
+			return
+		}
+		b.conns[conn] = struct{}{}
+		b.mu.Unlock()
+		b.wg.Add(1)
+		go b.serve(conn)
+	}
+}
+
+func (b *Broker) serve(conn net.Conn) {
+	defer b.wg.Done()
+	defer func() {
+		b.dropConn(conn)
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	sub := &subscriber{w: bufio.NewWriter(conn), c: conn}
+	for {
+		m, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		var ctl control
+		if err := json.Unmarshal(m.Payload, &ctl); err != nil {
+			return // malformed control frame: drop the client
+		}
+		switch ctl.Op {
+		case "sub":
+			b.mu.Lock()
+			if b.subs[ctl.Topic] == nil {
+				b.subs[ctl.Topic] = make(map[net.Conn]*subscriber)
+			}
+			b.subs[ctl.Topic][conn] = sub
+			b.mu.Unlock()
+		case "pub":
+			b.publish(ctl.Msg)
+		default:
+			return // protocol violation
+		}
+	}
+}
+
+func (b *Broker) publish(m Message) {
+	b.mu.Lock()
+	targets := make([]*subscriber, 0, len(b.subs[m.Topic]))
+	for _, s := range b.subs[m.Topic] {
+		targets = append(targets, s)
+	}
+	b.mu.Unlock()
+	for _, s := range targets {
+		if err := s.send(m); err != nil {
+			b.dropConn(s.c)
+		}
+	}
+}
+
+func (b *Broker) dropConn(conn net.Conn) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, m := range b.subs {
+		delete(m, conn)
+	}
+	delete(b.conns, conn)
+}
+
+// Close stops the broker and waits for its goroutines.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	b.mu.Unlock()
+	err := b.ln.Close()
+	b.mu.Lock()
+	for conn := range b.conns {
+		conn.Close()
+	}
+	b.subs = make(map[string]map[net.Conn]*subscriber)
+	b.mu.Unlock()
+	b.wg.Wait()
+	return err
+}

@@ -1,0 +1,248 @@
+package mqtt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a broker connection that can publish and subscribe.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	mu     sync.Mutex
+	subs   map[string][]chan Message
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Dial connects to a broker (or a MITM proxy posing as one).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mqtt: dial: %w", err)
+	}
+	c := &Client{
+		conn: conn,
+		w:    bufio.NewWriter(conn),
+		subs: make(map[string][]chan Message),
+		done: make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	r := bufio.NewReader(c.conn)
+	for {
+		m, err := readFrame(r)
+		if err != nil {
+			c.mu.Lock()
+			for _, chans := range c.subs {
+				for _, ch := range chans {
+					close(ch)
+				}
+			}
+			c.subs = make(map[string][]chan Message)
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		chans := append([]chan Message(nil), c.subs[m.Topic]...)
+		c.mu.Unlock()
+		for _, ch := range chans {
+			select {
+			case ch <- m:
+			case <-c.done:
+				return
+			}
+		}
+	}
+}
+
+func (c *Client) sendControl(ctl control) error {
+	payload, err := json.Marshal(ctl)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := writeFrame(c.w, Message{Topic: "$ctl", Payload: payload}); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Publish sends payload (JSON-encoded) on the topic.
+func (c *Client) Publish(topic string, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("mqtt: encode payload: %w", err)
+	}
+	return c.sendControl(control{Op: "pub", Msg: Message{Topic: topic, Payload: data}})
+}
+
+// Subscribe registers for a topic and returns the delivery channel. The
+// channel closes when the client disconnects.
+func (c *Client) Subscribe(topic string) (<-chan Message, error) {
+	ch := make(chan Message, 64)
+	c.mu.Lock()
+	c.subs[topic] = append(c.subs[topic], ch)
+	c.mu.Unlock()
+	if err := c.sendControl(control{Op: "sub", Topic: topic}); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Close disconnects and waits for the reader goroutine.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Proxy is the man-in-the-middle attacker: clients dial the proxy thinking
+// it is the broker; every frame passes through Rewrite before forwarding
+// (ARP-poisoning + packet-crafting, Section VI).
+type Proxy struct {
+	ln     net.Listener
+	target string
+	// Rewrite transforms broker-bound frames; returning the message
+	// unchanged forwards it verbatim. Only "pub" control frames reach it.
+	Rewrite func(Message) Message
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	wg sync.WaitGroup
+}
+
+// NewProxy starts a MITM proxy on addr forwarding to the broker at target.
+func NewProxy(addr, target string, rewrite func(Message) Message) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mqtt: proxy listen: %w", err)
+	}
+	p := &Proxy{ln: ln, target: target, Rewrite: rewrite, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+func (p *Proxy) track(conn net.Conn) {
+	p.mu.Lock()
+	p.conns[conn] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(conn net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, conn)
+	p.mu.Unlock()
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.bridge(conn)
+	}
+}
+
+func (p *Proxy) bridge(client net.Conn) {
+	defer p.wg.Done()
+	p.track(client)
+	defer p.untrack(client)
+	defer client.Close()
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	p.track(upstream)
+	defer p.untrack(upstream)
+	defer upstream.Close()
+
+	// Downstream (broker → client): verbatim copy.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer client.Close()
+		defer upstream.Close()
+		r := bufio.NewReader(upstream)
+		w := bufio.NewWriter(client)
+		for {
+			m, err := readFrame(r)
+			if err != nil {
+				return
+			}
+			if err := writeFrame(w, m); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Upstream (client → broker): rewrite published measurements.
+	r := bufio.NewReader(client)
+	w := bufio.NewWriter(upstream)
+	for {
+		m, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		var ctl control
+		if err := json.Unmarshal(m.Payload, &ctl); err == nil && ctl.Op == "pub" && p.Rewrite != nil {
+			ctl.Msg = p.Rewrite(ctl.Msg)
+			payload, err := json.Marshal(ctl)
+			if err != nil {
+				return
+			}
+			m.Payload = payload
+		}
+		if err := writeFrame(w, m); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the proxy, severs live bridges, and waits for its goroutines.
+func (p *Proxy) Close() error {
+	err := p.ln.Close()
+	p.mu.Lock()
+	for conn := range p.conns {
+		conn.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}

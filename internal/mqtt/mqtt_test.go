@@ -1,0 +1,331 @@
+package mqtt
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+)
+
+func recvOrFail(t *testing.T, ch <-chan Message, what string) Message {
+	t.Helper()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			t.Fatalf("%s: channel closed", what)
+		}
+		return m
+	case <-time.After(3 * time.Second):
+		t.Fatalf("%s: timed out", what)
+	}
+	return Message{}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := Message{Topic: "sensors/temp/1", Payload: json.RawMessage(`{"f":72.5}`)}
+	if err := writeFrame(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topic != want.Topic || string(got.Payload) != string(want.Payload) {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestFrameTooBig(t *testing.T) {
+	var hdr [4]byte
+	hdr[0] = 0xFF
+	hdr[1] = 0xFF
+	hdr[2] = 0xFF
+	hdr[3] = 0xFF
+	if _, err := readFrame(bytes.NewReader(hdr[:])); err != ErrFrameTooBig {
+		t.Errorf("want ErrFrameTooBig, got %v", err)
+	}
+}
+
+func TestPubSub(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	sub, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	ch, err := sub.Subscribe("zone/kitchen/co2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pub, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	// Give the subscription a moment to register, then publish.
+	time.Sleep(50 * time.Millisecond)
+	if err := pub.Publish("zone/kitchen/co2", map[string]float64{"ppm": 612}); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOrFail(t, ch, "co2 message")
+	var body map[string]float64
+	if err := json.Unmarshal(m.Payload, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["ppm"] != 612 {
+		t.Errorf("payload = %v", body)
+	}
+}
+
+func TestTopicIsolation(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	sub, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	chA, err := sub.Subscribe("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	time.Sleep(50 * time.Millisecond)
+	if err := pub.Publish("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOrFail(t, chA, "topic a")
+	var v int
+	if err := json.Unmarshal(m.Payload, &v); err != nil || v != 2 {
+		t.Errorf("topic isolation broken: got %s", m.Payload)
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var chans []<-chan Message
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		c, err := Dial(b.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		ch, err := c.Subscribe("fanout")
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+		chans = append(chans, ch)
+	}
+	_ = clients
+	pub, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	time.Sleep(50 * time.Millisecond)
+	if err := pub.Publish("fanout", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range chans {
+		m := recvOrFail(t, ch, "fanout")
+		if m.Topic != "fanout" {
+			t.Errorf("subscriber %d: topic %q", i, m.Topic)
+		}
+	}
+}
+
+func TestMITMProxyRewrites(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// The attacker doubles every reported occupancy count.
+	rewrite := func(m Message) Message {
+		if m.Topic != "zone/kitchen/occupancy" {
+			return m
+		}
+		var count int
+		if err := json.Unmarshal(m.Payload, &count); err != nil {
+			return m
+		}
+		forged, _ := json.Marshal(count * 2)
+		m.Payload = forged
+		return m
+	}
+	proxy, err := NewProxy("127.0.0.1:0", b.Addr(), rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Controller subscribes directly at the broker.
+	ctrl, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	ch, err := ctrl.Subscribe("zone/kitchen/occupancy")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sensor node unknowingly publishes through the MITM proxy.
+	sensor, err := Dial(proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sensor.Close()
+	time.Sleep(50 * time.Millisecond)
+	if err := sensor.Publish("zone/kitchen/occupancy", 1); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOrFail(t, ch, "forged occupancy")
+	var got int
+	if err := json.Unmarshal(m.Payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("MITM should have doubled occupancy: got %d", got)
+	}
+}
+
+func TestProxyPassThroughSubscriptions(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	proxy, err := NewProxy("127.0.0.1:0", b.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Subscribe THROUGH the proxy; messages flow back downstream.
+	sub, err := Dial(proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	ch, err := sub.Subscribe("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	time.Sleep(50 * time.Millisecond)
+	if err := pub.Publish("t", "x"); err != nil {
+		t.Fatal(err)
+	}
+	recvOrFail(t, ch, "proxied subscription")
+}
+
+func TestBrokerSurvivesMalformedClient(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// Raw TCP client writes garbage.
+	conn, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{0, 0, 0, 4, 'j', 'u', 'n', 'k'}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// The broker must still serve well-formed clients.
+	sub, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	ch, err := sub.Subscribe("ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	time.Sleep(50 * time.Millisecond)
+	if err := pub.Publish("ok", true); err != nil {
+		t.Fatal(err)
+	}
+	recvOrFail(t, ch, "post-garbage publish")
+}
+
+func TestClientCloseIdempotent(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second close should be a no-op, got %v", err)
+	}
+}
+
+func TestSubscriberChannelClosesOnDisconnect(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := c.Subscribe("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close() // broker goes away
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Error("expected channel close, got message")
+		}
+	case <-time.After(3 * time.Second):
+		t.Error("channel did not close after broker shutdown")
+	}
+	c.Close()
+}

@@ -1,0 +1,148 @@
+// Package regress implements least-squares polynomial regression. The
+// prototype testbed (paper Section VI) learns its non-linear zone thermal
+// dynamics — airflow and heat generation as a function of temperature —
+// with a degree-2 polynomial regression that achieved <2% error against
+// testbed measurements; this package provides that estimator.
+//
+// Fitting solves the normal equations (Vᵀ V) β = Vᵀ y with a numerically
+// pivoted Gaussian elimination, which is robust for the low degrees (≤4)
+// used here.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Poly is a fitted polynomial y = Σ Coeffs[i]·xⁱ.
+type Poly struct {
+	Coeffs []float64
+}
+
+var (
+	// ErrBadDegree is returned for negative degree.
+	ErrBadDegree = errors.New("regress: degree must be >= 0")
+	// ErrTooFewSamples is returned when len(samples) < degree+1.
+	ErrTooFewSamples = errors.New("regress: need at least degree+1 samples")
+	// ErrSingular is returned when the normal equations are singular
+	// (e.g. all x identical while fitting degree >= 1).
+	ErrSingular = errors.New("regress: singular system (degenerate inputs)")
+)
+
+// FitPoly fits a polynomial of the given degree to (xs, ys).
+func FitPoly(xs, ys []float64, degree int) (Poly, error) {
+	if degree < 0 {
+		return Poly{}, ErrBadDegree
+	}
+	if len(xs) != len(ys) {
+		return Poly{}, fmt.Errorf("regress: len(xs)=%d != len(ys)=%d", len(xs), len(ys))
+	}
+	n := len(xs)
+	m := degree + 1
+	if n < m {
+		return Poly{}, ErrTooFewSamples
+	}
+	// Build normal equations A β = b where A = VᵀV (m×m), b = Vᵀy.
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m+1) // augmented column holds b
+	}
+	// Precompute power sums Σ x^k for k in [0, 2·degree] and Σ y·x^k.
+	powSums := make([]float64, 2*degree+1)
+	ySums := make([]float64, m)
+	for i := 0; i < n; i++ {
+		xp := 1.0
+		for k := 0; k <= 2*degree; k++ {
+			powSums[k] += xp
+			if k < m {
+				ySums[k] += ys[i] * xp
+			}
+			xp *= xs[i]
+		}
+	}
+	for r := 0; r < m; r++ {
+		for c := 0; c < m; c++ {
+			a[r][c] = powSums[r+c]
+		}
+		a[r][m] = ySums[r]
+	}
+	coeffs, err := solveGaussian(a)
+	if err != nil {
+		return Poly{}, err
+	}
+	return Poly{Coeffs: coeffs}, nil
+}
+
+// solveGaussian solves the augmented system in place with partial pivoting.
+func solveGaussian(a [][]float64) ([]float64, error) {
+	m := len(a)
+	for col := 0; col < m; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[piv] = a[piv], a[col]
+		// Eliminate below.
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= m; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	x := make([]float64, m)
+	for r := m - 1; r >= 0; r-- {
+		sum := a[r][m]
+		for c := r + 1; c < m; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// Eval evaluates the polynomial at x (Horner's method).
+func (p Poly) Eval(x float64) float64 {
+	var y float64
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		y = y*x + p.Coeffs[i]
+	}
+	return y
+}
+
+// Degree returns the polynomial degree (−1 for an empty polynomial).
+func (p Poly) Degree() int { return len(p.Coeffs) - 1 }
+
+// R2 returns the coefficient of determination of the fit on (xs, ys).
+func (p Poly) R2(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return math.NaN()
+	}
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var ssTot, ssRes float64
+	for i := range xs {
+		d := ys[i] - mean
+		ssTot += d * d
+		r := ys[i] - p.Eval(xs[i])
+		ssRes += r * r
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,146 @@
+package regress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/acyd-lab/shatter/internal/rng"
+)
+
+func TestFitPolyExactQuadratic(t *testing.T) {
+	// y = 2 + 3x + 0.5x²
+	want := []float64{2, 3, 0.5}
+	xs := []float64{-2, -1, 0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = want[0] + want[1]*x + want[2]*x*x
+	}
+	p, err := FitPoly(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range p.Coeffs {
+		if math.Abs(c-want[i]) > 1e-9 {
+			t.Errorf("coeff %d = %v, want %v", i, c, want[i])
+		}
+	}
+	if r2 := p.R2(xs, ys); math.Abs(r2-1) > 1e-9 {
+		t.Errorf("R2 = %v, want 1", r2)
+	}
+}
+
+func TestFitPolyConstant(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{5, 5, 5}
+	p, err := FitPoly(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Eval(10)-5) > 1e-9 {
+		t.Errorf("constant fit eval = %v, want 5", p.Eval(10))
+	}
+	if p.Degree() != 0 {
+		t.Errorf("degree = %d, want 0", p.Degree())
+	}
+}
+
+func TestFitPolyErrors(t *testing.T) {
+	if _, err := FitPoly([]float64{1}, []float64{1}, -1); err != ErrBadDegree {
+		t.Errorf("want ErrBadDegree, got %v", err)
+	}
+	if _, err := FitPoly([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FitPoly([]float64{1, 2}, []float64{1, 2}, 2); err != ErrTooFewSamples {
+		t.Errorf("want ErrTooFewSamples, got %v", err)
+	}
+	// All-identical x with degree 1 is singular.
+	if _, err := FitPoly([]float64{3, 3, 3}, []float64{1, 2, 3}, 1); err != ErrSingular {
+		t.Errorf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestFitPolyNoisyRecovery(t *testing.T) {
+	r := rng.New(31)
+	truth := Poly{Coeffs: []float64{1, -2, 0.3}}
+	n := 200
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = r.Range(-5, 5)
+		ys[i] = truth.Eval(xs[i]) + r.Norm(0, 0.05)
+	}
+	p, err := FitPoly(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth.Coeffs {
+		if math.Abs(p.Coeffs[i]-truth.Coeffs[i]) > 0.1 {
+			t.Errorf("coeff %d = %v, want ≈%v", i, p.Coeffs[i], truth.Coeffs[i])
+		}
+	}
+	if r2 := p.R2(xs, ys); r2 < 0.99 {
+		t.Errorf("R2 = %v, want > 0.99", r2)
+	}
+}
+
+// Property: fitting a polynomial of the generating degree recovers
+// predictions (not necessarily coefficients, which can be ill-conditioned)
+// to high accuracy on the sample range.
+func TestPropertyFitReproducesGenerator(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		deg := r.Intn(3) + 1
+		coeffs := make([]float64, deg+1)
+		for i := range coeffs {
+			coeffs[i] = r.Range(-3, 3)
+		}
+		truth := Poly{Coeffs: coeffs}
+		n := deg + 2 + r.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = r.Range(-4, 4)
+			ys[i] = truth.Eval(xs[i])
+		}
+		p, err := FitPoly(xs, ys, deg)
+		if err != nil {
+			// Degenerate draws (e.g. coincident x) are acceptable skips.
+			return err == ErrSingular
+		}
+		for i := range xs {
+			if math.Abs(p.Eval(xs[i])-ys[i]) > 1e-6*(1+math.Abs(ys[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	p := Poly{Coeffs: []float64{1, 2, 3}} // 1 + 2x + 3x²
+	if got := p.Eval(2); got != 17 {
+		t.Errorf("eval(2) = %v, want 17", got)
+	}
+	empty := Poly{}
+	if got := empty.Eval(5); got != 0 {
+		t.Errorf("empty poly eval = %v, want 0", got)
+	}
+	if empty.Degree() != -1 {
+		t.Errorf("empty degree = %d, want -1", empty.Degree())
+	}
+}
+
+func TestR2Degenerate(t *testing.T) {
+	p := Poly{Coeffs: []float64{5}}
+	if got := p.R2([]float64{1, 2}, []float64{5, 5}); got != 1 {
+		t.Errorf("perfect constant fit R2 = %v, want 1", got)
+	}
+	if !math.IsNaN(p.R2(nil, nil)) {
+		t.Error("empty R2 should be NaN")
+	}
+}

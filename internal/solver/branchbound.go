@@ -1,0 +1,130 @@
+package solver
+
+import (
+	"math"
+
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// BBConfig configures the exhaustive search.
+type BBConfig struct {
+	// Prune enables best-first bound pruning; disabling it gives the
+	// ablation baseline for the pruning design choice (DESIGN.md §5).
+	Prune bool
+	// NodeBudget caps search-tree nodes (0 = unlimited). When the budget
+	// is exhausted the incumbent (best schedule so far) is returned with
+	// Stats.Truncated set.
+	NodeBudget int
+}
+
+// BBStats extends Stats with search-specific counters.
+type BBStats struct {
+	Stats
+	// Truncated is set when the node budget stopped the search early.
+	Truncated bool
+}
+
+// BranchAndBound solves the same window problem as OptimizeWindow by
+// depth-first search over the joint action tree. Its runtime grows
+// exponentially with the horizon — the complexity profile the paper
+// attributes to the SMT encoding (Fig 11a) — while OptimizeWindow's DP is
+// the production path.
+func BranchAndBound(w Window, oracle Oracle, cost CostFn, allowed AllowedFn, cfg BBConfig) (Schedule, BBStats, error) {
+	if err := w.validate(); err != nil {
+		return Schedule{}, BBStats{}, err
+	}
+	var st BBStats
+	_, startCovered := oracle.MaxStay(w.Occupant, w.StartZone, w.StartArrival)
+
+	// Optimistic per-slot bound: the best cost any allowed zone can earn at
+	// each slot, used for pruning.
+	optimistic := make([]float64, w.Length+1)
+	for t := w.Length - 1; t >= 0; t-- {
+		abs := w.StartSlot + t
+		best := 0.0
+		for _, z := range w.Zones {
+			if allowed(abs, z) {
+				if c := cost(abs, z); c > best {
+					best = c
+				}
+			}
+		}
+		optimistic[t] = optimistic[t+1] + best
+	}
+
+	best := Schedule{Value: math.Inf(-1)}
+	cur := make([]home.ZoneID, w.Length)
+
+	var dfs func(t int, zone home.ZoneID, arrival int, acc float64) bool
+	dfs = func(t int, zone home.ZoneID, arrival int, acc float64) bool {
+		if cfg.NodeBudget > 0 && st.NodesExpanded >= cfg.NodeBudget {
+			st.Truncated = true
+			return false
+		}
+		st.NodesExpanded++
+		if t == w.Length {
+			if w.TerminalOK != nil && !w.TerminalOK(zone, arrival) {
+				return true
+			}
+			score := acc
+			if w.TerminalBonus != nil {
+				score += w.TerminalBonus(zone, arrival)
+			}
+			if score > best.Value {
+				best.Value = score
+				best.Zones = append(best.Zones[:0], cur...)
+				best.EndZone = zone
+				best.EndArrival = arrival
+				best.Feasible = true
+			}
+			return true
+		}
+		if cfg.Prune && acc+optimistic[t] <= best.Value {
+			return true
+		}
+		abs := w.StartSlot + t
+		dur := abs - arrival
+		lenient := zone == w.StartZone && arrival == w.StartArrival && !startCovered
+		// Stay.
+		maxStay, covered := oracle.MaxStay(w.Occupant, zone, arrival)
+		canStay := (covered && dur+1 <= maxStay) || lenient
+		if canStay && allowed(abs, zone) {
+			cur[t] = zone
+			if !dfs(t+1, zone, arrival, acc+cost(abs, zone)) {
+				return false
+			}
+		}
+		// Move.
+		exitOK := (oracle.InRangeStay(w.Occupant, zone, arrival, dur) || lenient) && dur >= 1
+		if exitOK {
+			for _, z2 := range w.Zones {
+				if z2 == zone || !allowed(abs, z2) {
+					continue
+				}
+				if _, ok := oracle.MaxStay(w.Occupant, z2, abs); !ok {
+					continue
+				}
+				cur[t] = z2
+				if !dfs(t+1, z2, abs, acc+cost(abs, z2)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	dfs(0, w.StartZone, w.StartArrival, 0)
+
+	if !best.Feasible {
+		zones := make([]home.ZoneID, w.Length)
+		for i := range zones {
+			zones[i] = w.StartZone
+		}
+		return Schedule{
+			Zones:      zones,
+			EndZone:    w.StartZone,
+			EndArrival: w.StartArrival,
+			Feasible:   false,
+		}, st, nil
+	}
+	return best, st, nil
+}

@@ -1,0 +1,274 @@
+// Package solver contains the constraint-solving core that replaces the
+// paper's Z3 encoding (DESIGN.md §1). The attack-schedule synthesis of
+// Section IV-C is a windowed optimisation: within a horizon of I slots,
+// choose a zone assignment per occupant per slot that maximises energy cost
+// subject to the ADM's convex-hull stay constraints (Eqs 17-20).
+//
+// Two engines solve the same window problem:
+//
+//   - OptimizeWindow: an exact dynamic program over (slot, zone, arrival)
+//     states — polynomial, used for the month-scale evaluations.
+//   - BranchAndBound: an exhaustive joint search with optional bound
+//     pruning — exponential in the horizon, mirroring the paper's SMT
+//     solving profile; it powers the Fig 11 scalability study and
+//     cross-validates the DP on small windows.
+package solver
+
+import (
+	"errors"
+	"math"
+
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// Oracle answers the ADM stay queries the schedule constraints reference.
+// (*adm.Model satisfies this interface.)
+type Oracle interface {
+	// MaxStay returns the longest stealthy stay for the arrival time;
+	// ok=false when the arrival time itself is outside every cluster.
+	MaxStay(occupant int, zone home.ZoneID, arrivalSlot int) (int, bool)
+	// InRangeStay reports whether exiting after stayMinutes is stealthy.
+	InRangeStay(occupant int, zone home.ZoneID, arrivalSlot, stayMinutes int) bool
+}
+
+// CostFn values one occupant-slot: the surrogate marginal cost of the
+// occupant being reported in zone z during absolute slot t.
+type CostFn func(slot int, zone home.ZoneID) float64
+
+// AllowedFn reports whether the attacker may report zone z at slot t
+// (capability constraints: sensor access, forced truth-telling).
+type AllowedFn func(slot int, zone home.ZoneID) bool
+
+// Window is one occupant's scheduling problem over [StartSlot,
+// StartSlot+Length).
+type Window struct {
+	Occupant int
+	// StartSlot is the absolute minute-of-day at the window start.
+	StartSlot int
+	// Length is the horizon I.
+	Length int
+	// StartZone and StartArrival describe the in-progress stay at the
+	// window boundary (StartArrival ≤ StartSlot).
+	StartZone    home.ZoneID
+	StartArrival int
+	// Zones enumerates the reportable zones (including Outside).
+	Zones []home.ZoneID
+	// TerminalOK, when non-nil, restricts acceptable end states: the
+	// schedule must finish in a (zone, arrival) state passing the check.
+	// The attack planner uses it on each day's final window so the
+	// midnight-cut episode stays within an ADM cluster.
+	TerminalOK func(zone home.ZoneID, arrival int) bool
+	// TerminalBonus, when non-nil, adds a lookahead value to terminal
+	// states — the attack planner scores how much reward the in-progress
+	// stay can still earn in the next window, which counters the myopia of
+	// chained fixed-horizon optimisation (Section IV-C notes the window
+	// trade-off).
+	TerminalBonus func(zone home.ZoneID, arrival int) float64
+}
+
+// Schedule is a solved window.
+type Schedule struct {
+	// Zones[i] is the reported zone during slot StartSlot+i.
+	Zones []home.ZoneID
+	// EndZone and EndArrival carry the stay state into the next window.
+	EndZone    home.ZoneID
+	EndArrival int
+	// Value is the surrogate objective achieved.
+	Value float64
+	// Feasible is false when no ADM-consistent schedule existed and the
+	// solver fell back to holding the start zone.
+	Feasible bool
+}
+
+// Stats reports solver effort for the scalability study.
+type Stats struct {
+	// NodesExpanded counts state expansions (DP) or search-tree nodes
+	// (branch and bound).
+	NodesExpanded int
+}
+
+// ErrBadWindow rejects malformed windows.
+var ErrBadWindow = errors.New("solver: window needs Length >= 1, Zones, and StartArrival <= StartSlot")
+
+func (w Window) validate() error {
+	if w.Length < 1 || len(w.Zones) == 0 || w.StartArrival > w.StartSlot {
+		return ErrBadWindow
+	}
+	return nil
+}
+
+// OptimizeWindow solves the window with an exact dynamic program.
+//
+// State: before slot t the occupant is in zone z having arrived at a.
+// Actions: stay (duration stays within MaxStay(a, z)) or exit (requires
+// InRangeStay(a, t−a)) into a zone z' that is allowed at t and has cluster
+// coverage at arrival t.
+func OptimizeWindow(w Window, oracle Oracle, cost CostFn, allowed AllowedFn) (Schedule, Stats, error) {
+	if err := w.validate(); err != nil {
+		return Schedule{}, Stats{}, err
+	}
+	var st Stats
+	// Arrival index 0 = StartArrival; 1+i = arrival at StartSlot+i.
+	arrivalSlot := func(aIdx int) int {
+		if aIdx == 0 {
+			return w.StartArrival
+		}
+		return w.StartSlot + aIdx - 1
+	}
+	nA := w.Length + 1
+	nZ := len(w.Zones)
+	zoneIdx := make(map[home.ZoneID]int, nZ)
+	for i, z := range w.Zones {
+		zoneIdx[z] = i
+	}
+	startZI, okStart := zoneIdx[w.StartZone]
+	if !okStart {
+		return Schedule{}, st, errors.New("solver: StartZone not in Zones")
+	}
+
+	negInf := math.Inf(-1)
+	// value[t][z][a]: best cost over slots [0, t) ending in state (z, a)
+	// before slot t.
+	value := make([][][]float64, w.Length+1)
+	choice := make([][][]int32, w.Length+1) // encodes predecessor (z,a) and action
+	for t := 0; t <= w.Length; t++ {
+		value[t] = make([][]float64, nZ)
+		choice[t] = make([][]int32, nZ)
+		for z := 0; z < nZ; z++ {
+			value[t][z] = make([]float64, nA)
+			choice[t][z] = make([]int32, nA)
+			for a := 0; a < nA; a++ {
+				value[t][z][a] = negInf
+				choice[t][z][a] = -1
+			}
+		}
+	}
+	value[0][startZI][0] = 0
+
+	// startLenient: the inherited stay may itself lack cluster coverage
+	// (real behaviour can be anomalous). The attacker then reports truth
+	// until the next natural transition; model this by allowing both stay
+	// and exit from an uncovered start state.
+	_, startCovered := oracle.MaxStay(w.Occupant, w.StartZone, w.StartArrival)
+
+	encode := func(z, a, action int) int32 { return int32(action*nZ*nA + z*nA + a) }
+	decode := func(c int32) (z, a, action int) {
+		action = int(c) / (nZ * nA)
+		rem := int(c) % (nZ * nA)
+		return rem / nA, rem % nA, action
+	}
+	const (
+		actStay = 0
+		actMove = 1
+	)
+
+	for t := 0; t < w.Length; t++ {
+		abs := w.StartSlot + t
+		for z := 0; z < nZ; z++ {
+			for a := 0; a < nA; a++ {
+				v := value[t][z][a]
+				if v == negInf {
+					continue
+				}
+				st.NodesExpanded++
+				zone := w.Zones[z]
+				arr := arrivalSlot(a)
+				dur := abs - arr // completed stay so far
+				// Action 1: stay for slot t (new duration dur+1).
+				maxStay, covered := oracle.MaxStay(w.Occupant, zone, arr)
+				canStay := false
+				switch {
+				case covered:
+					canStay = dur+1 <= maxStay
+				case z == startZI && a == 0 && !startCovered:
+					canStay = true // lenient inherited stay
+				}
+				if canStay && allowed(abs, zone) {
+					nv := v + cost(abs, zone)
+					if nv > value[t+1][z][a] {
+						value[t+1][z][a] = nv
+						choice[t+1][z][a] = encode(z, a, actStay)
+					}
+				}
+				// Action 2: exit now (stay = dur) and occupy z' for slot t.
+				exitOK := oracle.InRangeStay(w.Occupant, zone, arr, dur)
+				if z == startZI && a == 0 && !startCovered {
+					exitOK = true
+				}
+				if !exitOK || dur < 1 {
+					continue
+				}
+				for z2 := 0; z2 < nZ; z2++ {
+					if z2 == z {
+						continue
+					}
+					zone2 := w.Zones[z2]
+					if !allowed(abs, zone2) {
+						continue
+					}
+					// The new arrival must have cluster coverage so the
+					// occupant can eventually exit stealthily.
+					if _, ok := oracle.MaxStay(w.Occupant, zone2, abs); !ok {
+						continue
+					}
+					nv := v + cost(abs, zone2)
+					aIdx := t + 1 // arrival at abs
+					if nv > value[t+1][z2][aIdx] {
+						value[t+1][z2][aIdx] = nv
+						choice[t+1][z2][aIdx] = encode(z, a, actMove)
+					}
+				}
+			}
+		}
+	}
+
+	// Pick the best terminal state (scored with the lookahead bonus, which
+	// is excluded from the reported Value).
+	bestV, bestScore, bestZ, bestA := negInf, negInf, -1, -1
+	for z := 0; z < nZ; z++ {
+		for a := 0; a < nA; a++ {
+			if value[w.Length][z][a] == negInf {
+				continue
+			}
+			if w.TerminalOK != nil && !w.TerminalOK(w.Zones[z], arrivalSlot(a)) {
+				continue
+			}
+			score := value[w.Length][z][a]
+			if w.TerminalBonus != nil {
+				score += w.TerminalBonus(w.Zones[z], arrivalSlot(a))
+			}
+			if score > bestScore {
+				bestScore = score
+				bestV, bestZ, bestA = value[w.Length][z][a], z, a
+			}
+		}
+	}
+	if bestZ < 0 {
+		// No feasible schedule: hold the start zone (flagged infeasible).
+		zones := make([]home.ZoneID, w.Length)
+		for i := range zones {
+			zones[i] = w.StartZone
+		}
+		return Schedule{
+			Zones:      zones,
+			EndZone:    w.StartZone,
+			EndArrival: w.StartArrival,
+			Feasible:   false,
+		}, st, nil
+	}
+	// Reconstruct.
+	zones := make([]home.ZoneID, w.Length)
+	z, a := bestZ, bestA
+	for t := w.Length; t > 0; t-- {
+		zones[t-1] = w.Zones[z]
+		pz, pa, _ := decode(choice[t][z][a])
+		z, a = pz, pa
+	}
+	return Schedule{
+		Zones:      zones,
+		EndZone:    w.Zones[bestZ],
+		EndArrival: arrivalSlot(bestA),
+		Value:      bestV,
+		Feasible:   true,
+	}, st, nil
+}

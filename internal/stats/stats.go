@@ -1,0 +1,163 @@
+// Package stats provides the binary-classification metrics used to evaluate
+// SHATTER's anomaly detection models (Table IV, Fig 5): confusion matrices,
+// accuracy, precision, recall, and F1-score, plus small summary-statistic
+// helpers shared by the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix. "Positive" means "attack"
+// throughout this repository: TP = attack flagged as attack.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add merges another confusion matrix into c.
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}
+
+// Observe records a single labelled prediction.
+func (c *Confusion) Observe(predictedPositive, actuallyPositive bool) {
+	switch {
+	case predictedPositive && actuallyPositive:
+		c.TP++
+	case predictedPositive && !actuallyPositive:
+		c.FP++
+	case !predictedPositive && actuallyPositive:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of observations.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns (TP+TN)/total, or NaN with no observations.
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// Precision returns TP/(TP+FP), or NaN when nothing was predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or NaN when there were no positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall — the paper's metric
+// of choice because the ADM datasets are heavily imbalanced (Section III-A).
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if math.IsNaN(p) || math.IsNaN(r) || p+r == 0 {
+		return math.NaN()
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the four headline metrics for table output.
+func (c Confusion) String() string {
+	return fmt.Sprintf("acc=%.2f prec=%.2f rec=%.2f f1=%.2f",
+		c.Accuracy(), c.Precision(), c.Recall(), c.F1())
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between order statistics. NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// MeanAbsPctError returns the mean |pred−actual|/|actual| over pairs where
+// actual is non-zero — the "<2% error" testbed regression metric.
+func MeanAbsPctError(pred, actual []float64) float64 {
+	if len(pred) != len(actual) || len(pred) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	var n int
+	for i := range pred {
+		if actual[i] == 0 {
+			continue
+		}
+		s += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionObserve(t *testing.T) {
+	var c Confusion
+	c.Observe(true, true)   // TP
+	c.Observe(true, false)  // FP
+	c.Observe(false, true)  // FN
+	c.Observe(false, false) // TN
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Errorf("total = %d, want 4", c.Total())
+	}
+	if got := c.Accuracy(); got != 0.5 {
+		t.Errorf("accuracy = %v, want 0.5", got)
+	}
+	if got := c.Precision(); got != 0.5 {
+		t.Errorf("precision = %v, want 0.5", got)
+	}
+	if got := c.Recall(); got != 0.5 {
+		t.Errorf("recall = %v, want 0.5", got)
+	}
+	if got := c.F1(); got != 0.5 {
+		t.Errorf("f1 = %v, want 0.5", got)
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	b := Confusion{TP: 10, FP: 20, TN: 30, FN: 40}
+	a.Add(b)
+	if a.TP != 11 || a.FP != 22 || a.TN != 33 || a.FN != 44 {
+		t.Errorf("after add: %+v", a)
+	}
+}
+
+func TestConfusionEmptyNaN(t *testing.T) {
+	var c Confusion
+	if !math.IsNaN(c.Accuracy()) || !math.IsNaN(c.Precision()) ||
+		!math.IsNaN(c.Recall()) || !math.IsNaN(c.F1()) {
+		t.Error("empty confusion should give NaN metrics")
+	}
+}
+
+func TestPerfectClassifier(t *testing.T) {
+	c := Confusion{TP: 50, TN: 50}
+	if c.F1() != 1 || c.Accuracy() != 1 {
+		t.Errorf("perfect classifier: f1=%v acc=%v", c.F1(), c.Accuracy())
+	}
+}
+
+// Property: F1 is the harmonic mean of precision and recall and lies in
+// [min(p,r), max(p,r)].
+func TestPropertyF1Bounds(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), FN: int(fn), TN: 5}
+		p, r, f1 := c.Precision(), c.Recall(), c.F1()
+		if math.IsNaN(f1) {
+			return true
+		}
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		return f1 >= lo-1e-12 && f1 <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStdDevSum(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", got)
+	}
+	if got := Sum(xs); got != 40 {
+		t.Errorf("sum = %v, want 40", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Error("empty input should yield NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {-5, 1}, {110, 5},
+	}
+	for _, tc := range tests {
+		if got := Percentile(xs, tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestMeanAbsPctError(t *testing.T) {
+	pred := []float64{110, 90}
+	actual := []float64{100, 100}
+	if got := MeanAbsPctError(pred, actual); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MAPE = %v, want 0.1", got)
+	}
+	if !math.IsNaN(MeanAbsPctError([]float64{1}, []float64{1, 2})) {
+		t.Error("length mismatch should be NaN")
+	}
+	if !math.IsNaN(MeanAbsPctError([]float64{1}, []float64{0})) {
+		t.Error("all-zero actuals should be NaN")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := Confusion{TP: 1, FP: 1, TN: 1, FN: 1}
+	if s := c.String(); s == "" {
+		t.Error("String should render metrics")
+	}
+}

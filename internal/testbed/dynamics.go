@@ -1,0 +1,111 @@
+package testbed
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/acyd-lab/shatter/internal/regress"
+	"github.com/acyd-lab/shatter/internal/stats"
+)
+
+// DynamicsModel is the identified plant model (Section VI): per zone, a
+// degree-2 polynomial mapping a believed heat load to the fan duty that
+// holds the setpoint ("estimating the airflow ... given the temperature"),
+// and a companion polynomial mapping the fan-off steady temperature rise to
+// the heat load that caused it ("heat generation given the temperature").
+// The paper reports <2% identification error; Identify reproduces that.
+type DynamicsModel struct {
+	// DutyForLoad[i] maps heat load (W) → equilibrium fan duty at setpoint.
+	DutyForLoad [zoneCount]regress.Poly
+	// HeatForRise[i] maps fan-off steady rise (°F) → heat load (W).
+	HeatForRise [zoneCount]regress.Poly
+	// FitErrorPct is the held-out mean absolute percentage error of the
+	// duty model, in percent.
+	FitErrorPct float64
+}
+
+// ErrIdentification is returned when the calibration data cannot be fitted.
+var ErrIdentification = errors.New("testbed: dynamics identification failed")
+
+// Identify runs the calibration procedure on a fresh simulator: for a sweep
+// of LED heat loads, (a) bisect the fan duty whose equilibrium holds the
+// setpoint and (b) measure the fan-off steady temperature rise; fit
+// degree-2 polynomials to both relations. Even-indexed sweep points train,
+// odd-indexed points validate.
+func Identify(sim *Simulator) (*DynamicsModel, error) {
+	m := &DynamicsModel{}
+	// The sweep stays within the fans' controllable envelope (a full-duty
+	// 1.4 CFM fan on 56 °F supply air removes ≈8.4 W at the setpoint).
+	loads := []float64{1, 1.8, 2.6, 3.4, 4.2, 5, 5.8, 6.6, 7.4, 8.2}
+	var allErrPct []float64
+	for zi := 0; zi < zoneCount; zi++ {
+		var heats, duties, rises []float64
+		for _, load := range loads {
+			heats = append(heats, load*0.85)
+			duties = append(duties, equilibrate(sim, zi, load))
+			rises = append(rises, settle(sim, zi, load, 0)-sim.cfg.AmbientF)
+		}
+		dutyPoly, err := regress.FitPoly(everyOther(heats, 0), everyOther(duties, 0), 2)
+		if err != nil {
+			return nil, fmt.Errorf("%w: zone %d duty: %v", ErrIdentification, zi, err)
+		}
+		heatPoly, err := regress.FitPoly(everyOther(rises, 0), everyOther(heats, 0), 2)
+		if err != nil {
+			return nil, fmt.Errorf("%w: zone %d heat: %v", ErrIdentification, zi, err)
+		}
+		m.DutyForLoad[zi] = dutyPoly
+		m.HeatForRise[zi] = heatPoly
+		testH, testD := everyOther(heats, 1), everyOther(duties, 1)
+		pred := make([]float64, len(testH))
+		for i, h := range testH {
+			pred[i] = dutyPoly.Eval(h)
+		}
+		if e := stats.MeanAbsPctError(pred, testD); e == e { // skip NaN
+			allErrPct = append(allErrPct, e*100)
+		}
+	}
+	m.FitErrorPct = stats.Mean(allErrPct)
+	return m, nil
+}
+
+// equilibrate bisects the fan duty whose steady state holds the zone at the
+// setpoint under the given LED load.
+func equilibrate(sim *Simulator, zi int, loadW float64) float64 {
+	target := sim.cfg.SetpointF
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 18; iter++ {
+		mid := (lo + hi) / 2
+		if settle(sim, zi, loadW, mid) > target {
+			lo = mid // too hot: more fan
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// settle runs the plant with constant inputs until the zone temperature
+// stabilises and returns the steady temperature.
+func settle(sim *Simulator, zi int, loadW, duty float64) float64 {
+	sim.Reset()
+	var in Inputs
+	in.LEDWatts[zi] = loadW
+	in.FanDuty[zi] = duty
+	prev := sim.TempF[zi]
+	for step := 0; step < 800; step++ {
+		sim.Step(in)
+		if step > 30 && abs(sim.TempF[zi]-prev) < 1e-6 {
+			break
+		}
+		prev = sim.TempF[zi]
+	}
+	return sim.TempF[zi]
+}
+
+func everyOther(xs []float64, offset int) []float64 {
+	var out []float64
+	for i := offset; i < len(xs); i += 2 {
+		out = append(out, xs[i])
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package testbed
+
+import (
+	"errors"
+
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// MinuteLoad is one minute of testbed ground truth: the LED wattage lit in
+// each conditioned zone (occupant emulation plus appliance emulation).
+type MinuteLoad struct {
+	// OccupantW[i] is the occupant-emulation LED load per zone.
+	OccupantW [zoneCount]float64
+	// ApplianceW[i] is the appliance-emulation LED load per zone.
+	ApplianceW [zoneCount]float64
+}
+
+// totalW returns the electrically real LED load per zone.
+func (m MinuteLoad) totalW() [zoneCount]float64 {
+	var out [zoneCount]float64
+	for i := range out {
+		out[i] = m.OccupantW[i] + m.ApplianceW[i]
+	}
+	return out
+}
+
+// Scenario is a minutes-long testbed run: the actual loads and, under
+// attack, the loads the controller is told about plus the appliance LEDs
+// the attacker really triggers.
+type Scenario struct {
+	// Actual is the ground-truth load per minute.
+	Actual []MinuteLoad
+	// Reported, when non-nil, is what the MITM attacker makes the
+	// controller believe (same length as Actual).
+	Reported []MinuteLoad
+	// TriggeredW, when non-nil, adds really-on attacker-triggered appliance
+	// LEDs per minute per zone (they draw power and heat the zone).
+	TriggeredW [][zoneCount]float64
+}
+
+// Fig8Scenario reproduces the paper's demonstration hour: Alice showers in
+// the bathroom then relaxes in the living room while Bob naps in the
+// bedroom; under attack, the controller is told both are cooking in the
+// kitchen and the kitchen appliance bulbs are really triggered.
+func Fig8Scenario(cfg Config, attacked bool) Scenario {
+	const minutes = 60
+	led := cfg.LEDPowerW
+	sc := Scenario{Actual: make([]MinuteLoad, minutes)}
+	for t := 0; t < minutes; t++ {
+		var m MinuteLoad
+		// Bob naps in the bedroom all hour (1 bulb).
+		m.OccupantW[int(home.Bedroom)-1] = led
+		if t < 25 {
+			// Alice showers (bathroom, bulb + small appliance bulb for the
+			// bathtub heater).
+			m.OccupantW[int(home.Bathroom)-1] = led
+			m.ApplianceW[int(home.Bathroom)-1] = led * 0.5
+		} else {
+			// Alice moves to the living room with the TV bulb on.
+			m.OccupantW[int(home.Livingroom)-1] = led
+			m.ApplianceW[int(home.Livingroom)-1] = led * 0.4
+		}
+		sc.Actual[t] = m
+	}
+	if !attacked {
+		return sc
+	}
+	sc.Reported = make([]MinuteLoad, minutes)
+	sc.TriggeredW = make([][zoneCount]float64, minutes)
+	for t := 0; t < minutes; t++ {
+		var rep MinuteLoad
+		// The forged story: both occupants cooking in the kitchen with the
+		// oven, microwave, and kettle bulbs on.
+		rep.OccupantW[int(home.Kitchen)-1] = 2 * led
+		rep.ApplianceW[int(home.Kitchen)-1] = 3 * led
+		sc.Reported[t] = rep
+		// The kitchen appliance bulbs are REALLY triggered (inaudible voice
+		// commands): they draw power and heat the kitchen.
+		sc.TriggeredW[t][int(home.Kitchen)-1] = 3 * led
+	}
+	return sc
+}
+
+// RunResult summarises a testbed run.
+type RunResult struct {
+	// EnergyWh is the total electrical energy over the run.
+	EnergyWh float64
+	// MaxRiseF is the worst occupied-zone excursion above the setpoint —
+	// the comfort violation the attack induces (Fig 8's overheated
+	// occupied zones).
+	MaxRiseF float64
+	// Minutes is the run length.
+	Minutes int
+}
+
+// ErrBadScenario rejects inconsistent scenarios.
+var ErrBadScenario = errors.New("testbed: scenario length mismatch")
+
+// Run executes the scenario: each minute the controller reads believed
+// loads (actual, or forged under attack), sets fan duties from the
+// identified dynamics model, and the plant steps with the real loads.
+func Run(sim *Simulator, model *DynamicsModel, sc Scenario) (RunResult, error) {
+	if sc.Reported != nil && len(sc.Reported) != len(sc.Actual) {
+		return RunResult{}, ErrBadScenario
+	}
+	if sc.TriggeredW != nil && len(sc.TriggeredW) != len(sc.Actual) {
+		return RunResult{}, ErrBadScenario
+	}
+	sim.Reset()
+	res := RunResult{Minutes: len(sc.Actual)}
+	for t := range sc.Actual {
+		believed := sc.Actual[t]
+		if sc.Reported != nil {
+			believed = sc.Reported[t]
+		}
+		var in Inputs
+		in.LEDWatts = sc.Actual[t].totalW()
+		if sc.TriggeredW != nil {
+			for i := range in.LEDWatts {
+				in.LEDWatts[i] += sc.TriggeredW[t][i]
+			}
+		}
+		belW := believed.totalW()
+		if sc.TriggeredW != nil {
+			// Triggered appliances report "on", so the controller also sees
+			// their load.
+			for i := range belW {
+				belW[i] += sc.TriggeredW[t][i]
+			}
+		}
+		for i := range belW {
+			if belW[i] <= 0 {
+				in.FanDuty[i] = 0 // demand control: no believed load, no air
+				continue
+			}
+			in.FanDuty[i] = clamp01(model.DutyForLoad[i].Eval(belW[i] * 0.85))
+		}
+		res.EnergyWh += sim.Step(in)
+		// Comfort tracking: occupied zones only.
+		for i := range in.LEDWatts {
+			if sc.Actual[t].OccupantW[i] > 0 {
+				if rise := sim.TempF[i] - sim.cfg.SetpointF; rise > res.MaxRiseF {
+					res.MaxRiseF = rise
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// ValidationResult is the Section VI headline: benign vs attacked energy.
+type ValidationResult struct {
+	Benign   RunResult
+	Attacked RunResult
+	// IncreasePct is the attacked-over-benign energy increase in percent
+	// (the paper reports 78%).
+	IncreasePct float64
+	// FitErrorPct is the dynamics identification error (paper: <2%).
+	FitErrorPct float64
+}
+
+// Validate runs the full Section VI experiment: identify the dynamics, run
+// the demonstration hour benign and attacked, and report the energy
+// increase.
+func Validate(cfg Config) (ValidationResult, error) {
+	sim, err := New(cfg)
+	if err != nil {
+		return ValidationResult{}, err
+	}
+	model, err := Identify(sim)
+	if err != nil {
+		return ValidationResult{}, err
+	}
+	benign, err := Run(sim, model, Fig8Scenario(cfg, false))
+	if err != nil {
+		return ValidationResult{}, err
+	}
+	attacked, err := Run(sim, model, Fig8Scenario(cfg, true))
+	if err != nil {
+		return ValidationResult{}, err
+	}
+	res := ValidationResult{
+		Benign:      benign,
+		Attacked:    attacked,
+		FitErrorPct: model.FitErrorPct,
+	}
+	if benign.EnergyWh > 0 {
+		res.IncreasePct = (attacked.EnergyWh/benign.EnergyWh - 1) * 100
+	}
+	return res, nil
+}

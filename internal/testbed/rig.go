@@ -1,0 +1,195 @@
+package testbed
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/acyd-lab/shatter/internal/mqtt"
+)
+
+// Message aliases the transport message type so testbed consumers can write
+// MITM rewrites without importing the transport package directly.
+type Message = mqtt.Message
+
+// Rig wires the simulated plant to a real MQTT-style broker over loopback
+// TCP, reproducing the paper's testbed architecture (Fig 9): a sensor node
+// publishes per-zone load reports, a supervisory controller subscribes and
+// publishes fan duties, and — under attack — the sensor traffic passes
+// through a man-in-the-middle proxy that forges the reports.
+type Rig struct {
+	sim    *Simulator
+	model  *DynamicsModel
+	broker *mqtt.Broker
+	proxy  *mqtt.Proxy
+
+	sensor *mqtt.Client // publishes loads (possibly via the MITM proxy)
+	ctrl   *mqtt.Client // the controller's broker connection
+	loads  <-chan mqtt.Message
+	duties <-chan mqtt.Message
+}
+
+// loadReport is the sensor node's message.
+type loadReport struct {
+	Zone  int     `json:"zone"`
+	LoadW float64 `json:"loadW"`
+}
+
+// dutyCommand is the controller's actuation message.
+type dutyCommand struct {
+	Zone int     `json:"zone"`
+	Duty float64 `json:"duty"`
+}
+
+// NewRig boots a broker, an optional MITM proxy with the given rewrite, and
+// the two clients. Callers must Close the rig.
+func NewRig(sim *Simulator, model *DynamicsModel, rewrite func(mqtt.Message) mqtt.Message) (*Rig, error) {
+	broker, err := mqtt.NewBroker("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	r := &Rig{sim: sim, model: model, broker: broker}
+	sensorAddr := broker.Addr()
+	if rewrite != nil {
+		proxy, err := mqtt.NewProxy("127.0.0.1:0", broker.Addr(), rewrite)
+		if err != nil {
+			broker.Close()
+			return nil, err
+		}
+		r.proxy = proxy
+		sensorAddr = proxy.Addr()
+	}
+	if r.sensor, err = mqtt.Dial(sensorAddr); err != nil {
+		r.Close()
+		return nil, err
+	}
+	if r.ctrl, err = mqtt.Dial(broker.Addr()); err != nil {
+		r.Close()
+		return nil, err
+	}
+	if r.loads, err = r.ctrl.Subscribe("testbed/load"); err != nil {
+		r.Close()
+		return nil, err
+	}
+	if r.duties, err = r.ctrl.Subscribe("testbed/duty"); err != nil {
+		r.Close()
+		return nil, err
+	}
+	// Give the broker a moment to register subscriptions before traffic.
+	time.Sleep(30 * time.Millisecond)
+	return r, nil
+}
+
+// Tick runs one supervisory minute: the sensor node publishes each zone's
+// believed load, the controller computes and publishes duties, and the
+// plant steps with the real loads. Returns the energy consumed (Wh).
+func (r *Rig) Tick(actual, believed [zoneCount]float64) (float64, error) {
+	// Sensor node publishes (through the proxy when attacked).
+	for zi := 0; zi < zoneCount; zi++ {
+		if err := r.sensor.Publish("testbed/load", loadReport{Zone: zi, LoadW: believed[zi]}); err != nil {
+			return 0, fmt.Errorf("testbed: publish load: %w", err)
+		}
+	}
+	var in Inputs
+	in.LEDWatts = actual
+	// The controller consumes the four reports and answers with duties.
+	deadline := time.After(3 * time.Second)
+	for received := 0; received < zoneCount; {
+		select {
+		case m, ok := <-r.loads:
+			if !ok {
+				return 0, fmt.Errorf("testbed: load channel closed")
+			}
+			var rep loadReport
+			if err := json.Unmarshal(m.Payload, &rep); err != nil {
+				return 0, err
+			}
+			duty := 0.0
+			if rep.LoadW > 0 {
+				duty = clamp01(r.model.DutyForLoad[rep.Zone].Eval(rep.LoadW * 0.85))
+			}
+			if err := r.ctrl.Publish("testbed/duty", dutyCommand{Zone: rep.Zone, Duty: duty}); err != nil {
+				return 0, err
+			}
+			received++
+		case <-deadline:
+			return 0, fmt.Errorf("testbed: timed out waiting for load reports")
+		}
+	}
+	// Apply the actuation commands.
+	deadline = time.After(3 * time.Second)
+	for received := 0; received < zoneCount; {
+		select {
+		case m, ok := <-r.duties:
+			if !ok {
+				return 0, fmt.Errorf("testbed: duty channel closed")
+			}
+			var cmd dutyCommand
+			if err := json.Unmarshal(m.Payload, &cmd); err != nil {
+				return 0, err
+			}
+			in.FanDuty[cmd.Zone] = cmd.Duty
+			received++
+		case <-deadline:
+			return 0, fmt.Errorf("testbed: timed out waiting for duty commands")
+		}
+	}
+	return r.sim.Step(in), nil
+}
+
+// Close tears down clients, proxy, and broker.
+func (r *Rig) Close() {
+	if r.sensor != nil {
+		r.sensor.Close()
+	}
+	if r.ctrl != nil {
+		r.ctrl.Close()
+	}
+	if r.proxy != nil {
+		r.proxy.Close()
+	}
+	if r.broker != nil {
+		r.broker.Close()
+	}
+}
+
+// KitchenForgeRewrite returns the MITM rewrite used by the validation demo:
+// every load report is replaced by the "everyone cooking in the kitchen"
+// story (zones other than the kitchen report empty; the kitchen reports the
+// forged wattage).
+func KitchenForgeRewrite(kitchenIndexW float64) func(mqtt.Message) mqtt.Message {
+	return func(m mqtt.Message) mqtt.Message {
+		if m.Topic != "testbed/load" {
+			return m
+		}
+		var rep loadReport
+		if err := json.Unmarshal(m.Payload, &rep); err != nil {
+			return m
+		}
+		if rep.Zone == 2 { // kitchen index (ZoneID Kitchen − 1)
+			rep.LoadW = kitchenIndexW
+		} else {
+			rep.LoadW = 0
+		}
+		forged, err := json.Marshal(rep)
+		if err != nil {
+			return m
+		}
+		m.Payload = forged
+		return m
+	}
+}
+
+// zoneTopicIndex parses a zone index out of a topic suffix; kept for
+// forward compatibility with per-zone topics.
+func zoneTopicIndex(topic string) (int, bool) {
+	if len(topic) == 0 {
+		return 0, false
+	}
+	i, err := strconv.Atoi(topic[len(topic)-1:])
+	if err != nil || i < 0 || i >= zoneCount {
+		return 0, false
+	}
+	return i, true
+}

@@ -1,0 +1,181 @@
+// Package shatter is the public API of the SHATTER reproduction — a
+// control- and defense-aware attack-analytics framework for activity-driven
+// smart-home systems (Haque et al., DSN 2023).
+//
+// The package re-exports the stable surface of the internal modules:
+//
+//   - dataset generation (ARAS-style synthetic activity traces),
+//   - the DCHVAC controllers and plant simulation,
+//   - the clustering + convex-hull anomaly detection model (ADM),
+//   - the attack planner (BIoTA baseline, greedy Algorithm 2, SHATTER
+//     windowed schedule) and the appliance-triggering stage (Algorithm 1),
+//   - the experiment suite that regenerates every table and figure of the
+//     paper's evaluation, and
+//   - the scaled prototype testbed with its MQTT-style transport.
+//
+// See examples/quickstart for a five-minute tour.
+package shatter
+
+import (
+	"github.com/acyd-lab/shatter/internal/adm"
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/attack"
+	"github.com/acyd-lab/shatter/internal/core"
+	"github.com/acyd-lab/shatter/internal/home"
+	"github.com/acyd-lab/shatter/internal/hvac"
+	"github.com/acyd-lab/shatter/internal/testbed"
+)
+
+// Domain model.
+type (
+	// House is a smart-home configuration (zones, occupants, appliances).
+	House = home.House
+	// ZoneID identifies a zone; Outside is zone 0.
+	ZoneID = home.ZoneID
+	// ActivityID identifies one of the 27 ARAS activities.
+	ActivityID = home.ActivityID
+	// Trace is a multi-day activity/occupancy recording.
+	Trace = aras.Trace
+	// Episode is one contiguous stay of an occupant in a zone.
+	Episode = aras.Episode
+	// GeneratorConfig parameterises synthetic trace generation.
+	GeneratorConfig = aras.GeneratorConfig
+)
+
+// Zone constants re-exported for examples and tools.
+const (
+	Outside    = home.Outside
+	Bedroom    = home.Bedroom
+	Livingroom = home.Livingroom
+	Kitchen    = home.Kitchen
+	Bathroom   = home.Bathroom
+)
+
+// SlotsPerDay is the number of 1-minute control slots per day.
+const SlotsPerDay = aras.SlotsPerDay
+
+// NewHouse returns one of the two ARAS-style houses, "A" or "B".
+func NewHouse(name string) (*House, error) { return home.NewHouse(name) }
+
+// Generate produces a synthetic activity trace for the house.
+func Generate(h *House, cfg GeneratorConfig) (*Trace, error) { return aras.Generate(h, cfg) }
+
+// HVAC control.
+type (
+	// HVACParams configures the DCHVAC plant and comfort bounds.
+	HVACParams = hvac.Params
+	// Pricing is the two-tier TOU tariff with battery storage.
+	Pricing = hvac.Pricing
+	// Controller plans per-zone airflow from believed occupancy.
+	Controller = hvac.Controller
+	// SimResult is a plant simulation's cost/energy accounting.
+	SimResult = hvac.Result
+)
+
+// DefaultHVACParams returns the reproduction's plant parameters.
+func DefaultHVACParams() HVACParams { return hvac.DefaultParams() }
+
+// DefaultPricing returns the PG&E-style TOU tariff.
+func DefaultPricing() Pricing { return hvac.DefaultPricing() }
+
+// NewSHATTERController returns the paper's activity-aware controller.
+func NewSHATTERController(p HVACParams) Controller { return &hvac.SHATTERController{Params: p} }
+
+// NewASHRAEController returns the Fig 3 baseline controller.
+func NewASHRAEController(p HVACParams, h *House) Controller { return hvac.NewASHRAEController(p, h) }
+
+// Simulate runs a controller over a trace with benign beliefs.
+func Simulate(tr *Trace, ctrl Controller, p HVACParams, pr Pricing) (SimResult, error) {
+	return hvac.Simulate(tr, ctrl, p, pr, hvac.Options{})
+}
+
+// Anomaly detection.
+type (
+	// ADMAlgorithm selects DBSCAN or K-Means clustering.
+	ADMAlgorithm = adm.Algorithm
+	// ADMConfig parameterises ADM training.
+	ADMConfig = adm.Config
+	// ADM is a trained anomaly detection model.
+	ADM = adm.Model
+)
+
+// The two ADM backends.
+const (
+	DBSCAN = adm.DBSCAN
+	KMeans = adm.KMeans
+)
+
+// DefaultADMConfig returns the paper's hyperparameters for a backend.
+func DefaultADMConfig(alg ADMAlgorithm) ADMConfig { return adm.DefaultConfig(alg) }
+
+// TrainADM fits an anomaly detection model on a trace.
+func TrainADM(tr *Trace, cfg ADMConfig) (*ADM, error) { return adm.Train(tr, cfg) }
+
+// Attack analytics.
+type (
+	// Capability models the attacker's sensor/appliance/occupant access.
+	Capability = attack.Capability
+	// Planner synthesises attack schedules.
+	Planner = attack.Planner
+	// Plan is a falsified-measurement campaign.
+	Plan = attack.Plan
+	// Impact is an attack campaign's evaluated outcome.
+	Impact = attack.Impact
+	// EvalOptions configures impact evaluation.
+	EvalOptions = attack.EvalOptions
+)
+
+// FullCapability grants access to everything in the house.
+func FullCapability(h *House) Capability { return attack.Full(h) }
+
+// NewPlanner builds an attack planner. The model is the attacker's ADM
+// estimate; windowLen is the optimisation horizon I (paper: 10).
+func NewPlanner(tr *Trace, model *ADM, p HVACParams, pr Pricing, cap Capability, windowLen int) *Planner {
+	return &attack.Planner{
+		Trace:     tr,
+		Model:     model,
+		Cost:      hvac.NewCostModel(tr.House, p, pr),
+		Cap:       cap,
+		WindowLen: windowLen,
+	}
+}
+
+// TriggerAppliances runs Algorithm 1 over a plan, really switching on
+// accessible appliances in stealthy windows. Returns triggered slots.
+func TriggerAppliances(tr *Trace, plan *Plan, model *ADM, cap Capability) int {
+	return attack.TriggerAppliances(tr, plan, model, cap)
+}
+
+// EvaluateImpact scores a plan against a defender's ADM and the plant.
+func EvaluateImpact(tr *Trace, plan *Plan, defender *ADM, ctrl Controller, p HVACParams, pr Pricing, opts EvalOptions) (Impact, error) {
+	return attack.EvaluateImpact(tr, plan, defender, ctrl, p, pr, opts)
+}
+
+// Experiment suite.
+type (
+	// Suite regenerates every table and figure of the paper.
+	Suite = core.Suite
+	// SuiteConfig parameterises a reproduction run.
+	SuiteConfig = core.SuiteConfig
+)
+
+// DefaultSuiteConfig mirrors the paper's setup (30 days, horizon 10).
+func DefaultSuiteConfig() SuiteConfig { return core.DefaultSuiteConfig() }
+
+// NewSuite generates both houses' datasets and returns the experiment
+// runner.
+func NewSuite(cfg SuiteConfig) (*Suite, error) { return core.NewSuite(cfg) }
+
+// Testbed.
+type (
+	// TestbedConfig parameterises the scaled prototype testbed.
+	TestbedConfig = testbed.Config
+	// TestbedValidation is the Section VI benign-vs-attacked result.
+	TestbedValidation = testbed.ValidationResult
+)
+
+// DefaultTestbedConfig returns the paper's testbed parameters.
+func DefaultTestbedConfig() TestbedConfig { return testbed.DefaultConfig() }
+
+// ValidateTestbed runs the full Section VI experiment.
+func ValidateTestbed(cfg TestbedConfig) (TestbedValidation, error) { return testbed.Validate(cfg) }
