@@ -10,6 +10,7 @@ package shatter
 // completes in minutes) and shared across benchmarks.
 
 import (
+	"strconv"
 	"sync"
 	"testing"
 
@@ -216,7 +217,7 @@ func BenchmarkTestbedValidation(b *testing.B) {
 func BenchmarkAblationWindowLength(b *testing.B) {
 	s := suite(b)
 	for _, window := range []int{5, 10, 20} {
-		b.Run(benchName("I", window), func(b *testing.B) {
+		b.Run("I="+strconv.Itoa(window), func(b *testing.B) {
 			model, err := adm.Train(mustTrain(b, s), adm.DefaultConfig(adm.KMeans))
 			if err != nil {
 				b.Fatal(err)
@@ -263,7 +264,7 @@ func BenchmarkAblationPruning(b *testing.B) {
 func BenchmarkAblationBatterySize(b *testing.B) {
 	s := suite(b)
 	for _, kwh := range []float64{0, 3, 6} {
-		b.Run(benchName("kWh", int(kwh)), func(b *testing.B) {
+		b.Run("kWh="+strconv.Itoa(int(kwh)), func(b *testing.B) {
 			pricing := s.Pricing
 			pricing.BatteryKWh = kwh
 			for i := 0; i < b.N; i++ {
@@ -295,12 +296,4 @@ func mustTrain(b *testing.B, s *core.Suite) *Trace {
 
 func plannerFor(s *core.Suite, model *ADM, window int) *Planner {
 	return NewPlanner(s.Houses["A"], model, s.Params, s.Pricing, attack.Full(s.Houses["A"].House), window)
-}
-
-func benchName(prefix string, v int) string {
-	const digits = "0123456789"
-	if v < 10 {
-		return prefix + "=" + digits[v:v+1]
-	}
-	return prefix + "=" + digits[v/10:v/10+1] + digits[v%10:v%10+1]
 }

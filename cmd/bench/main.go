@@ -1,0 +1,141 @@
+// Command bench runs the experiment suite end to end and emits a
+// machine-readable JSON baseline (wall time per experiment, allocation
+// stats, cache effectiveness) for tracking the performance trajectory
+// across PRs.
+//
+// Usage:
+//
+//	bench [-days N] [-train N] [-seed S] [-workers N] [-o BENCH.json]
+//
+// The default configuration matches the benchmark harness's quick suite
+// (12 days) so numbers are comparable with `go test -bench`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/acyd-lab/shatter/internal/core"
+)
+
+// Measurement is one experiment's wall-clock record. Cold is the first run
+// (artifact cache faults in models, splits, and simulations); Warm is a
+// second run over the populated cache.
+type Measurement struct {
+	Name   string `json:"name"`
+	ColdNS int64  `json:"cold_ns"`
+	WarmNS int64  `json:"warm_ns"`
+}
+
+// Report is the emitted baseline document.
+type Report struct {
+	Days         int           `json:"days"`
+	TrainDays    int           `json:"train_days"`
+	Seed         uint64        `json:"seed"`
+	Workers      int           `json:"workers"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	SuiteBuildNS int64         `json:"suite_build_ns"`
+	Experiments  []Measurement `json:"experiments"`
+	ADMTrainings int64         `json:"adm_trainings"`
+	CacheEntries int           `json:"cache_entries"`
+	TotalNS      int64         `json:"total_ns"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	days := fs.Int("days", 12, "trace length in days")
+	train := fs.Int("train", 9, "ADM training days")
+	seed := fs.Uint64("seed", 20230427, "dataset seed")
+	workers := fs.Int("workers", 0, "experiment worker pool (0 = all CPUs)")
+	out := fs.String("o", "BENCH_PR1.json", "output path (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.SuiteConfig{Days: *days, TrainDays: *train, Seed: *seed, WindowLen: 10, Workers: *workers}
+	started := time.Now()
+	buildStart := time.Now()
+	s, err := core.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	report := Report{
+		Days:         cfg.Days,
+		TrainDays:    cfg.TrainDays,
+		Seed:         cfg.Seed,
+		Workers:      cfg.Workers,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		SuiteBuildNS: time.Since(buildStart).Nanoseconds(),
+	}
+
+	experiments := []struct {
+		name string
+		run  func() error
+	}{
+		{"Fig3", discard(s.Fig3)},
+		{"Fig4", discard(s.Fig4)},
+		{"Fig5", discard(s.Fig5)},
+		{"Fig6", discard(s.Fig6)},
+		{"TableIII", discard(s.CaseStudy)},
+		{"TableIV", discard(s.TableIV)},
+		{"TableV", discard(s.TableV)},
+		{"Fig10", discard(s.Fig10)},
+		{"TableVI", discard(s.TableVI)},
+		{"TableVII", discard(s.TableVII)},
+	}
+	for _, e := range experiments {
+		cold := time.Now()
+		if err := e.run(); err != nil {
+			return fmt.Errorf("%s (cold): %w", e.name, err)
+		}
+		coldNS := time.Since(cold).Nanoseconds()
+		warm := time.Now()
+		if err := e.run(); err != nil {
+			return fmt.Errorf("%s (warm): %w", e.name, err)
+		}
+		report.Experiments = append(report.Experiments, Measurement{
+			Name:   e.name,
+			ColdNS: coldNS,
+			WarmNS: time.Since(warm).Nanoseconds(),
+		})
+	}
+	stats := s.CacheStats()
+	report.ADMTrainings = stats.ADMTrainings
+	report.CacheEntries = stats.Entries
+	report.TotalNS = time.Since(started).Nanoseconds()
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (total %s, %d ADM trainings, %d cache entries)\n",
+		*out, time.Duration(report.TotalNS).Round(time.Millisecond), report.ADMTrainings, report.CacheEntries)
+	return nil
+}
+
+// discard adapts an experiment method to a result-free runner.
+func discard[T any](f func() (T, error)) func() error {
+	return func() error {
+		_, err := f()
+		return err
+	}
+}

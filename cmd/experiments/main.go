@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	experiments [-days N] [-train N] [-seed S] [-quick] [-only fig3,tableV,...]
+//	experiments [-days N] [-train N] [-seed S] [-workers N] [-quick] [-only fig3,tableV,...]
 //
 // -quick runs a reduced 12-day configuration for a fast smoke pass.
+// -workers bounds the experiment worker pool (0 = one per CPU; 1 = fully
+// sequential — results are identical either way).
 package main
 
 import (
@@ -31,11 +33,12 @@ func run(args []string) error {
 	train := fs.Int("train", 25, "ADM training days")
 	seed := fs.Uint64("seed", 20230427, "dataset seed")
 	quick := fs.Bool("quick", false, "reduced 12-day run")
+	workers := fs.Int("workers", 0, "experiment worker pool (0 = all CPUs, 1 = sequential)")
 	only := fs.String("only", "", "comma-separated experiment ids (default all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := core.SuiteConfig{Days: *days, TrainDays: *train, Seed: *seed, WindowLen: 10}
+	cfg := core.SuiteConfig{Days: *days, TrainDays: *train, Seed: *seed, WindowLen: 10, Workers: *workers}
 	if *quick {
 		cfg.Days, cfg.TrainDays = 12, 9
 	}

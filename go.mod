@@ -1,0 +1,3 @@
+module github.com/acyd-lab/shatter
+
+go 1.24

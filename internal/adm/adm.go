@@ -82,6 +82,10 @@ type Model struct {
 	hulls map[key][]geometry.Hull
 	// trainingPoints retains the raw points for reporting (Fig 6).
 	trainingPoints map[key][]geometry.Point
+	// memo tabulates the stay queries per occupant/zone over the integer
+	// arrival slots of a day — the attack solver's hot path. Built once at
+	// Train time, so a trained Model is safe for concurrent readers.
+	memo map[key]*zoneMemo
 }
 
 // ErrNoData is returned when a trace yields no episodes to train on.
@@ -94,6 +98,7 @@ func Train(trace *aras.Trace, cfg Config) (*Model, error) {
 		house:          trace.House,
 		hulls:          make(map[key][]geometry.Hull),
 		trainingPoints: make(map[key][]geometry.Point),
+		memo:           make(map[key]*zoneMemo),
 	}
 	if cfg.Eps == 0 {
 		cfg.Eps = 20
@@ -126,6 +131,7 @@ func Train(trace *aras.Trace, cfg Config) (*Model, error) {
 				return nil, fmt.Errorf("adm: occupant %d zone %v: %w", o, z, err)
 			}
 			m.hulls[k] = hulls
+			m.memo[k] = buildZoneMemo(hulls)
 			trained = true
 		}
 	}
@@ -188,6 +194,9 @@ func (m *Model) TrainingPoints(occupant int, zone home.ZoneID) []geometry.Point 
 // WithinCluster reports whether the (arrival, stay) pair falls inside any
 // learned cluster hull for the occupant/zone (Eq 9).
 func (m *Model) WithinCluster(occupant int, zone home.ZoneID, arrivalSlot, stayMinutes int) bool {
+	if zm, ok := m.memoFor(occupant, zone, arrivalSlot); ok {
+		return zm.stayWithin(arrivalSlot, stayMinutes)
+	}
 	p := geometry.Point{X: float64(arrivalSlot), Y: float64(stayMinutes)}
 	for _, h := range m.hulls[key{occupant: occupant, zone: zone}] {
 		if h.Contains(p) {
@@ -197,11 +206,28 @@ func (m *Model) WithinCluster(occupant int, zone home.ZoneID, arrivalSlot, stayM
 	return false
 }
 
+// memoFor returns the stay-query table for the occupant/zone when the
+// arrival slot is within its tabulated day range. Out-of-range arrivals
+// (callers probing beyond a day boundary) fall back to hull geometry.
+func (m *Model) memoFor(occupant int, zone home.ZoneID, arrivalSlot int) (*zoneMemo, bool) {
+	if arrivalSlot < 0 || arrivalSlot >= aras.SlotsPerDay {
+		return nil, false
+	}
+	zm := m.memo[key{occupant: occupant, zone: zone}]
+	return zm, zm != nil
+}
+
 // StayRange returns the union [min, max] of stealthy stay durations for an
 // arrival time, and ok=false when no cluster covers the arrival time at
 // all. The range may contain gaps between clusters; use InRangeStay to test
 // a specific duration.
 func (m *Model) StayRange(occupant int, zone home.ZoneID, arrivalSlot int) (minStay, maxStay int, ok bool) {
+	if zm, memoOK := m.memoFor(occupant, zone, arrivalSlot); memoOK {
+		if !zm.covered[arrivalSlot] {
+			return 0, 0, false
+		}
+		return int(zm.minStay[arrivalSlot]), int(zm.maxStay[arrivalSlot]), true
+	}
 	lo, hi := math.Inf(1), math.Inf(-1)
 	found := false
 	for _, h := range m.hulls[key{occupant: occupant, zone: zone}] {
@@ -216,14 +242,7 @@ func (m *Model) StayRange(occupant int, zone home.ZoneID, arrivalSlot int) (minS
 	if !found {
 		return 0, 0, false
 	}
-	minStay = int(math.Ceil(lo - 1e-9))
-	maxStay = int(math.Floor(hi + 1e-9))
-	if minStay < 0 {
-		minStay = 0
-	}
-	if maxStay < minStay {
-		maxStay = minStay
-	}
+	minStay, maxStay = clampStayRange(lo, hi)
 	return minStay, maxStay, true
 }
 

@@ -1,0 +1,107 @@
+// Stay-range memoisation: the attack solver issues millions of
+// MaxStay/InRangeStay oracle queries per planning run, all with integer
+// arrival slots in [0, SlotsPerDay). Because a convex hull's intersection
+// with the vertical line x = arrival is a single y-interval, the whole query
+// surface can be tabulated once at training time — per (occupant, zone,
+// arrival slot) a covered flag, the integer [minStay, maxStay] union bounds,
+// and the per-hull y-intervals needed for gap-aware InRangeStay checks.
+// Queries then cost an array load instead of per-edge geometry.
+package adm
+
+import (
+	"math"
+
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/geometry"
+)
+
+// stayInterval is one hull's stealthy-stay band at a fixed arrival slot.
+type stayInterval struct{ lo, hi float64 }
+
+// zoneMemo tabulates the stay queries for one (occupant, zone) model over
+// the integer arrival slots of a day.
+type zoneMemo struct {
+	covered []bool  // covered[t]: some hull intersects x = t
+	minStay []int32 // StayRange lower bound (valid when covered)
+	maxStay []int32 // StayRange upper bound (valid when covered)
+	// ivOff/ivs store each slot's hull intervals contiguously:
+	// ivs[ivOff[t]:ivOff[t+1]] are the y-intervals at arrival t.
+	ivOff []int32
+	ivs   []stayInterval
+}
+
+// memoTol mirrors the geometry predicates' boundary tolerance. Training
+// points are integral, so hull boundaries at integer x are rationals with
+// denominator ≤ SlotsPerDay; any tolerance ≪ 1/SlotsPerDay² preserves the
+// exact membership decisions of the hull tests for integer stays.
+const memoTol = 1e-9
+
+// buildZoneMemo tabulates the hull set via the allocation-free
+// geometry.Hull.ScanYRangesAtIntegerX walk, which matches YRangeAtX /
+// Contains semantics exactly for integer queries.
+func buildZoneMemo(hulls []geometry.Hull) *zoneMemo {
+	m := &zoneMemo{
+		covered: make([]bool, aras.SlotsPerDay),
+		minStay: make([]int32, aras.SlotsPerDay),
+		maxStay: make([]int32, aras.SlotsPerDay),
+		ivOff:   make([]int32, aras.SlotsPerDay+1),
+	}
+	// Collect intervals per slot. perSlot is scratch; most slots are covered
+	// by zero or a few hulls.
+	perSlot := make([][]stayInterval, aras.SlotsPerDay)
+	for _, h := range hulls {
+		h.ScanYRangesAtIntegerX(0, aras.SlotsPerDay-1, func(slot int, lo, hi float64) {
+			perSlot[slot] = append(perSlot[slot], stayInterval{lo, hi})
+		})
+	}
+	total := 0
+	for _, ivs := range perSlot {
+		total += len(ivs)
+	}
+	m.ivs = make([]stayInterval, 0, total)
+	for t := 0; t < aras.SlotsPerDay; t++ {
+		m.ivOff[t] = int32(len(m.ivs))
+		ivs := perSlot[t]
+		if len(ivs) == 0 {
+			continue
+		}
+		m.ivs = append(m.ivs, ivs...)
+		m.covered[t] = true
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, iv := range ivs {
+			lo = math.Min(lo, iv.lo)
+			hi = math.Max(hi, iv.hi)
+		}
+		minS, maxS := clampStayRange(lo, hi)
+		m.minStay[t], m.maxStay[t] = int32(minS), int32(maxS)
+	}
+	m.ivOff[aras.SlotsPerDay] = int32(len(m.ivs))
+	return m
+}
+
+// clampStayRange converts a real stay interval to the integer [min, max]
+// StayRange reports: boundary-tolerant rounding, clamped to non-negative
+// durations. Shared by the memo build and the geometric fallback.
+func clampStayRange(lo, hi float64) (minStay, maxStay int) {
+	minStay = int(math.Ceil(lo - 1e-9))
+	maxStay = int(math.Floor(hi + 1e-9))
+	if minStay < 0 {
+		minStay = 0
+	}
+	if maxStay < minStay {
+		maxStay = minStay
+	}
+	return minStay, maxStay
+}
+
+// stayWithin reports whether the stay lies inside any hull interval at the
+// arrival slot.
+func (m *zoneMemo) stayWithin(arrival, stay int) bool {
+	y := float64(stay)
+	for _, iv := range m.ivs[m.ivOff[arrival]:m.ivOff[arrival+1]] {
+		if y >= iv.lo-memoTol && y <= iv.hi+memoTol {
+			return true
+		}
+	}
+	return false
+}

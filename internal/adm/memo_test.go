@@ -1,0 +1,74 @@
+package adm
+
+import (
+	"testing"
+
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/geometry"
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// geometryWithin is the pre-memo reference implementation of WithinCluster:
+// a direct hull-membership test.
+func geometryWithin(m *Model, occupant int, zone home.ZoneID, arrival, stay int) bool {
+	p := geometry.Point{X: float64(arrival), Y: float64(stay)}
+	for _, h := range m.hulls[key{occupant: occupant, zone: zone}] {
+		if h.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// geometryStayRange is the pre-memo reference implementation of StayRange.
+func geometryStayRange(m *Model, occupant int, zone home.ZoneID, arrival int) (int, int, bool) {
+	save := m.memo
+	m.memo = nil
+	defer func() { m.memo = save }()
+	return m.StayRange(occupant, zone, arrival)
+}
+
+// TestMemoMatchesGeometry asserts the tabulated stay queries agree with the
+// direct hull geometry across the full integer query surface the attack
+// solver exercises.
+func TestMemoMatchesGeometry(t *testing.T) {
+	for _, alg := range []Algorithm{DBSCAN, KMeans} {
+		m, _ := trainedModel(t, alg, 20)
+		for o := 0; o < 2; o++ {
+			for z := home.ZoneID(0); z < home.NumZones; z++ {
+				for arr := 0; arr < aras.SlotsPerDay; arr += 7 {
+					gMin, gMax, gOK := geometryStayRange(m, o, z, arr)
+					mMin, mMax, mOK := m.StayRange(o, z, arr)
+					if gOK != mOK || gMin != mMin || gMax != mMax {
+						t.Fatalf("%v o=%d z=%v arr=%d: StayRange memo (%d,%d,%v) != geometry (%d,%d,%v)",
+							alg, o, z, arr, mMin, mMax, mOK, gMin, gMax, gOK)
+					}
+					if !gOK {
+						continue
+					}
+					for _, stay := range []int{0, 1, gMin - 1, gMin, (gMin + gMax) / 2, gMax, gMax + 1, gMax + 60} {
+						if stay < 0 {
+							continue
+						}
+						if got, want := m.WithinCluster(o, z, arr, stay), geometryWithin(m, o, z, arr, stay); got != want {
+							t.Fatalf("%v o=%d z=%v arr=%d stay=%d: memo %v != geometry %v",
+								alg, o, z, arr, stay, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMemoOutOfRangeArrival checks the geometry fallback for arrivals
+// outside the tabulated day range.
+func TestMemoOutOfRangeArrival(t *testing.T) {
+	m, _ := trainedModel(t, KMeans, 20)
+	if _, _, ok := m.StayRange(0, home.Bedroom, -5); ok {
+		t.Error("negative arrival should be uncovered")
+	}
+	if _, _, ok := m.StayRange(0, home.Bedroom, aras.SlotsPerDay+100); ok {
+		t.Error("past-midnight arrival should be uncovered")
+	}
+}

@@ -16,6 +16,11 @@ type EvalOptions struct {
 	// not materialise). Table V's SHATTER/Greedy rows under partial
 	// attacker knowledge shrink through exactly this mechanism.
 	AbortDetectedDays bool
+	// Benign, when non-nil, supplies a precomputed no-attack simulation of
+	// the same (trace, controller, params, pricing) and skips re-simulating
+	// it — the benign leg is identical across every evaluation of a house,
+	// so suite-level callers memoize it.
+	Benign *hvac.Result
 }
 
 // Impact is the outcome of an attack campaign.
@@ -39,9 +44,15 @@ type Impact struct {
 // stealthiness against the defender's ADM (which may differ from the
 // attacker's estimate under partial knowledge).
 func EvaluateImpact(trace *aras.Trace, plan *Plan, defender *adm.Model, ctrl hvac.Controller, params hvac.Params, pricing hvac.Pricing, opts EvalOptions) (Impact, error) {
-	benign, err := hvac.Simulate(trace, ctrl, params, pricing, hvac.Options{})
-	if err != nil {
-		return Impact{}, fmt.Errorf("attack: benign simulation: %w", err)
+	var benign hvac.Result
+	if opts.Benign != nil {
+		benign = *opts.Benign
+	} else {
+		var err error
+		benign, err = hvac.Simulate(trace, ctrl, params, pricing, hvac.Options{})
+		if err != nil {
+			return Impact{}, fmt.Errorf("attack: benign simulation: %w", err)
+		}
 	}
 
 	injected, flagged := 0, 0

@@ -113,12 +113,24 @@ type ReportedEpisode struct {
 
 // DayReportedEpisodes extracts episodes from the reported stream.
 func (p *Plan) DayReportedEpisodes(trace *aras.Trace, day, occupant int) []ReportedEpisode {
-	zones := p.RepZone[day][occupant]
+	return p.appendDayReportedEpisodes(nil, trace, day, occupant, naturalEpisodeSet(trace, day, occupant))
+}
+
+// naturalEpisodeSet indexes the actual stream's (zone, arrival, duration)
+// triples for one occupant-day. Callers that re-extract reported episodes
+// repeatedly (the sanitisation fixpoint) build it once and reuse it.
+func naturalEpisodeSet(trace *aras.Trace, day, occupant int) map[[3]int]bool {
 	natural := make(map[[3]int]bool)
 	for _, e := range trace.DayEpisodes(day, occupant) {
 		natural[[3]int{int(e.Zone), e.ArrivalSlot, e.Duration}] = true
 	}
-	var out []ReportedEpisode
+	return natural
+}
+
+// appendDayReportedEpisodes appends the day's reported episodes to buf,
+// classifying injection against the prebuilt natural set.
+func (p *Plan) appendDayReportedEpisodes(buf []ReportedEpisode, trace *aras.Trace, day, occupant int, natural map[[3]int]bool) []ReportedEpisode {
+	zones := p.RepZone[day][occupant]
 	start := 0
 	for t := 1; t <= aras.SlotsPerDay; t++ {
 		if t < aras.SlotsPerDay && zones[t] == zones[start] {
@@ -131,7 +143,7 @@ func (p *Plan) DayReportedEpisodes(trace *aras.Trace, day, occupant int) []Repor
 			ArrivalSlot: start,
 			Duration:    t - start,
 		}
-		out = append(out, ReportedEpisode{
+		buf = append(buf, ReportedEpisode{
 			Episode:  ep,
 			Injected: !natural[[3]int{int(ep.Zone), ep.ArrivalSlot, ep.Duration}],
 		})
@@ -139,15 +151,19 @@ func (p *Plan) DayReportedEpisodes(trace *aras.Trace, day, occupant int) []Repor
 			start = t
 		}
 	}
-	return out
+	return buf
 }
 
 // View adapts the plan into the hvac.View the attacked controller consumes:
 // reported occupancy/activity, and appliance status including really
 // triggered appliances (their status sensors read "on" because they are on).
+// The observation buffer is reused across Occupants calls, so an instance
+// must not be shared between concurrent simulations.
 type View struct {
 	trace *aras.Trace
 	plan  *Plan
+
+	obs []hvac.OccupantObs
 }
 
 var _ hvac.View = (*View)(nil)
@@ -163,10 +179,14 @@ func NewView(trace *aras.Trace, plan *Plan) (*View, error) {
 	return &View{trace: trace, plan: plan}, nil
 }
 
-// Occupants implements hvac.View.
+// Occupants implements hvac.View. The returned slice is valid until the
+// next call.
 func (v *View) Occupants(day, slot int) []hvac.OccupantObs {
 	occ := len(v.plan.RepZone[day])
-	obs := make([]hvac.OccupantObs, occ)
+	if cap(v.obs) < occ {
+		v.obs = make([]hvac.OccupantObs, occ)
+	}
+	obs := v.obs[:occ]
 	for o := 0; o < occ; o++ {
 		obs[o] = hvac.OccupantObs{
 			Zone:     v.plan.RepZone[day][o][slot],

@@ -27,6 +27,15 @@ type Planner struct {
 	// WindowLen is the optimisation horizon I (Eq 17); the paper uses 10.
 	// Defaults to 10 when zero.
 	WindowLen int
+	// CostSurface, when non-nil, supplies the tabulated occupant-day cost
+	// surrogate instead of the planner computing it. The surface depends
+	// only on (trace, cost model) — not on the attacker's ADM estimate or
+	// strategy — so suite-level callers memoize one per (house, day,
+	// occupant) and share it across every planning cell. The provider
+	// receives the planner's trace and must return nil when the surface was
+	// built for a different trace (e.g. after the planner is re-pointed at
+	// a sub-trace); the planner then tabulates locally.
+	CostSurface func(tr *aras.Trace, day, occupant int) solver.CostFn
 }
 
 // ErrNeedModel is returned when a strategy requires an ADM estimate.
@@ -66,6 +75,72 @@ func (pl *Planner) costFor(day, occupant int) solver.CostFn {
 	}
 }
 
+// costTableFn precomputes the occupant-day cost surface of costFor into a
+// (zone, slot)-indexed table and returns a table-backed CostFn plus the
+// (possibly grown) buffer for reuse. The schedule optimisers query the
+// surrogate thousands of times per occupant-day with the same (slot, zone)
+// arguments; tabulating the ≤ NumZones × SlotsPerDay distinct values once
+// removes the repeated HVAC cost-model evaluations from the hot path.
+func (pl *Planner) costTableFn(day, occupant int, tbl []float64) (solver.CostFn, []float64) {
+	n := int(home.NumZones) * aras.SlotsPerDay
+	if cap(tbl) < n {
+		tbl = make([]float64, n)
+	}
+	tbl = tbl[:n]
+	w := pl.Trace.Weather[day]
+	dd := pl.Trace.Days[day]
+	for z := home.ZoneID(0); z < home.NumZones; z++ {
+		row := tbl[int(z)*aras.SlotsPerDay : (int(z)+1)*aras.SlotsPerDay]
+		if !z.Conditioned() {
+			for t := range row {
+				row[t] = 0
+			}
+			continue
+		}
+		intense := home.MostIntenseActivityInZone(z)
+		for t := range row {
+			act := intense
+			if dd.Zone[occupant][t] == z {
+				act = dd.Act[occupant][t]
+			}
+			row[t] = pl.Cost.OccupantSlotCost(occupant, z, act, t, w.TempF[t])
+		}
+	}
+	return CostFnFromTable(tbl), tbl
+}
+
+// CostTable returns the freshly allocated (zone, slot)-indexed surrogate
+// cost surface for one occupant-day — the memoizable artifact behind
+// CostSurface.
+func (pl *Planner) CostTable(day, occupant int) []float64 {
+	_, tbl := pl.costTableFn(day, occupant, nil)
+	return tbl
+}
+
+// CostFnFromTable wraps a CostTable surface as a solver.CostFn.
+func CostFnFromTable(tbl []float64) solver.CostFn {
+	return func(slot int, z home.ZoneID) float64 {
+		if z < 0 || z >= home.NumZones {
+			return 0
+		}
+		return tbl[int(z)*aras.SlotsPerDay+slot]
+	}
+}
+
+// surfaceFor resolves the occupant-day cost surrogate: the injected
+// memoized surface when it covers the planner's trace, otherwise a locally
+// tabulated one (tbl is the reusable local buffer).
+func (pl *Planner) surfaceFor(day, occupant int, tbl *[]float64) solver.CostFn {
+	if pl.CostSurface != nil {
+		if fn := pl.CostSurface(pl.Trace, day, occupant); fn != nil {
+			return fn
+		}
+	}
+	fn, t := pl.costTableFn(day, occupant, *tbl)
+	*tbl = t
+	return fn
+}
+
 // allowedFor builds the capability AllowedFn for one occupant and day.
 func (pl *Planner) allowedFor(day, occupant int) solver.AllowedFn {
 	dd := pl.Trace.Days[day]
@@ -77,7 +152,9 @@ func (pl *Planner) allowedFor(day, occupant int) solver.AllowedFn {
 // viableTerminal builds a window terminal check: the end state must be able
 // to keep earning — continue the stay stealthily, exit into some covered
 // zone, or coincide with ground truth (truth-telling can always continue).
-func (pl *Planner) viableTerminal(day, occupant, end int, allowed solver.AllowedFn) func(home.ZoneID, int) bool {
+// zones is the house's reportable zone list, hoisted by the caller so the
+// per-terminal-state check allocates nothing.
+func (pl *Planner) viableTerminal(day, occupant, end int, zones []home.ZoneID, allowed solver.AllowedFn) func(home.ZoneID, int) bool {
 	return func(z home.ZoneID, arr int) bool {
 		if end >= aras.SlotsPerDay {
 			return true
@@ -92,7 +169,7 @@ func (pl *Planner) viableTerminal(day, occupant, end int, allowed solver.Allowed
 		if !pl.Model.InRangeStay(occupant, z, arr, dur) {
 			return false
 		}
-		for _, z2 := range zonesOf(pl.Trace.House) {
+		for _, z2 := range zones {
 			if z2 == z || !allowed(end, z2) {
 				continue
 			}
@@ -133,9 +210,14 @@ func (pl *Planner) PlanSHATTER() (*Plan, error) {
 	p := newPlan(pl.Trace, "SHATTER")
 	zones := zonesOf(pl.Trace.House)
 	iLen := pl.windowLen()
+	// One DP workspace serves every window of the plan: windows are solved
+	// sequentially, so the state tables are recycled ~144 times per
+	// occupant-day instead of reallocated.
+	var ws solver.Workspace
+	var ctbl []float64
 	for d := 0; d < pl.Trace.NumDays(); d++ {
 		for o := range pl.Trace.House.Occupants {
-			cost := pl.costFor(d, o)
+			cost := pl.surfaceFor(d, o, &ctbl)
 			allowed := pl.allowedFor(d, o)
 			// Day starts truth-telling: occupants begin where they really
 			// are (typically asleep), with the day-split arrival at slot 0.
@@ -187,9 +269,9 @@ func (pl *Planner) PlanSHATTER() (*Plan, error) {
 						}
 						return float64(remaining) * cost(slot, z)
 					}
-					w.TerminalOK = pl.viableTerminal(d, occ, end, allowed)
+					w.TerminalOK = pl.viableTerminal(d, occ, end, zones, allowed)
 				}
-				sched, _, err := solver.OptimizeWindow(w, pl.Model, cost, allowed)
+				sched, _, err := solver.OptimizeWindowWS(&ws, w, pl.Model, cost, allowed)
 				if err != nil {
 					return nil, fmt.Errorf("attack: day %d occupant %d window %d: %w", d, o, start, err)
 				}
@@ -197,7 +279,7 @@ func (pl *Planner) PlanSHATTER() (*Plan, error) {
 					// No viable terminal existed; accept any terminal and
 					// let the next window's fallback deal with dead ends.
 					w.TerminalOK = nil
-					sched, _, err = solver.OptimizeWindow(w, pl.Model, cost, allowed)
+					sched, _, err = solver.OptimizeWindowWS(&ws, w, pl.Model, cost, allowed)
 					if err != nil {
 						return nil, fmt.Errorf("attack: day %d occupant %d window %d: %w", d, o, start, err)
 					}
@@ -218,7 +300,7 @@ func (pl *Planner) PlanSHATTER() (*Plan, error) {
 				}
 				zone, arrival = sched.EndZone, sched.EndArrival
 			}
-			pl.applyTruthFloor(p, d, o)
+			pl.applyTruthFloor(p, d, o, cost)
 			pl.sanitizeDay(p, d, o)
 		}
 	}
@@ -228,9 +310,9 @@ func (pl *Planner) PlanSHATTER() (*Plan, error) {
 // applyTruthFloor reverts an occupant-day to truth when the optimised
 // schedule's surrogate value falls below simply not attacking (δ = 0 is
 // always available to the attacker; hull constraints never apply to
-// reality-as-reported).
-func (pl *Planner) applyTruthFloor(p *Plan, day, occupant int) {
-	cost := pl.costFor(day, occupant)
+// reality-as-reported). cost is the occupant-day surrogate, supplied by the
+// caller so the tabulated surface is shared with the optimiser.
+func (pl *Planner) applyTruthFloor(p *Plan, day, occupant int, cost solver.CostFn) {
 	var scheduled, truth float64
 	for t := 0; t < aras.SlotsPerDay; t++ {
 		scheduled += cost(t, p.RepZone[day][occupant][t])
@@ -251,10 +333,15 @@ func (pl *Planner) applyTruthFloor(p *Plan, day, occupant int) {
 // iteration cap the whole occupant-day reverts to truth — the attacker
 // never knowingly ships a flagged vector.
 func (pl *Planner) sanitizeDay(p *Plan, day, occupant int) {
+	// The natural-episode index and the episode buffer are invariant across
+	// fixpoint iterations; build/allocate them once.
+	natural := naturalEpisodeSet(pl.Trace, day, occupant)
+	var episodes []ReportedEpisode
 	for iter := 0; iter < 64; iter++ {
 		changed := 0
 		anomalous := 0
-		for _, e := range p.DayReportedEpisodes(pl.Trace, day, occupant) {
+		episodes = p.appendDayReportedEpisodes(episodes[:0], pl.Trace, day, occupant, natural)
+		for _, e := range episodes {
 			if !e.Injected || !pl.Model.EpisodeAnomalous(e.Episode) {
 				continue
 			}
@@ -291,10 +378,13 @@ func (pl *Planner) PlanGreedy() (*Plan, error) {
 		return nil, ErrNeedModel
 	}
 	p := newPlan(pl.Trace, "Greedy")
+	zones := zonesOf(pl.Trace.House)
+	var ctbl []float64
 	for d := 0; d < pl.Trace.NumDays(); d++ {
 		for o := range pl.Trace.House.Occupants {
-			pl.greedyDay(p, d, o)
-			pl.applyTruthFloor(p, d, o)
+			cost := pl.surfaceFor(d, o, &ctbl)
+			pl.greedyDay(p, d, o, zones, cost)
+			pl.applyTruthFloor(p, d, o, cost)
 			pl.sanitizeDay(p, d, o)
 		}
 	}
@@ -302,8 +392,9 @@ func (pl *Planner) PlanGreedy() (*Plan, error) {
 }
 
 // greedyDay walks one occupant-day as a consistency-checked state machine.
-func (pl *Planner) greedyDay(p *Plan, d, o int) {
-	cost := pl.costFor(d, o)
+// zones is the house's reportable zone list and cost the occupant-day
+// surrogate, both hoisted by the caller.
+func (pl *Planner) greedyDay(p *Plan, d, o int, zones []home.ZoneID, cost solver.CostFn) {
 	allowed := pl.allowedFor(d, o)
 	zone := pl.Trace.Days[d].Zone[o][0]
 	arrival := 0
@@ -320,7 +411,7 @@ func (pl *Planner) greedyDay(p *Plan, d, o int) {
 			// Re-choose: the highest-paying zone whose arrival is covered.
 			bestZone, bestCost := home.ZoneID(-1), -1.0
 			var bestMax int
-			for _, z := range zonesOf(pl.Trace.House) {
+			for _, z := range zones {
 				if z == zone || !allowed(t, z) {
 					continue
 				}
@@ -362,19 +453,35 @@ func (pl *Planner) greedyDay(p *Plan, d, o int) {
 func (pl *Planner) PlanBIoTA() (*Plan, error) {
 	p := newPlan(pl.Trace, "BIoTA")
 	house := pl.Trace.House
+	zones := zonesOf(house)
+	// Hoist the per-slot loop invariants: zone capacities, per-occupant cost
+	// surrogates (rebuilt per day), and a zone-indexed occupancy counter in
+	// place of a per-slot map.
+	maxOcc := make([]int, home.NumZones)
+	for _, z := range zones {
+		maxOcc[z] = house.Zone(z).MaxOccupancy
+	}
+	counts := make([]int, home.NumZones)
+	costs := make([]solver.CostFn, len(house.Occupants))
+	ctbls := make([][]float64, len(house.Occupants))
 	for d := 0; d < pl.Trace.NumDays(); d++ {
+		for o := range costs {
+			costs[o] = pl.surfaceFor(d, o, &ctbls[o])
+		}
 		for t := 0; t < aras.SlotsPerDay; t++ {
-			counts := make(map[home.ZoneID]int)
+			for z := range counts {
+				counts[z] = 0
+			}
 			for o := range house.Occupants {
-				cost := pl.costFor(d, o)
+				cost := costs[o]
 				actual := pl.Trace.Days[d].Zone[o][t]
 				bestZone, bestCost := actual, cost(t, actual)
-				for _, z := range zonesOf(house) {
+				for _, z := range zones {
 					if !pl.Cap.CanReport(o, t, actual, z) {
 						continue
 					}
 					// Rule-based capacity verification.
-					if counts[z]+1 > house.Zone(z).MaxOccupancy {
+					if counts[z]+1 > maxOcc[z] {
 						continue
 					}
 					if c := cost(t, z); c > bestCost {

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/acyd-lab/shatter/internal/geometry"
+	"github.com/acyd-lab/shatter/internal/rng"
+)
+
+// benchPoints synthesises an ADM-shaped training set: a few dense habit
+// clusters in the (arrival, stay) plane plus uniform noise, mirroring what
+// adm.Train feeds the clusterer.
+func benchPoints(n int) []geometry.Point {
+	r := rng.New(42)
+	centers := []geometry.Point{
+		{X: 420, Y: 45}, {X: 760, Y: 120}, {X: 1110, Y: 30}, {X: 1320, Y: 420},
+	}
+	pts := make([]geometry.Point, 0, n)
+	for i := 0; i < n; i++ {
+		if i%10 == 9 { // noise
+			pts = append(pts, geometry.Point{X: r.Float64() * 1440, Y: r.Float64() * 600})
+			continue
+		}
+		c := centers[i%len(centers)]
+		pts = append(pts, geometry.Point{
+			X: c.X + (r.Float64()-0.5)*40,
+			Y: c.Y + (r.Float64()-0.5)*25,
+		})
+	}
+	return pts
+}
+
+func BenchmarkDBSCAN(b *testing.B) {
+	for _, n := range []int{200, 1000, 4000} {
+		pts := benchPoints(n)
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := DBSCAN(pts, DBSCANParams{Eps: 20, MinPts: 8}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"github.com/acyd-lab/shatter/internal/adm"
 	"github.com/acyd-lab/shatter/internal/aras"
-	"github.com/acyd-lab/shatter/internal/attack"
 	"github.com/acyd-lab/shatter/internal/stats"
 )
 
@@ -15,17 +14,31 @@ type Fig4Result struct {
 	Points    []adm.TunePoint
 }
 
-// Fig4 sweeps DBSCAN MinPts and K-Means k on the HAO1 dataset.
+// Fig4 sweeps DBSCAN MinPts and K-Means k on the HAO1 dataset. The two
+// backend sweeps run as independent cells.
 func (s *Suite) Fig4() ([]Fig4Result, error) {
 	train, err := s.trainSplit("A")
 	if err != nil {
 		return nil, err
 	}
 	name := aras.DatasetName("A", 0)
-	return []Fig4Result{
-		{Dataset: name, Algorithm: adm.DBSCAN, Points: adm.TuneDBSCAN(train, 0, 25, 5, 50, 5)},
-		{Dataset: name, Algorithm: adm.KMeans, Points: adm.TuneKMeans(train, 0, s.Config.Seed, 2, 40, 3)},
-	}, nil
+	out := []Fig4Result{
+		{Dataset: name, Algorithm: adm.DBSCAN},
+		{Dataset: name, Algorithm: adm.KMeans},
+	}
+	err = s.runCells(len(out), func(i int) error {
+		switch out[i].Algorithm {
+		case adm.DBSCAN:
+			out[i].Points = adm.TuneDBSCAN(train, 0, 25, 5, 50, 5)
+		default:
+			out[i].Points = adm.TuneKMeans(train, 0, s.Config.Seed, 2, 40, 3)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Fig5Point is one (training days, F1) measurement.
@@ -45,92 +58,58 @@ type Fig5Result struct {
 
 // Fig5 reproduces the progressive incremental performance study: ADMs
 // trained on 10/15/20/25-day prefixes, scored by F1 against BIoTA attack
-// episodes plus held-out benign episodes.
+// episodes plus held-out benign episodes. The eight curves run as
+// independent cells; the prefix models and labelled-episode sets come from
+// the suite cache, so each (house, algorithm, prefix) model is trained once
+// and shared between the two occupants' curves.
 func (s *Suite) Fig5() ([]Fig5Result, error) {
 	days := []int{10, 15, 20, 25}
 	var out []Fig5Result
 	for _, alg := range []adm.Algorithm{adm.DBSCAN, adm.KMeans} {
 		for _, house := range []string{"A", "B"} {
 			for o := range s.Houses[house].House.Occupants {
-				res := Fig5Result{
+				out = append(out, Fig5Result{
 					Dataset:   aras.DatasetName(house, o),
 					Occupant:  o,
 					House:     house,
 					Algorithm: alg,
-				}
-				for _, td := range days {
-					if td >= s.Config.Days {
-						continue
-					}
-					f1, err := s.progressiveF1(house, o, alg, td)
-					if err != nil {
-						return nil, err
-					}
-					res.Points = append(res.Points, Fig5Point{TrainDays: td, F1: f1})
-				}
-				out = append(out, res)
+				})
 			}
 		}
+	}
+	err := s.runCells(len(out), func(i int) error {
+		res := &out[i]
+		for _, td := range days {
+			if td >= s.Config.Days {
+				continue
+			}
+			f1, err := s.progressiveF1(res.House, res.Occupant, res.Algorithm, td)
+			if err != nil {
+				return err
+			}
+			res.Points = append(res.Points, Fig5Point{TrainDays: td, F1: f1})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// progressiveF1 trains an ADM on a prefix and scores it on labelled
-// episodes: held-out benign days plus BIoTA-generated attack episodes.
+// progressiveF1 trains (or fetches) the prefix ADM and scores it on the
+// labelled evaluation set: held-out benign days plus BIoTA-generated attack
+// episodes.
 func (s *Suite) progressiveF1(house string, occupant int, alg adm.Algorithm, trainDays int) (float64, error) {
-	trainTr, err := s.Houses[house].SubTrace(0, trainDays)
+	model, err := s.trainADMPrefix(house, alg, trainDays)
 	if err != nil {
 		return 0, err
 	}
-	cfg := adm.DefaultConfig(alg)
-	if alg == adm.DBSCAN {
-		cfg.MinPts = maxInt(3, trainDays/5)
-		cfg.Eps = 30
-	}
-	model, err := adm.Train(trainTr, cfg)
-	if err != nil {
-		return 0, err
-	}
-	labeled, err := s.labeledEpisodes(house, occupant, model, false)
+	labeled, err := s.labeledEpisodes(house, occupant, false)
 	if err != nil {
 		return 0, err
 	}
 	return adm.Evaluate(model, labeled).F1(), nil
-}
-
-// labeledEpisodes builds the Table IV / Fig 5 evaluation set for one
-// occupant: benign episodes from the held-out days plus the injected
-// episodes of a BIoTA attack over those days. With partial knowledge the
-// attacker only alters measurements in the time windows they observed data
-// for (alternating hours), which changes the attack-sample distribution the
-// ADM is scored on — the Table IV "Partial Data" axis.
-func (s *Suite) labeledEpisodes(house string, occupant int, attackerModel *adm.Model, partial bool) ([]adm.LabeledEpisode, error) {
-	test, err := s.testSplit(house)
-	if err != nil {
-		return nil, err
-	}
-	var labeled []adm.LabeledEpisode
-	for _, e := range test.Episodes(occupant) {
-		labeled = append(labeled, adm.LabeledEpisode{Episode: e})
-	}
-	cap := attack.Full(test.House)
-	if partial {
-		cap.SlotAllowed = func(slot int) bool { return (slot/60)%2 == 0 }
-	}
-	pl := s.planner(house, attackerModel, cap)
-	pl.Trace = test
-	plan, err := pl.PlanBIoTA()
-	if err != nil {
-		return nil, err
-	}
-	for d := 0; d < test.NumDays(); d++ {
-		for _, e := range plan.DayReportedEpisodes(test, d, occupant) {
-			if e.Injected {
-				labeled = append(labeled, adm.LabeledEpisode{Episode: e.Episode, Attack: true})
-			}
-		}
-	}
-	return labeled, nil
 }
 
 // Fig6Result compares the learned cluster geometry of the two backends on
@@ -142,13 +121,17 @@ type Fig6Result struct {
 
 // Fig6 reports hull statistics for both backends.
 func (s *Suite) Fig6() ([]Fig6Result, error) {
-	var out []Fig6Result
-	for _, alg := range []adm.Algorithm{adm.DBSCAN, adm.KMeans} {
-		model, err := s.trainADM("A", alg, false)
+	out := []Fig6Result{{Algorithm: adm.DBSCAN}, {Algorithm: adm.KMeans}}
+	err := s.runCells(len(out), func(i int) error {
+		model, err := s.trainADM("A", out[i].Algorithm, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, Fig6Result{Algorithm: alg, Stats: model.Stats()})
+		out[i].Stats = model.Stats()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -162,9 +145,18 @@ type TableIVRow struct {
 }
 
 // TableIV evaluates both ADMs on all four datasets against BIoTA attack
-// samples generated with full or partial attacker knowledge.
+// samples generated with full or partial attacker knowledge. The 16 grid
+// cells run in parallel; the defender models and labelled-episode sets are
+// cache-shared, so the grid trains each distinct model exactly once.
 func (s *Suite) TableIV() ([]TableIVRow, error) {
-	var out []TableIVRow
+	type cell struct {
+		alg     adm.Algorithm
+		partial bool
+		house   string
+		occ     int
+	}
+	var cells []cell
+	var rows []TableIVRow
 	for _, alg := range []adm.Algorithm{adm.DBSCAN, adm.KMeans} {
 		for _, partial := range []bool{false, true} {
 			knowledge := "All Data"
@@ -172,29 +164,35 @@ func (s *Suite) TableIV() ([]TableIVRow, error) {
 				knowledge = "Partial Data"
 			}
 			for _, house := range []string{"A", "B"} {
-				defender, err := s.trainADM(house, alg, false)
-				if err != nil {
-					return nil, err
-				}
-				attacker, err := s.trainADM(house, alg, partial)
-				if err != nil {
-					return nil, err
-				}
 				for o := range s.Houses[house].House.Occupants {
-					labeled, err := s.labeledEpisodes(house, o, attacker, partial)
-					if err != nil {
-						return nil, err
-					}
-					out = append(out, TableIVRow{
+					cells = append(cells, cell{alg, partial, house, o})
+					rows = append(rows, TableIVRow{
 						Algorithm: alg,
 						Knowledge: knowledge,
 						Dataset:   aras.DatasetName(house, o),
-						Metrics:   adm.Evaluate(defender, labeled),
 					})
 				}
 			}
 		}
 	}
-	return out, nil
+	err := s.runCells(len(cells), func(i int) error {
+		c := cells[i]
+		defender, err := s.trainADM(c.house, c.alg, false)
+		if err != nil {
+			return err
+		}
+		// BIoTA's attack samples are ADM-oblivious: the partial-knowledge
+		// axis shapes them through the capability's observed-slot mask, so
+		// the attacker's own model estimate never needs training here.
+		labeled, err := s.labeledEpisodes(c.house, c.occ, c.partial)
+		if err != nil {
+			return err
+		}
+		rows[i].Metrics = adm.Evaluate(defender, labeled)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
-

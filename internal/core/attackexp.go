@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
 	"github.com/acyd-lab/shatter/internal/adm"
@@ -24,62 +23,65 @@ type TableVRow struct {
 }
 
 // BenignCosts returns the no-attack monthly cost per house (the Table V
-// reference line; paper: $244.69 for House A).
+// reference line; paper: $244.69 for House A). The costs come straight from
+// the cached benign simulations.
 func (s *Suite) BenignCosts() (map[string]float64, error) {
-	out := make(map[string]float64, 2)
-	for _, house := range []string{"A", "B"} {
-		res, err := attack.EvaluateImpact(s.Houses[house], s.truthPlan(house), nil, s.controller(), s.Params, s.Pricing, attack.EvalOptions{})
+	houses := []string{"A", "B"}
+	costs := make([]float64, len(houses))
+	err := s.runCells(len(houses), func(i int) error {
+		res, err := s.benignSim(houses[i], ctrlSHATTER)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[house] = res.Benign.TotalCostUSD
+		costs[i] = res.TotalCostUSD
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(houses))
+	for i, house := range houses {
+		out[house] = costs[i]
 	}
 	return out, nil
 }
 
-// truthPlan builds a no-op plan (reported = actual).
-func (s *Suite) truthPlan(house string) *attack.Plan {
-	pl := s.planner(house, nil, attack.Capability{})
-	plan, err := pl.PlanBIoTA() // powerless capability ⇒ pure truth
+// evaluateImpact scores a plan against a house with the cached benign leg.
+func (s *Suite) evaluateImpact(house string, plan *attack.Plan, defender *adm.Model, opts attack.EvalOptions) (attack.Impact, error) {
+	benign, err := s.benignSim(house, ctrlSHATTER)
 	if err != nil {
-		// PlanBIoTA cannot fail with a powerless capability.
-		panic(fmt.Sprintf("core: truth plan: %v", err))
+		return attack.Impact{}, err
 	}
-	return plan
+	opts.Benign = &benign
+	return attack.EvaluateImpact(s.Houses[house], plan, defender, s.controller(), s.Params, s.Pricing, opts)
 }
 
 // TableV reproduces the BIoTA / Greedy / SHATTER cost grid. Greedy and
 // SHATTER rows are evaluated with detected days aborted (a flagged vector's
 // impact does not materialise); the BIoTA row reports its raw rule-based
 // impact plus the rate at which each clustering ADM would have caught it.
+//
+// Every (row, house) measurement is an independent cell: 18 cells fan out
+// across the worker pool and are folded into the 9 rows afterwards, so the
+// row order and contents are identical to a sequential run.
 func (s *Suite) TableV() ([]TableVRow, error) {
-	biota := TableVRow{
-		Framework:     "BIoTA",
-		ADM:           "Rules-based",
-		Knowledge:     "-",
-		CostUSD:       make(map[string]float64),
-		DetectionRate: make(map[string]float64),
+	houses := []string{"A", "B"}
+	rows := []TableVRow{{
+		Framework: "BIoTA",
+		ADM:       "Rules-based",
+		Knowledge: "-",
+	}}
+	type cellSpec struct {
+		row       int
+		house     string
+		framework string
+		alg       adm.Algorithm
+		partial   bool
 	}
-	var rows []TableVRow
-	for _, house := range []string{"A", "B"} {
-		defender, err := s.trainADM(house, adm.DBSCAN, false)
-		if err != nil {
-			return nil, err
-		}
-		pl := s.planner(house, nil, attack.Full(s.Houses[house].House))
-		plan, err := pl.PlanBIoTA()
-		if err != nil {
-			return nil, err
-		}
-		imp, err := attack.EvaluateImpact(s.Houses[house], plan, defender, s.controller(), s.Params, s.Pricing, attack.EvalOptions{})
-		if err != nil {
-			return nil, err
-		}
-		biota.CostUSD[house] = imp.Attacked.TotalCostUSD
-		biota.DetectionRate[house] = imp.DetectionRate
+	var cells []cellSpec
+	for _, house := range houses {
+		cells = append(cells, cellSpec{row: 0, house: house, framework: "BIoTA", alg: adm.DBSCAN})
 	}
-	rows = append(rows, biota)
-
 	for _, framework := range []string{"Greedy", "SHATTER"} {
 		for _, alg := range []adm.Algorithm{adm.DBSCAN, adm.KMeans} {
 			for _, partial := range []bool{false, true} {
@@ -87,42 +89,72 @@ func (s *Suite) TableV() ([]TableVRow, error) {
 				if partial {
 					knowledge = "Partial Data"
 				}
-				row := TableVRow{
-					Framework:     framework,
-					ADM:           alg.String(),
-					Knowledge:     knowledge,
-					CostUSD:       make(map[string]float64),
-					DetectionRate: make(map[string]float64),
+				rows = append(rows, TableVRow{
+					Framework: framework,
+					ADM:       alg.String(),
+					Knowledge: knowledge,
+				})
+				for _, house := range houses {
+					cells = append(cells, cellSpec{
+						row: len(rows) - 1, house: house,
+						framework: framework, alg: alg, partial: partial,
+					})
 				}
-				for _, house := range []string{"A", "B"} {
-					defender, err := s.trainADM(house, alg, false)
-					if err != nil {
-						return nil, err
-					}
-					attacker, err := s.trainADM(house, alg, partial)
-					if err != nil {
-						return nil, err
-					}
-					pl := s.planner(house, attacker, attack.Full(s.Houses[house].House))
-					var plan *attack.Plan
-					if framework == "Greedy" {
-						plan, err = pl.PlanGreedy()
-					} else {
-						plan, err = pl.PlanSHATTER()
-					}
-					if err != nil {
-						return nil, err
-					}
-					imp, err := attack.EvaluateImpact(s.Houses[house], plan, defender, s.controller(), s.Params, s.Pricing, attack.EvalOptions{AbortDetectedDays: true})
-					if err != nil {
-						return nil, err
-					}
-					row.CostUSD[house] = imp.Attacked.TotalCostUSD
-					row.DetectionRate[house] = imp.DetectionRate
-				}
-				rows = append(rows, row)
 			}
 		}
+	}
+	type measurement struct {
+		cost, det float64
+	}
+	results := make([]measurement, len(cells))
+	err := s.runCells(len(cells), func(i int) error {
+		c := cells[i]
+		defender, err := s.trainADM(c.house, c.alg, false)
+		if err != nil {
+			return err
+		}
+		var (
+			plan *attack.Plan
+			opts attack.EvalOptions
+		)
+		switch c.framework {
+		case "BIoTA":
+			pl := s.planner(c.house, nil, attack.Full(s.Houses[c.house].House))
+			plan, err = pl.PlanBIoTA()
+		default:
+			var attacker *adm.Model
+			attacker, err = s.trainADM(c.house, c.alg, c.partial)
+			if err != nil {
+				return err
+			}
+			pl := s.planner(c.house, attacker, attack.Full(s.Houses[c.house].House))
+			if c.framework == "Greedy" {
+				plan, err = pl.PlanGreedy()
+			} else {
+				plan, err = pl.PlanSHATTER()
+			}
+			opts.AbortDetectedDays = true
+		}
+		if err != nil {
+			return err
+		}
+		imp, err := s.evaluateImpact(c.house, plan, defender, opts)
+		if err != nil {
+			return err
+		}
+		results[i] = measurement{cost: imp.Attacked.TotalCostUSD, det: imp.DetectionRate}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].CostUSD = make(map[string]float64, len(houses))
+		rows[i].DetectionRate = make(map[string]float64, len(houses))
+	}
+	for i, c := range cells {
+		rows[c.row].CostUSD[c.house] = results[i].cost
+		rows[c.row].DetectionRate[c.house] = results[i].det
 	}
 	return rows, nil
 }
@@ -140,21 +172,27 @@ type Fig10Result struct {
 }
 
 // Fig10 runs the DBSCAN-ADM SHATTER attack with and without the Algorithm-1
-// appliance-triggering stage.
+// appliance-triggering stage, one cell per house.
 func (s *Suite) Fig10() ([]Fig10Result, error) {
-	var out []Fig10Result
-	for _, house := range []string{"A", "B"} {
-		res, err := s.triggerImpact(house, attack.Full(s.Houses[house].House))
+	houses := []string{"A", "B"}
+	out := make([]Fig10Result, len(houses))
+	err := s.runCells(len(houses), func(i int) error {
+		res, err := s.triggerImpact(houses[i], attack.Full(s.Houses[houses[i]].House))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, *res)
+		out[i] = *res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // triggerImpact measures the triggering stage's contribution under a
-// capability.
+// capability. The SHATTER plan is built fresh per call (it is mutated by the
+// triggering stage); the attacker model and benign leg come from the cache.
 func (s *Suite) triggerImpact(house string, cap attack.Capability) (*Fig10Result, error) {
 	attacker, err := s.trainADM(house, adm.DBSCAN, false)
 	if err != nil {
@@ -165,12 +203,12 @@ func (s *Suite) triggerImpact(house string, cap attack.Capability) (*Fig10Result
 	if err != nil {
 		return nil, err
 	}
-	noTrig, err := attack.EvaluateImpact(s.Houses[house], plan, attacker, s.controller(), s.Params, s.Pricing, attack.EvalOptions{})
+	noTrig, err := s.evaluateImpact(house, plan, attacker, attack.EvalOptions{})
 	if err != nil {
 		return nil, err
 	}
 	attack.TriggerAppliances(s.Houses[house], plan, attacker, cap)
-	withTrig, err := attack.EvaluateImpact(s.Houses[house], plan, attacker, s.controller(), s.Params, s.Pricing, attack.EvalOptions{})
+	withTrig, err := s.evaluateImpact(house, plan, attacker, attack.EvalOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -208,20 +246,43 @@ func (s *Suite) TableVI() ([]AccessRow, error) {
 		{"3 Zones", []home.ZoneID{home.Bedroom, home.Livingroom, home.Kitchen}},
 		{"2 Zones", []home.ZoneID{home.Bedroom, home.Livingroom}},
 	}
-	var out []AccessRow
-	for _, zs := range zoneSets {
-		row := AccessRow{Label: zs.label, ImpactUSD: make(map[string]float64)}
-		for _, house := range []string{"A", "B"} {
-			cap := attack.Full(s.Houses[house].House).WithZones(zs.zones...)
-			res, err := s.triggerImpact(house, cap)
-			if err != nil {
-				return nil, err
-			}
-			row.ImpactUSD[house] = res.TriggerExtra
-		}
-		out = append(out, row)
+	rows := make([]AccessRow, len(zoneSets))
+	err := s.accessSweep(rows, len(zoneSets), func(set int, house string) attack.Capability {
+		return attack.Full(s.Houses[house].House).WithZones(zoneSets[set].zones...)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	for i, zs := range zoneSets {
+		rows[i].Label = zs.label
+	}
+	return rows, nil
+}
+
+// accessSweep runs the Table VI/VII pattern: sets × houses triggering
+// impacts as independent cells, folded into per-set rows.
+func (s *Suite) accessSweep(rows []AccessRow, sets int, capFor func(set int, house string) attack.Capability) error {
+	houses := []string{"A", "B"}
+	impacts := make([]float64, sets*len(houses))
+	err := s.runCells(len(impacts), func(i int) error {
+		set, house := i/len(houses), houses[i%len(houses)]
+		res, err := s.triggerImpact(house, capFor(set, house))
+		if err != nil {
+			return err
+		}
+		impacts[i] = res.TriggerExtra
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for set := 0; set < sets; set++ {
+		rows[set].ImpactUSD = make(map[string]float64, len(houses))
+		for hi, house := range houses {
+			rows[set].ImpactUSD[house] = impacts[set*len(houses)+hi]
+		}
+	}
+	return nil
 }
 
 // TableVII sweeps appliance-triggering access: all 13 appliances, 8, and a
@@ -235,20 +296,17 @@ func (s *Suite) TableVII() ([]AccessRow, error) {
 		{"8 Appliances", []int{0, 1, 2, 3, 4, 10, 11, 12}},
 		{"3 Appliances", []int{0, 3, 12}},
 	}
-	var out []AccessRow
-	for _, as := range sets {
-		row := AccessRow{Label: as.label, ImpactUSD: make(map[string]float64)}
-		for _, house := range []string{"A", "B"} {
-			cap := attack.Full(s.Houses[house].House).WithAppliances(as.appliances...)
-			res, err := s.triggerImpact(house, cap)
-			if err != nil {
-				return nil, err
-			}
-			row.ImpactUSD[house] = res.TriggerExtra
-		}
-		out = append(out, row)
+	rows := make([]AccessRow, len(sets))
+	err := s.accessSweep(rows, len(sets), func(set int, house string) attack.Capability {
+		return attack.Full(s.Houses[house].House).WithAppliances(sets[set].appliances...)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	for i, as := range sets {
+		rows[i].Label = as.label
+	}
+	return rows, nil
 }
 
 // ScalePoint is one scalability measurement (Fig 11).
@@ -306,10 +364,11 @@ func (s *Suite) Fig11b(zoneCounts []int) ([]ScalePoint, error) {
 		cost := func(_ int, z home.ZoneID) float64 { return float64(int(z)%7) + 0.5 }
 		start := time.Now()
 		var nodes int
+		var ws solver.Workspace
 		// Repeat to get a measurable duration for small n.
 		const reps = 200
 		for r := 0; r < reps; r++ {
-			_, st, err := solver.OptimizeWindow(w, oracle, cost, func(int, home.ZoneID) bool { return true })
+			_, st, err := solver.OptimizeWindowWS(&ws, w, oracle, cost, func(int, home.ZoneID) bool { return true })
 			if err != nil {
 				return nil, err
 			}
@@ -342,12 +401,3 @@ type TestbedResult = testbed.ValidationResult
 func (s *Suite) Testbed() (TestbedResult, error) {
 	return testbed.Validate(testbed.DefaultConfig())
 }
-
-func allZoneIDs(h *home.House) []home.ZoneID {
-	out := make([]home.ZoneID, 0, len(h.Zones))
-	for _, z := range h.Zones {
-		out = append(out, z.ID)
-	}
-	return out
-}
-

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/acyd-lab/shatter/internal/adm"
+)
+
+// TestParallelMatchesSequential asserts the engine's central guarantee:
+// a Workers=1 suite and a wide-pool suite produce identical experiment
+// results, table for table.
+func TestParallelMatchesSequential(t *testing.T) {
+	cfg := SuiteConfig{Days: 12, TrainDays: 9, Seed: 99, WindowLen: 10}
+	cfg.Workers = 1
+	seq, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqIV, err := seq.TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parIV, err := par.TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqIV, parIV) {
+		t.Errorf("TableIV diverges between Workers=1 and Workers=8:\nseq: %+v\npar: %+v", seqIV, parIV)
+	}
+
+	seqV, err := seq.TableV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parV, err := par.TableV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqV, parV) {
+		t.Errorf("TableV diverges between Workers=1 and Workers=8:\nseq: %+v\npar: %+v", seqV, parV)
+	}
+}
+
+// TestADMCacheTrainsOnce asserts that repeated trainADM calls return the
+// same trained model without retraining, and that the experiment grid's
+// training count equals the number of distinct (house, alg, prefix) keys.
+func TestADMCacheTrainsOnce(t *testing.T) {
+	s := testSuite(t)
+	m1, err := s.trainADM("A", adm.DBSCAN, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CacheStats().ADMTrainings; got != 1 {
+		t.Fatalf("first training: count %d, want 1", got)
+	}
+	m2, err := s.trainADM("A", adm.DBSCAN, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("cache returned a different model instance for the same key")
+	}
+	if got := s.CacheStats().ADMTrainings; got != 1 {
+		t.Errorf("repeated training: count %d, want 1 (cache miss)", got)
+	}
+
+	// The whole Table IV + Table V grid needs only the distinct keys:
+	// 2 houses × 2 algorithms × 2 prefixes (full, partial).
+	if _, err := s.TableIV(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TableV(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CacheStats().ADMTrainings; got != 8 {
+		t.Errorf("after TableIV+TableV: %d trainings, want 8 distinct models", got)
+	}
+	// Re-running the experiments must not train anything new.
+	if _, err := s.TableIV(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CacheStats().ADMTrainings; got != 8 {
+		t.Errorf("after repeated TableIV: %d trainings, want 8", got)
+	}
+}
+
+// TestTruthPlanCached asserts the memoized truth plan is a genuine no-op
+// vector and that repeated lookups share one instance.
+func TestTruthPlanCached(t *testing.T) {
+	s := testSuite(t)
+	p1, err := s.truthPlan("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := p1.InjectedSlots(s.Houses["A"]); n != 0 {
+		t.Errorf("truth plan injects %d slots, want 0", n)
+	}
+	p2, err := s.truthPlan("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("truth plan not cached: distinct instances")
+	}
+}
+
+// TestRunCellsErrorPropagation checks first-error-wins cancellation.
+func TestRunCellsErrorPropagation(t *testing.T) {
+	s := testSuite(t)
+	sentinel := errors.New("cell failed")
+	for _, workers := range []int{1, 4} {
+		s.Config.Workers = workers
+		err := s.runCells(32, func(i int) error {
+			if i == 5 || i == 20 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: got %v, want sentinel", workers, err)
+		}
+	}
+	s.Config.Workers = 0
+	if err := s.runCells(8, func(int) error { return nil }); err != nil {
+		t.Errorf("all-ok run returned %v", err)
+	}
+}
+
+// TestWorkersKnob checks the pool-width resolution rules.
+func TestWorkersKnob(t *testing.T) {
+	s := testSuite(t)
+	s.Config.Workers = 3
+	if got := s.workers(); got != 3 {
+		t.Errorf("explicit Workers: got %d", got)
+	}
+	s.Config.Workers = 0
+	if got := s.workers(); got < 1 {
+		t.Errorf("default Workers: got %d, want >= 1", got)
+	}
+}

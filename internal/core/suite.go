@@ -3,6 +3,15 @@
 // and figure of the paper's evaluation (see DESIGN.md §4 for the index).
 // The cmd/experiments binary and the repository's benchmark harness are
 // thin wrappers over this package.
+//
+// The suite is a concurrent, cache-aware experiment engine: the evaluation
+// grid of {house × ADM backend × knowledge level × framework} cells is
+// embarrassingly parallel, so each experiment fans its independent cells
+// across a bounded worker pool (SuiteConfig.Workers), while a suite-level
+// artifact cache (cache.go) memoizes the trained models, benign
+// simulations, splits, and truth plans the cells share. Results are
+// deterministic: a Workers=1 run and a Workers=N run produce identical
+// tables.
 package core
 
 import (
@@ -26,6 +35,10 @@ type SuiteConfig struct {
 	Seed uint64
 	// WindowLen is the attack optimisation horizon I (paper: 10).
 	WindowLen int
+	// Workers bounds the experiment worker pool. 0 (the default) uses one
+	// worker per available CPU; 1 forces sequential execution for
+	// reproducibility checks. Results are identical either way.
+	Workers int
 }
 
 // DefaultSuiteConfig mirrors the paper's setup.
@@ -40,6 +53,8 @@ type Suite struct {
 	Pricing hvac.Pricing
 	// Houses maps "A"/"B" to the generated traces.
 	Houses map[string]*aras.Trace
+
+	cache *artifactCache
 }
 
 // NewSuite generates both houses' traces.
@@ -55,64 +70,57 @@ func NewSuite(cfg SuiteConfig) (*Suite, error) {
 		Params:  hvac.DefaultParams(),
 		Pricing: hvac.DefaultPricing(),
 		Houses:  make(map[string]*aras.Trace, 2),
+		cache:   newArtifactCache(),
 	}
-	for i, name := range []string{"A", "B"} {
-		h, err := home.NewHouse(name)
+	// The two houses' generators are independent (separate seeds), so build
+	// them as cells of the suite's worker pool.
+	names := []string{"A", "B"}
+	traces := make([]*aras.Trace, len(names))
+	err := s.runCells(len(names), func(i int) error {
+		h, err := home.NewHouse(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tr, err := aras.Generate(h, aras.GeneratorConfig{Days: cfg.Days, Seed: cfg.Seed + uint64(i)})
 		if err != nil {
-			return nil, fmt.Errorf("core: generate house %s: %w", name, err)
+			return fmt.Errorf("core: generate house %s: %w", names[i], err)
 		}
-		s.Houses[name] = tr
+		traces[i] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		s.Houses[name] = traces[i]
 	}
 	return s, nil
 }
 
-// trainSplit returns the training prefix of a house's trace.
-func (s *Suite) trainSplit(house string) (*aras.Trace, error) {
-	return s.Houses[house].SubTrace(0, s.Config.TrainDays)
-}
-
-// testSplit returns the held-out suffix.
-func (s *Suite) testSplit(house string) (*aras.Trace, error) {
-	return s.Houses[house].SubTrace(s.Config.TrainDays, s.Config.Days)
-}
-
-// trainADM fits an ADM of the given algorithm on a house's training split.
-// Partial-knowledge attacker models train on only the first half of the
-// training days (Section VII's "partial data").
+// trainADM fits an ADM of the given algorithm on a house's training split,
+// memoized by the suite cache. Partial-knowledge attacker models train on
+// only the first half of the training days (Section VII's "partial data").
 func (s *Suite) trainADM(house string, alg adm.Algorithm, partial bool) (*adm.Model, error) {
 	end := s.Config.TrainDays
 	if partial {
 		end = (s.Config.TrainDays + 1) / 2
 	}
-	tr, err := s.Houses[house].SubTrace(0, end)
-	if err != nil {
-		return nil, err
-	}
-	cfg := adm.DefaultConfig(alg)
-	if alg == adm.DBSCAN {
-		// Scale the density threshold with the training length so short
-		// exploratory runs still form clusters: roughly one fifth of the
-		// days must support a habit before it counts.
-		cfg.MinPts = maxInt(3, end/5)
-		cfg.Eps = 30
-	}
-	return adm.Train(tr, cfg)
+	return s.trainADMPrefix(house, alg, end)
 }
 
 // planner builds an attack planner against a house with the given attacker
-// model and capability.
+// model and capability. The planner consumes the suite's memoized cost
+// surface; the surface provider declines traces other than the house's
+// full trace, so re-pointing the planner at a sub-trace is safe.
 func (s *Suite) planner(house string, model *adm.Model, cap attack.Capability) *attack.Planner {
 	tr := s.Houses[house]
 	return &attack.Planner{
-		Trace:     tr,
-		Model:     model,
-		Cost:      hvac.NewCostModel(tr.House, s.Params, s.Pricing),
-		Cap:       cap,
-		WindowLen: s.Config.WindowLen,
+		Trace:       tr,
+		Model:       model,
+		Cost:        hvac.NewCostModel(tr.House, s.Params, s.Pricing),
+		Cap:         cap,
+		WindowLen:   s.Config.WindowLen,
+		CostSurface: s.costSurface(house),
 	}
 }
 
@@ -131,19 +139,35 @@ type Fig3Result struct {
 	SavingsPct float64
 }
 
-// Fig3 reproduces the Fig 3 controller comparison for both houses.
+// Fig3 reproduces the Fig 3 controller comparison for both houses. The four
+// (house, controller) simulations run as independent cells and land in the
+// benign-simulation cache, where the SHATTER legs are shared with every
+// attack-impact evaluation.
 func (s *Suite) Fig3() ([]Fig3Result, error) {
-	var out []Fig3Result
-	for _, house := range []string{"A", "B"} {
-		tr := s.Houses[house]
-		shatter, err := hvac.Simulate(tr, s.controller(), s.Params, s.Pricing, hvac.Options{})
+	houses := []string{"A", "B"}
+	type cell struct {
+		house  string
+		ctrlID int
+	}
+	var cells []cell
+	for _, house := range houses {
+		cells = append(cells, cell{house, ctrlSHATTER}, cell{house, ctrlASHRAE})
+	}
+	sims := make([]hvac.Result, len(cells))
+	err := s.runCells(len(cells), func(i int) error {
+		res, err := s.benignSim(cells[i].house, cells[i].ctrlID)
 		if err != nil {
-			return nil, fmt.Errorf("core: fig3 %s shatter: %w", house, err)
+			return fmt.Errorf("core: fig3 %s: %w", cells[i].house, err)
 		}
-		ashrae, err := hvac.Simulate(tr, hvac.NewASHRAEController(s.Params, tr.House), s.Params, s.Pricing, hvac.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("core: fig3 %s ashrae: %w", house, err)
-		}
+		sims[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig3Result, 0, len(houses))
+	for hi, house := range houses {
+		shatter, ashrae := sims[2*hi], sims[2*hi+1]
 		out = append(out, Fig3Result{
 			House:      house,
 			ASHRAE:     ashrae.DailyCostUSD,
@@ -152,11 +176,4 @@ func (s *Suite) Fig3() ([]Fig3Result, error) {
 		})
 	}
 	return out, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -253,6 +253,67 @@ func (h Hull) YRangeAtX(x float64) (minY, maxY float64, ok bool) {
 	return minY, maxY, true
 }
 
+// ScanYRangesAtIntegerX reports the hull's y-interval at every integer x in
+// [loX, hiX] that the hull intersects, with the same tolerance semantics as
+// YRangeAtX — but walking the vertex ring directly, so a full scan performs
+// no per-x allocation. Tabulation layers (the ADM's stay-range memo) use
+// this to precompute YRangeAtX over a dense integer domain.
+func (h Hull) ScanYRangesAtIntegerX(loX, hiX int, emit func(x int, minY, maxY float64)) {
+	n := len(h.Vertices)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		v := h.Vertices[0]
+		x := int(math.Round(v.X))
+		if x >= loX && x <= hiX && math.Abs(v.X-float64(x)) < 1e-9 {
+			emit(x, v.Y, v.Y)
+		}
+		return
+	}
+	minX, _, maxX, _ := h.BoundingBox()
+	if lo := int(math.Ceil(minX - 1e-9)); lo > loX {
+		loX = lo
+	}
+	if hi := int(math.Floor(maxX + 1e-9)); hi < hiX {
+		hiX = hi
+	}
+	edges := n
+	if n == 2 {
+		edges = 1 // a 2-vertex hull has a single (bidirectional) edge
+	}
+	for x := loX; x <= hiX; x++ {
+		fx := float64(x)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		found := false
+		for i := 0; i < edges; i++ {
+			a, b := h.Vertices[i], h.Vertices[(i+1)%n]
+			elo, ehi := a.X, b.X
+			if elo > ehi {
+				elo, ehi = ehi, elo
+			}
+			if fx < elo-1e-9 || fx > ehi+1e-9 {
+				continue
+			}
+			if math.Abs(b.X-a.X) < 1e-12 {
+				// Vertical edge: the whole y-span intersects.
+				lo = math.Min(lo, math.Min(a.Y, b.Y))
+				hi = math.Max(hi, math.Max(a.Y, b.Y))
+				found = true
+				continue
+			}
+			t := (fx - a.X) / (b.X - a.X)
+			y := a.Y + t*(b.Y-a.Y)
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+			found = true
+		}
+		if found {
+			emit(x, lo, hi)
+		}
+	}
+}
+
 // Centroid returns the arithmetic mean of the hull vertices (adequate for
 // reporting; not the area centroid).
 func (h Hull) Centroid() Point {

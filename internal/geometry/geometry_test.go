@@ -301,3 +301,42 @@ func TestDistToSegment(t *testing.T) {
 		}
 	}
 }
+
+func TestScanYRangesMatchesYRangeAtX(t *testing.T) {
+	hulls := []Hull{
+		mustHull(t, []Point{{100, 10}, {300, 10}, {300, 80}, {100, 40}}), // quad
+		mustHull(t, []Point{{50, 5}, {50, 25}}),                          // vertical segment
+		mustHull(t, []Point{{10, 3}, {40, 9}}),                           // sloped segment
+		mustHull(t, []Point{{7, 12}}),                                    // point
+		mustHull(t, []Point{{200, 30}, {210, 30}, {205, 60}}),            // triangle
+	}
+	const loX, hiX = 0, 400
+	for hi, h := range hulls {
+		got := map[int][2]float64{}
+		h.ScanYRangesAtIntegerX(loX, hiX, func(x int, lo, hiY float64) {
+			got[x] = [2]float64{lo, hiY}
+		})
+		for x := loX; x <= hiX; x++ {
+			lo, hiY, ok := h.YRangeAtX(float64(x))
+			iv, scanned := got[x]
+			if ok != scanned {
+				t.Fatalf("hull %d x=%d: YRangeAtX ok=%v but scan emitted=%v", hi, x, ok, scanned)
+			}
+			if !ok {
+				continue
+			}
+			if math.Abs(iv[0]-lo) > 1e-12 || math.Abs(iv[1]-hiY) > 1e-12 {
+				t.Fatalf("hull %d x=%d: scan [%v,%v] != YRangeAtX [%v,%v]", hi, x, iv[0], iv[1], lo, hiY)
+			}
+		}
+	}
+}
+
+func mustHull(t *testing.T, pts []Point) Hull {
+	t.Helper()
+	h, err := ConvexHull(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}

@@ -147,15 +147,28 @@ func ActivitiesInZone(z ZoneID) []ActivityID {
 	return out
 }
 
+// mostIntenseInZone caches MostIntenseActivityInZone per zone — the attack
+// planners query it for every falsified occupant-slot.
+var mostIntenseInZone = func() [NumZones]ActivityID {
+	var out [NumZones]ActivityID
+	for z := ZoneID(0); z < NumZones; z++ {
+		best, bestMET := Other, -1.0
+		for _, a := range activityTable {
+			if a.Zone == z && a.MET > bestMET {
+				best, bestMET = a.ID, a.MET
+			}
+		}
+		out[z] = best
+	}
+	return out
+}()
+
 // MostIntenseActivityInZone returns the activity in z with the highest MET —
 // the activity a greedy attacker reports to maximise instantaneous demand
 // (Algorithm 2).
 func MostIntenseActivityInZone(z ZoneID) ActivityID {
-	best, bestMET := Other, -1.0
-	for _, a := range activityTable {
-		if a.Zone == z && a.MET > bestMET {
-			best, bestMET = a.ID, a.MET
-		}
+	if z < 0 || z >= NumZones {
+		return Other
 	}
-	return best
+	return mostIntenseInZone[z]
 }

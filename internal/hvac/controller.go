@@ -18,7 +18,9 @@ type OccupantObs struct {
 // each day. The benign view reads the ground-truth trace; attack views
 // overlay falsified occupancy, activity, and appliance status.
 type View interface {
-	// Occupants returns the believed observation per occupant.
+	// Occupants returns the believed observation per occupant. The returned
+	// slice may be reused by the view on the next call — callers must not
+	// retain it across slots.
 	Occupants(day, slot int) []OccupantObs
 	// ApplianceOn returns the believed status of appliance a.
 	ApplianceOn(day, slot, appliance int) bool
@@ -94,8 +96,18 @@ func supplyAirForHeat(heatW, zoneSetF, supplyF float64) float64 {
 // controller (Section II): per-activity metabolic rates, live
 // appliance-status load, and per-occupant tracking. It conditions a zone
 // only while the believed occupancy is non-zero.
+//
+// The controller reuses internal per-zone scratch buffers across Plan calls
+// (a simulation issues one call per minute-slot), so a single instance must
+// not be shared between concurrently running simulations.
 type SHATTERController struct {
 	Params Params
+
+	// Per-zone scratch reused across Plan calls.
+	demands  []Demand
+	heat     []float64
+	gen      []float64
+	occupied []bool
 }
 
 var _ Controller = (*SHATTERController)(nil)
@@ -103,15 +115,24 @@ var _ Controller = (*SHATTERController)(nil)
 // Name implements Controller.
 func (c *SHATTERController) Name() string { return "SHATTER" }
 
-// Plan implements Controller.
+// Plan implements Controller. The returned demand slice is valid until the
+// next Plan call.
 func (c *SHATTERController) Plan(house *home.House, view View, day, slot int, cond ZoneConditions) []Demand {
 	p := c.Params
-	demands := make([]Demand, len(house.Zones))
+	nz := len(house.Zones)
+	if cap(c.demands) < nz {
+		c.demands = make([]Demand, nz)
+		c.heat = make([]float64, nz)
+		c.gen = make([]float64, nz)
+		c.occupied = make([]bool, nz)
+	}
+	demands, heat, gen, occupied := c.demands[:nz], c.heat[:nz], c.gen[:nz], c.occupied[:nz]
+	for zi := 0; zi < nz; zi++ {
+		demands[zi] = Demand{}
+		heat[zi], gen[zi], occupied[zi] = 0, 0, false
+	}
 	obs := view.Occupants(day, slot)
 	// Per-zone occupant heat and CO2 generation from activity profiles.
-	heat := make([]float64, len(house.Zones))
-	gen := make([]float64, len(house.Zones))
-	occupied := make([]bool, len(house.Zones))
 	for o, ob := range obs {
 		if !ob.Zone.Conditioned() {
 			continue
@@ -160,13 +181,19 @@ type ASHRAEController struct {
 	// DesignApplianceW is the average appliance load assumed per zone
 	// (BIoTA's "fixed load at every control cycle", Table I).
 	DesignApplianceW map[home.ZoneID]float64
+
+	// Per-zone scratch reused across Plan calls.
+	demands []Demand
+	counts  []int
 }
 
 var _ Controller = (*ASHRAEController)(nil)
 
 // NewASHRAEController returns the baseline with standard rates and a design
 // appliance load derived from the house's appliance fit-out (40% duty
-// estimate — historical-average sizing).
+// estimate — historical-average sizing). Like SHATTERController, an
+// instance reuses scratch buffers across Plan calls and must not be shared
+// between concurrent simulations.
 func NewASHRAEController(params Params, house *home.House) *ASHRAEController {
 	design := make(map[home.ZoneID]float64)
 	for _, appl := range house.Appliances {
@@ -184,12 +211,21 @@ func NewASHRAEController(params Params, house *home.House) *ASHRAEController {
 // Name implements Controller.
 func (c *ASHRAEController) Name() string { return "ASHRAE" }
 
-// Plan implements Controller.
+// Plan implements Controller. The returned demand slice is valid until the
+// next Plan call.
 func (c *ASHRAEController) Plan(house *home.House, view View, day, slot int, cond ZoneConditions) []Demand {
 	p := c.Params
-	demands := make([]Demand, len(house.Zones))
+	nz := len(house.Zones)
+	if cap(c.demands) < nz {
+		c.demands = make([]Demand, nz)
+		c.counts = make([]int, nz)
+	}
+	demands, counts := c.demands[:nz], c.counts[:nz]
+	for zi := 0; zi < nz; zi++ {
+		demands[zi] = Demand{}
+		counts[zi] = 0
+	}
 	obs := view.Occupants(day, slot)
-	counts := make([]int, len(house.Zones))
 	anyoneHome := false
 	for _, ob := range obs {
 		if ob.Zone.Conditioned() {

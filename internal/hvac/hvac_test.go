@@ -341,7 +341,7 @@ func TestPropertyCO2AboveOutdoor(t *testing.T) {
 	for tslot := 0; tslot < aras.SlotsPerDay; tslot++ {
 		cond := ZoneConditions{OutdoorTempF: w.TempF[tslot], OutdoorCO2PPM: w.CO2PPM[tslot], ZoneCO2PPM: zoneCO2}
 		demands := ctrl.Plan(tr.House, view, 0, tslot, cond)
-		stepZoneCO2(tr, params, 0, tslot, demands, w, zoneCO2)
+		stepZoneCO2(tr, params, 0, tslot, demands, w, zoneCO2, make([]float64, len(tr.House.Zones)))
 		for zi, c := range zoneCO2 {
 			if home.ZoneID(zi).Conditioned() && c < 380 {
 				t.Fatalf("slot %d zone %d CO2 %v below plausible floor", tslot, zi, c)

@@ -9,16 +9,24 @@ import (
 )
 
 // TraceView is the benign View: the controller's beliefs equal ground truth.
+// The observation buffer is reused across Occupants calls, so an instance
+// must not be shared between concurrent simulations.
 type TraceView struct {
 	Trace *aras.Trace
+
+	obs []OccupantObs
 }
 
 var _ View = (*TraceView)(nil)
 
-// Occupants implements View.
+// Occupants implements View. The returned slice is valid until the next
+// call.
 func (v *TraceView) Occupants(day, slot int) []OccupantObs {
 	d := v.Trace.Days[day]
-	obs := make([]OccupantObs, len(d.Zone))
+	if cap(v.obs) < len(d.Zone) {
+		v.obs = make([]OccupantObs, len(d.Zone))
+	}
+	obs := v.obs[:len(d.Zone)]
 	for o := range d.Zone {
 		obs[o] = OccupantObs{Zone: d.Zone[o][slot], Activity: d.Act[o][slot]}
 	}
@@ -90,6 +98,7 @@ func Simulate(trace *aras.Trace, ctrl Controller, params Params, pricing Pricing
 		ZoneCoilKWh:  make([]float64, len(house.Zones)),
 	}
 	zoneCO2 := make([]float64, len(house.Zones))
+	genScratch := make([]float64, len(house.Zones))
 	for d := 0; d < trace.NumDays(); d++ {
 		w := trace.Weather[d]
 		for zi := range zoneCO2 {
@@ -140,7 +149,7 @@ func Simulate(trace *aras.Trace, ctrl Controller, params Params, pricing Pricing
 
 			// Plant CO2 mass balance from ground truth occupancy and the
 			// delivered fresh air.
-			stepZoneCO2(trace, params, d, t, demands, w, zoneCO2)
+			stepZoneCO2(trace, params, d, t, demands, w, zoneCO2, genScratch)
 		}
 		res.TotalCostUSD += res.DailyCostUSD[d]
 		res.TotalKWh += res.DailyKWh[d]
@@ -161,10 +170,13 @@ func mixedAirTempF(dem Demand, outdoorF, returnF float64) float64 {
 }
 
 // stepZoneCO2 advances each conditioned zone's CO2 with the Eq 1 mass
-// balance using ground-truth generation and delivered fresh airflow.
-func stepZoneCO2(trace *aras.Trace, params Params, day, slot int, demands []Demand, w aras.Weather, zoneCO2 []float64) {
+// balance using ground-truth generation and delivered fresh airflow. gen is
+// caller-provided per-zone scratch.
+func stepZoneCO2(trace *aras.Trace, params Params, day, slot int, demands []Demand, w aras.Weather, zoneCO2, gen []float64) {
 	house := trace.House
-	gen := make([]float64, len(house.Zones))
+	for i := range gen {
+		gen[i] = 0
+	}
 	dd := trace.Days[day]
 	for o := range dd.Zone {
 		z := dd.Zone[o][slot]

@@ -97,13 +97,47 @@ func (w Window) validate() error {
 	return nil
 }
 
-// OptimizeWindow solves the window with an exact dynamic program.
+// Workspace holds the DP state tables for OptimizeWindow so chained window
+// optimisations (the attack planner solves ~144 windows per occupant-day)
+// reuse one allocation instead of rebuilding the tables per call. A zero
+// Workspace is ready to use; it grows to the largest window seen. Not safe
+// for concurrent use — give each goroutine its own.
+type Workspace struct {
+	value  []float64
+	choice []int32
+}
+
+// ensure sizes the flattened (t, z, a) tables and resets them.
+func (ws *Workspace) ensure(cells int) {
+	if cap(ws.value) < cells {
+		ws.value = make([]float64, cells)
+		ws.choice = make([]int32, cells)
+	}
+	ws.value = ws.value[:cells]
+	ws.choice = ws.choice[:cells]
+	negInf := math.Inf(-1)
+	for i := range ws.value {
+		ws.value[i] = negInf
+		ws.choice[i] = -1
+	}
+}
+
+// OptimizeWindow solves the window with an exact dynamic program, allocating
+// fresh DP state. Hot paths that solve many windows should use
+// OptimizeWindowWS with a reused Workspace.
+func OptimizeWindow(w Window, oracle Oracle, cost CostFn, allowed AllowedFn) (Schedule, Stats, error) {
+	var ws Workspace
+	return OptimizeWindowWS(&ws, w, oracle, cost, allowed)
+}
+
+// OptimizeWindowWS solves the window with an exact dynamic program using the
+// given workspace's state tables.
 //
 // State: before slot t the occupant is in zone z having arrived at a.
 // Actions: stay (duration stays within MaxStay(a, z)) or exit (requires
 // InRangeStay(a, t−a)) into a zone z' that is allowed at t and has cluster
 // coverage at arrival t.
-func OptimizeWindow(w Window, oracle Oracle, cost CostFn, allowed AllowedFn) (Schedule, Stats, error) {
+func OptimizeWindowWS(ws *Workspace, w Window, oracle Oracle, cost CostFn, allowed AllowedFn) (Schedule, Stats, error) {
 	if err := w.validate(); err != nil {
 		return Schedule{}, Stats{}, err
 	}
@@ -117,33 +151,24 @@ func OptimizeWindow(w Window, oracle Oracle, cost CostFn, allowed AllowedFn) (Sc
 	}
 	nA := w.Length + 1
 	nZ := len(w.Zones)
-	zoneIdx := make(map[home.ZoneID]int, nZ)
+	startZI := -1
 	for i, z := range w.Zones {
-		zoneIdx[z] = i
+		if z == w.StartZone {
+			startZI = i
+			break
+		}
 	}
-	startZI, okStart := zoneIdx[w.StartZone]
-	if !okStart {
+	if startZI < 0 {
 		return Schedule{}, st, errors.New("solver: StartZone not in Zones")
 	}
 
 	negInf := math.Inf(-1)
-	// value[t][z][a]: best cost over slots [0, t) ending in state (z, a)
-	// before slot t.
-	value := make([][][]float64, w.Length+1)
-	choice := make([][][]int32, w.Length+1) // encodes predecessor (z,a) and action
-	for t := 0; t <= w.Length; t++ {
-		value[t] = make([][]float64, nZ)
-		choice[t] = make([][]int32, nZ)
-		for z := 0; z < nZ; z++ {
-			value[t][z] = make([]float64, nA)
-			choice[t][z] = make([]int32, nA)
-			for a := 0; a < nA; a++ {
-				value[t][z][a] = negInf
-				choice[t][z][a] = -1
-			}
-		}
-	}
-	value[0][startZI][0] = 0
+	// value[(t*nZ+z)*nA+a]: best cost over slots [0, t) ending in state
+	// (z, a) before slot t; choice encodes the predecessor (z, a) and action.
+	ws.ensure((w.Length + 1) * nZ * nA)
+	value, choice := ws.value, ws.choice
+	idx := func(t, z, a int) int { return (t*nZ+z)*nA + a }
+	value[idx(0, startZI, 0)] = 0
 
 	// startLenient: the inherited stay may itself lack cluster coverage
 	// (real behaviour can be anomalous). The attacker then reports truth
@@ -166,7 +191,7 @@ func OptimizeWindow(w Window, oracle Oracle, cost CostFn, allowed AllowedFn) (Sc
 		abs := w.StartSlot + t
 		for z := 0; z < nZ; z++ {
 			for a := 0; a < nA; a++ {
-				v := value[t][z][a]
+				v := value[idx(t, z, a)]
 				if v == negInf {
 					continue
 				}
@@ -185,9 +210,9 @@ func OptimizeWindow(w Window, oracle Oracle, cost CostFn, allowed AllowedFn) (Sc
 				}
 				if canStay && allowed(abs, zone) {
 					nv := v + cost(abs, zone)
-					if nv > value[t+1][z][a] {
-						value[t+1][z][a] = nv
-						choice[t+1][z][a] = encode(z, a, actStay)
+					if ni := idx(t+1, z, a); nv > value[ni] {
+						value[ni] = nv
+						choice[ni] = encode(z, a, actStay)
 					}
 				}
 				// Action 2: exit now (stay = dur) and occupy z' for slot t.
@@ -213,9 +238,9 @@ func OptimizeWindow(w Window, oracle Oracle, cost CostFn, allowed AllowedFn) (Sc
 					}
 					nv := v + cost(abs, zone2)
 					aIdx := t + 1 // arrival at abs
-					if nv > value[t+1][z2][aIdx] {
-						value[t+1][z2][aIdx] = nv
-						choice[t+1][z2][aIdx] = encode(z, a, actMove)
+					if ni := idx(t+1, z2, aIdx); nv > value[ni] {
+						value[ni] = nv
+						choice[ni] = encode(z, a, actMove)
 					}
 				}
 			}
@@ -227,19 +252,20 @@ func OptimizeWindow(w Window, oracle Oracle, cost CostFn, allowed AllowedFn) (Sc
 	bestV, bestScore, bestZ, bestA := negInf, negInf, -1, -1
 	for z := 0; z < nZ; z++ {
 		for a := 0; a < nA; a++ {
-			if value[w.Length][z][a] == negInf {
+			tv := value[idx(w.Length, z, a)]
+			if tv == negInf {
 				continue
 			}
 			if w.TerminalOK != nil && !w.TerminalOK(w.Zones[z], arrivalSlot(a)) {
 				continue
 			}
-			score := value[w.Length][z][a]
+			score := tv
 			if w.TerminalBonus != nil {
 				score += w.TerminalBonus(w.Zones[z], arrivalSlot(a))
 			}
 			if score > bestScore {
 				bestScore = score
-				bestV, bestZ, bestA = value[w.Length][z][a], z, a
+				bestV, bestZ, bestA = tv, z, a
 			}
 		}
 	}
@@ -261,7 +287,7 @@ func OptimizeWindow(w Window, oracle Oracle, cost CostFn, allowed AllowedFn) (Sc
 	z, a := bestZ, bestA
 	for t := w.Length; t > 0; t-- {
 		zones[t-1] = w.Zones[z]
-		pz, pa, _ := decode(choice[t][z][a])
+		pz, pa, _ := decode(choice[idx(t, z, a)])
 		z, a = pz, pa
 	}
 	return Schedule{

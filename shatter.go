@@ -79,12 +79,17 @@ func DefaultHVACParams() HVACParams { return hvac.DefaultParams() }
 func DefaultPricing() Pricing { return hvac.DefaultPricing() }
 
 // NewSHATTERController returns the paper's activity-aware controller.
+// Controllers reuse internal scratch buffers across control slots, so a
+// single instance must not drive concurrent simulations — create one
+// controller per simulation goroutine.
 func NewSHATTERController(p HVACParams) Controller { return &hvac.SHATTERController{Params: p} }
 
-// NewASHRAEController returns the Fig 3 baseline controller.
+// NewASHRAEController returns the Fig 3 baseline controller. Like
+// NewSHATTERController, one instance must not drive concurrent simulations.
 func NewASHRAEController(p HVACParams, h *House) Controller { return hvac.NewASHRAEController(p, h) }
 
-// Simulate runs a controller over a trace with benign beliefs.
+// Simulate runs a controller over a trace with benign beliefs. For
+// concurrent simulations, give each call its own controller instance.
 func Simulate(tr *Trace, ctrl Controller, p HVACParams, pr Pricing) (SimResult, error) {
 	return hvac.Simulate(tr, ctrl, p, pr, hvac.Options{})
 }
