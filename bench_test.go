@@ -18,6 +18,7 @@ import (
 	"github.com/acyd-lab/shatter/internal/attack"
 	"github.com/acyd-lab/shatter/internal/core"
 	"github.com/acyd-lab/shatter/internal/home"
+	"github.com/acyd-lab/shatter/internal/scenario"
 	"github.com/acyd-lab/shatter/internal/solver"
 	"github.com/acyd-lab/shatter/internal/testbed"
 )
@@ -259,6 +260,26 @@ func BenchmarkAblationPruning(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioSweep runs the full pipeline (generate → train ADM →
+// plan SHATTER → trigger → evaluate) over non-ARAS registry archetypes and
+// a procedural ramp to 12 zones / 4 occupants — the real end-to-end scaling
+// measurement behind the scenario_sweep series in cmd/bench.
+func BenchmarkScenarioSweep(b *testing.B) {
+	s := suite(b)
+	specs := scenario.DefaultSweep(s.Config.Seed)
+	for i := 0; i < b.N; i++ {
+		points, err := s.ScenarioSweep(specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.BenignUSD <= 0 {
+				b.Fatalf("%s: degenerate benign bill", p.ScenarioID)
+			}
+		}
+	}
+}
+
 // BenchmarkAblationBatterySize sweeps the battery capacity in the TOU cost
 // model and re-prices the benign month.
 func BenchmarkAblationBatterySize(b *testing.B) {
@@ -269,7 +290,7 @@ func BenchmarkAblationBatterySize(b *testing.B) {
 			pricing.BatteryKWh = kwh
 			for i := 0; i < b.N; i++ {
 				ctrl := NewSHATTERController(s.Params)
-				if _, err := Simulate(s.Houses["A"], ctrl, s.Params, pricing); err != nil {
+				if _, err := Simulate(s.Trace("A"), ctrl, s.Params, pricing); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -287,7 +308,7 @@ func (bandOracle) InRangeStay(_ int, _ home.ZoneID, _ int, stay int) bool {
 
 func mustTrain(b *testing.B, s *core.Suite) *Trace {
 	b.Helper()
-	tr, err := s.Houses["A"].SubTrace(0, s.Config.TrainDays)
+	tr, err := s.Trace("A").SubTrace(0, s.Config.TrainDays)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -295,5 +316,5 @@ func mustTrain(b *testing.B, s *core.Suite) *Trace {
 }
 
 func plannerFor(s *core.Suite, model *ADM, window int) *Planner {
-	return NewPlanner(s.Houses["A"], model, s.Params, s.Pricing, attack.Full(s.Houses["A"].House), window)
+	return NewPlanner(s.Trace("A"), model, s.Params, s.Pricing, attack.Full(s.Trace("A").House), window)
 }

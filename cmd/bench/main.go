@@ -1,14 +1,17 @@
 // Command bench runs the experiment suite end to end and emits a
 // machine-readable JSON baseline (wall time per experiment, allocation
 // stats, cache effectiveness) for tracking the performance trajectory
-// across PRs.
+// across PRs. Alongside the per-table experiments it measures a
+// scenario_sweep series: the full pipeline over registry archetypes and
+// procedural homes up to 12 zones / 4 occupants.
 //
 // Usage:
 //
 //	bench [-days N] [-train N] [-seed S] [-workers N] [-o BENCH.json]
 //
 // The default configuration matches the benchmark harness's quick suite
-// (12 days) so numbers are comparable with `go test -bench`.
+// (12 days) so numbers are comparable with `go test -bench` and with the
+// BENCH_PR1.json baseline.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"github.com/acyd-lab/shatter/internal/core"
+	"github.com/acyd-lab/shatter/internal/scenario"
 )
 
 // Measurement is one experiment's wall-clock record. Cold is the first run
@@ -58,7 +62,7 @@ func run(args []string) error {
 	train := fs.Int("train", 9, "ADM training days")
 	seed := fs.Uint64("seed", 20230427, "dataset seed")
 	workers := fs.Int("workers", 0, "experiment worker pool (0 = all CPUs)")
-	out := fs.String("o", "BENCH_PR1.json", "output path (- for stdout)")
+	out := fs.String("o", "BENCH_PR3.json", "output path (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +97,13 @@ func run(args []string) error {
 		{"Fig10", discard(s.Fig10)},
 		{"TableVI", discard(s.TableVI)},
 		{"TableVII", discard(s.TableVII)},
+		{"scenario_sweep", func() error {
+			// Full pipeline over the non-ARAS registry archetypes plus a
+			// procedural ramp to 12 zones / 4 occupants. The warm leg reuses
+			// every per-scenario cached artifact.
+			_, err := s.ScenarioSweep(scenario.DefaultSweep(cfg.Seed))
+			return err
+		}},
 	}
 	for _, e := range experiments {
 		cold := time.Now()

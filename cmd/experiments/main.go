@@ -3,21 +3,30 @@
 //
 // Usage:
 //
-//	experiments [-days N] [-train N] [-seed S] [-workers N] [-quick] [-only fig3,tableV,...]
+//	experiments [-days N] [-train N] [-seed S] [-workers N] [-quick]
+//	            [-only fig3,tableV,...] [-suite A,B,...] [-scenarios list]
 //
 // -quick runs a reduced 12-day configuration for a fast smoke pass.
 // -workers bounds the experiment worker pool (0 = one per CPU; 1 = fully
 // sequential — results are identical either way).
+// -suite selects the registry scenarios the paper experiments run over
+// (default: the ARAS pair "A,B", reproducing the paper exactly).
+// -scenarios runs the full-stack ScenarioSweep over the listed worlds:
+// registry IDs ("studio", "family4", ...) and/or procedural homes written
+// as "synth:ZxO" or "synth:ZxO@SEED" (e.g. "synth:12x4" is a 12-zone,
+// 4-occupant generated home).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/acyd-lab/shatter/internal/core"
+	"github.com/acyd-lab/shatter/internal/scenario"
 )
 
 func main() {
@@ -35,12 +44,26 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "reduced 12-day run")
 	workers := fs.Int("workers", 0, "experiment worker pool (0 = all CPUs, 1 = sequential)")
 	only := fs.String("only", "", "comma-separated experiment ids (default all)")
+	suiteScen := fs.String("suite", "", "registry scenarios for the paper experiments (default A,B)")
+	sweep := fs.String("scenarios", "", "ScenarioSweep worlds: registry IDs and/or synth:ZxO[@SEED]")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := core.SuiteConfig{Days: *days, TrainDays: *train, Seed: *seed, WindowLen: 10, Workers: *workers}
 	if *quick {
 		cfg.Days, cfg.TrainDays = 12, 9
+	}
+	for _, id := range strings.Split(*suiteScen, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			cfg.Scenarios = append(cfg.Scenarios, id)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	sweepSpecs, err := parseSweepSpecs(*sweep, *seed)
+	if err != nil {
+		return err
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -49,6 +72,9 @@ func run(args []string) error {
 		}
 	}
 	sel := func(id string) bool { return len(want) == 0 || want[strings.ToLower(id)] }
+	if want["scenarios"] && len(sweepSpecs) == 0 {
+		return fmt.Errorf("-only scenarios needs a -scenarios list (e.g. -scenarios \"studio,synth:12x4\")")
+	}
 
 	started := time.Now()
 	fmt.Printf("SHATTER experiment suite (days=%d train=%d seed=%d)\n\n", cfg.Days, cfg.TrainDays, cfg.Seed)
@@ -117,7 +143,70 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if len(sweepSpecs) > 0 && sel("scenarios") {
+		if err := printScenarioSweep(s, sweepSpecs); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("\nall selected experiments done in %s\n", time.Since(started).Round(time.Millisecond))
+	return nil
+}
+
+// parseSweepSpecs resolves the -scenarios list: registry IDs and/or
+// "synth:ZxO[@SEED]" procedural shapes (seed defaults to the dataset seed).
+func parseSweepSpecs(list string, seed uint64) ([]scenario.Spec, error) {
+	var specs []scenario.Spec
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if shape, ok := strings.CutPrefix(entry, "synth:"); ok {
+			synthSeed := seed
+			if shape0, seedStr, hasSeed := strings.Cut(shape, "@"); hasSeed {
+				v, err := strconv.ParseUint(seedStr, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad synth seed in %q: %v", entry, err)
+				}
+				shape, synthSeed = shape0, v
+			}
+			zStr, oStr, ok := strings.Cut(shape, "x")
+			if !ok {
+				return nil, fmt.Errorf("bad synth shape %q (want synth:ZxO[@SEED])", entry)
+			}
+			zones, err1 := strconv.Atoi(zStr)
+			occ, err2 := strconv.Atoi(oStr)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad synth shape %q (want synth:ZxO[@SEED])", entry)
+			}
+			specs = append(specs, scenario.Synth(zones, occ, synthSeed))
+			continue
+		}
+		sp, ok := scenario.Get(entry)
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (registered: %s)", entry, strings.Join(scenario.IDs(), ", "))
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+func printScenarioSweep(s *core.Suite, specs []scenario.Spec) error {
+	fmt.Println("== Scenario sweep — full pipeline on arbitrary worlds ==")
+	points, err := s.ScenarioSweep(specs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %5s %4s %5s %10s %10s %9s %6s %9s %6s %9s\n",
+		"scenario", "zones", "occ", "appl", "benign $", "attacked $", "extra $", "det", "injected", "infeas", "t")
+	for _, p := range points {
+		fmt.Printf("%-22s %5d %4d %5d %10.2f %10.2f %9.2f %6.2f %9d %6d %9s\n",
+			p.ScenarioID, p.Zones, p.Occupants, p.Appliances,
+			p.BenignUSD, p.AttackedUSD, p.ExtraUSD, p.DetectionRate,
+			p.InjectedSlots, p.InfeasibleWindows, p.Elapsed.Round(time.Millisecond))
+	}
+	stats := s.CacheStats()
+	fmt.Printf("cache after sweep: %d ADM trainings, %d artifacts\n\n", stats.ADMTrainings, stats.Entries)
 	return nil
 }
 
@@ -198,7 +287,7 @@ func printCaseStudy(s *core.Suite) error {
 	}
 	fmt.Printf("day %d, slots %d-%d\n", cs.Day, cs.StartSlot, cs.StartSlot+len(cs.Slots)-1)
 	rows := []string{"Actual ", "Greedy ", "SHATTER"}
-	for o := 0; o < 2; o++ {
+	for o := 0; o < len(cs.Slots[0].Actual); o++ {
 		fmt.Printf("occupant %d:\n", o)
 		for ri, name := range rows {
 			fmt.Printf("  %s:", name)
@@ -254,21 +343,39 @@ func printTableIV(s *core.Suite) error {
 
 func printTableV(s *core.Suite) error {
 	fmt.Println("== Table V — attack cost: BIoTA vs Greedy vs SHATTER ==")
+	ids := s.ScenarioIDs()
 	benign, err := s.BenignCosts()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("benign control cost: House A $%.2f, House B $%.2f\n", benign["A"], benign["B"])
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("House %s $%.2f", id, benign[id])
+	}
+	fmt.Printf("benign control cost: %s\n", strings.Join(parts, ", "))
 	rows, err := s.TableV()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-9s %-12s %-13s %10s %10s %8s %8s\n",
-		"Framework", "ADM", "Knowledge", "A ($)", "B ($)", "detA", "detB")
+	headFormat := "%-9s %-12s %-13s" + strings.Repeat(" %10s", len(ids)) + strings.Repeat(" %8s", len(ids)) + "\n"
+	head := []any{"Framework", "ADM", "Knowledge"}
+	for _, id := range ids {
+		head = append(head, id+" ($)")
+	}
+	for _, id := range ids {
+		head = append(head, "det"+id)
+	}
+	fmt.Printf(headFormat, head...)
+	rowFormat := "%-9s %-12s %-13s" + strings.Repeat(" %10.2f", len(ids)) + strings.Repeat(" %8.2f", len(ids)) + "\n"
 	for _, r := range rows {
-		fmt.Printf("%-9s %-12s %-13s %10.2f %10.2f %8.2f %8.2f\n",
-			r.Framework, r.ADM, r.Knowledge,
-			r.CostUSD["A"], r.CostUSD["B"], r.DetectionRate["A"], r.DetectionRate["B"])
+		vals := []any{r.Framework, r.ADM, r.Knowledge}
+		for _, id := range ids {
+			vals = append(vals, r.CostUSD[id])
+		}
+		for _, id := range ids {
+			vals = append(vals, r.DetectionRate[id])
+		}
+		fmt.Printf(rowFormat, vals...)
 	}
 	fmt.Println()
 	return nil
@@ -297,8 +404,13 @@ func printAccess(s *core.Suite, title string, f func() ([]core.AccessRow, error)
 	if err != nil {
 		return err
 	}
+	ids := s.ScenarioIDs()
 	for _, r := range rows {
-		fmt.Printf("%-14s House A $%.2f  House B $%.2f\n", r.Label, r.ImpactUSD["A"], r.ImpactUSD["B"])
+		parts := make([]string, len(ids))
+		for i, id := range ids {
+			parts[i] = fmt.Sprintf("House %s $%.2f", id, r.ImpactUSD[id])
+		}
+		fmt.Printf("%-14s %s\n", r.Label, strings.Join(parts, "  "))
 	}
 	fmt.Println()
 	return nil

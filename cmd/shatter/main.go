@@ -1,17 +1,20 @@
 // Command shatter is the framework's CLI: generate datasets, train and
-// evaluate ADMs, and synthesise stealthy attack schedules.
+// evaluate ADMs, and synthesise stealthy attack schedules. The -house flag
+// accepts any registered scenario ID (the paper's "A"/"B" plus the builtin
+// archetypes and anything registered by the embedding application).
 //
 // Subcommands:
 //
 //	generate  -house A -days 30 -seed 1 -out trace.csv
-//	train     -house A -days 30 -seed 1 -adm dbscan|kmeans
-//	attack    -house A -days 30 -seed 1 -adm kmeans -strategy shatter|greedy|biota [-trigger]
+//	train     -house studio -days 30 -seed 1 -adm dbscan|kmeans
+//	attack    -house shared8 -days 30 -seed 1 -adm kmeans -strategy shatter|greedy|biota [-trigger]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	shatter "github.com/acyd-lab/shatter"
 )
@@ -45,21 +48,26 @@ type common struct {
 }
 
 func load(fs *flag.FlagSet, args []string) (*common, *flag.FlagSet, error) {
-	houseName := fs.String("house", "A", "house A or B")
+	houseName := fs.String("house", "A", "scenario ID (see the registry: A, B, studio, ...)")
 	days := fs.Int("days", 30, "trace length (days)")
 	seed := fs.Uint64("seed", 1, "dataset seed")
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
 	}
-	h, err := shatter.NewHouse(*houseName)
+	sp, ok := shatter.GetScenario(*houseName)
+	if !ok {
+		// Compat: NewHouse accepted lowercase "a"/"b".
+		sp, ok = shatter.GetScenario(strings.ToUpper(*houseName))
+	}
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown scenario %q (registered: %s)",
+			*houseName, strings.Join(shatter.ScenarioIDs(), ", "))
+	}
+	tr, err := sp.Generate(*days, *seed)
 	if err != nil {
 		return nil, nil, err
 	}
-	tr, err := shatter.Generate(h, shatter.GeneratorConfig{Days: *days, Seed: *seed})
-	if err != nil {
-		return nil, nil, err
-	}
-	return &common{house: h, trace: tr}, fs, nil
+	return &common{house: tr.House, trace: tr}, fs, nil
 }
 
 func cmdGenerate(args []string) error {

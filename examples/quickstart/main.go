@@ -17,15 +17,20 @@ func main() {
 }
 
 func run() error {
-	// 1. A house and a month of synthetic ARAS-style behaviour.
-	house, err := shatter.NewHouse("A")
+	// 1. A house and two weeks of synthetic ARAS-style behaviour. Homes come
+	// from the scenario registry: "A"/"B" are the paper's ARAS pair, and
+	// "studio", "family4", "nightshift", or "shared8" (or a procedural
+	// shatter.SynthScenario(12, 4, seed)) swap in richer worlds without
+	// changing anything below.
+	spec, ok := shatter.GetScenario("A")
+	if !ok {
+		return fmt.Errorf("scenario A not registered")
+	}
+	trace, err := spec.Generate(14, 42)
 	if err != nil {
 		return err
 	}
-	trace, err := shatter.Generate(house, shatter.GeneratorConfig{Days: 14, Seed: 42})
-	if err != nil {
-		return err
-	}
+	house := trace.House
 	fmt.Printf("generated %d days for house %s (%d occupants, %d appliances)\n",
 		trace.NumDays(), house.Name, len(house.Occupants), len(house.Appliances))
 

@@ -112,10 +112,10 @@ func pooledPoints(trace *aras.Trace, occupant int) []geometry.Point {
 // attack surface each zone exposes.
 func (m *Model) ZoneCoverage(occupant int, arrivalSlot int) map[home.ZoneID]int {
 	out := make(map[home.ZoneID]int)
-	for z := home.ZoneID(0); z < home.NumZones; z++ {
-		minS, maxS, ok := m.StayRange(occupant, z, arrivalSlot)
+	for z := range m.house.Zones {
+		minS, maxS, ok := m.StayRange(occupant, home.ZoneID(z), arrivalSlot)
 		if ok {
-			out[z] = maxS - minS
+			out[home.ZoneID(z)] = maxS - minS
 		}
 	}
 	return out

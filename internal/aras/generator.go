@@ -2,6 +2,7 @@ package aras
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"github.com/acyd-lab/shatter/internal/home"
@@ -22,6 +23,11 @@ type GeneratorConfig struct {
 	// SummerMeanF is the mean outdoor temperature (°F); defaults to 84
 	// (cooling-dominated season, as in the paper's energy experiments).
 	SummerMeanF float64
+	// Profiles supplies one schedule profile per occupant, in occupant
+	// order — the scenario layer's replacement for the baked-in A/B worker
+	// assumptions. Nil falls back to DefaultProfile(house.Name, o). When
+	// set, its length must equal the house's occupant count.
+	Profiles []ScheduleProfile
 }
 
 func (c GeneratorConfig) withDefaults() GeneratorConfig {
@@ -37,73 +43,85 @@ func (c GeneratorConfig) withDefaults() GeneratorConfig {
 // ErrBadConfig is returned for non-positive day counts.
 var ErrBadConfig = errors.New("aras: Days must be positive")
 
-// routine describes an occupant's habitual daily schedule. All times are
-// minutes after midnight; all durations in minutes.
-type routine struct {
-	// worker occupants leave for work on weekdays.
-	worker bool
-	// wakeMean/wakeStd control the wake-up anchor.
-	wakeMean, wakeStd float64
-	// bedMean/bedStd control the bedtime anchor.
-	bedMean, bedStd float64
-	// leaveMean/returnMean are the weekday work window anchors.
-	leaveMean, returnMean float64
-	// showerMorning is the probability of a morning shower.
-	showerMorning float64
-	// eveningTVMean is the evening television block length.
-	eveningTVMean float64
-	// choresWeight scales how much daytime is spent on active chores
+// ErrBadProfiles is returned when GeneratorConfig.Profiles does not match
+// the house's occupant count.
+var ErrBadProfiles = errors.New("aras: Profiles length must equal occupant count")
+
+// ScheduleProfile describes an occupant's habitual daily schedule — the
+// behaviour archetype the generator turns into a clusterable day plan. All
+// times are minutes after midnight; all durations in minutes. Scenario
+// specs carry one per occupant; the zero value is a homebody who never
+// leaves, so sweeps can start from it and override anchors.
+type ScheduleProfile struct {
+	// Worker occupants leave for work on weekdays.
+	Worker bool
+	// WakeMean/WakeStd control the wake-up anchor.
+	WakeMean, WakeStd float64
+	// BedMean/BedStd control the bedtime anchor.
+	BedMean, BedStd float64
+	// ReturnMean anchors the weekday work window: workers go out after the
+	// morning routine and return around this minute. LeaveMean records the
+	// archetype's nominal departure time for description/derivation only —
+	// the generator does not hold workers home until it (anchoring the
+	// departure would alter the ARAS reproduction traces).
+	LeaveMean, ReturnMean float64
+	// ShowerMorning is the probability of a morning shower.
+	ShowerMorning float64
+	// EveningTVMean is the evening television block length.
+	EveningTVMean float64
+	// ChoresWeight scales how much daytime is spent on active chores
 	// (cleaning, laundry) vs sedentary activities.
-	choresWeight float64
+	ChoresWeight float64
 }
 
-// routineFor returns the behaviour archetype for an occupant of a house.
-// House A: Alice studies/works from home, Bob commutes. House B: both
-// occupants are out most of the day (hence House B's lower benign and
-// attacked costs throughout the paper's tables).
-func routineFor(houseName string, occupant int) routine {
+// DefaultProfile returns the behaviour archetype for an occupant of a
+// paper house. House A: Alice studies/works from home, Bob commutes.
+// House B: both occupants are out most of the day (hence House B's lower
+// benign and attacked costs throughout the paper's tables). Unknown
+// (house, occupant) pairs get the commuter default.
+func DefaultProfile(houseName string, occupant int) ScheduleProfile {
 	switch {
 	case houseName == "A" && occupant == 0: // Alice, home-based
-		return routine{
-			worker:        false,
-			wakeMean:      7*60 + 10, wakeStd: 18,
-			bedMean: 23 * 60, bedStd: 25,
-			showerMorning: 0.75,
-			eveningTVMean: 95,
-			choresWeight:  1.0,
+		return ScheduleProfile{
+			Worker:   false,
+			WakeMean: 7*60 + 10, WakeStd: 18,
+			BedMean: 23 * 60, BedStd: 25,
+			ShowerMorning: 0.75,
+			EveningTVMean: 95,
+			ChoresWeight:  1.0,
 		}
 	case houseName == "A" && occupant == 1: // Bob, commuter
-		return routine{
-			worker:        true,
-			wakeMean:      6*60 + 40, wakeStd: 15,
-			bedMean: 22*60 + 45, bedStd: 20,
-			leaveMean:     8*60 + 40,
-			returnMean:    17*60 + 45,
-			showerMorning: 0.85,
-			eveningTVMean: 80,
-			choresWeight:  0.5,
+		return ScheduleProfile{
+			Worker:   true,
+			WakeMean: 6*60 + 40, WakeStd: 15,
+			BedMean: 22*60 + 45, BedStd: 20,
+			LeaveMean:     8*60 + 40,
+			ReturnMean:    17*60 + 45,
+			ShowerMorning: 0.85,
+			EveningTVMean: 80,
+			ChoresWeight:  0.5,
 		}
 	case houseName == "B" && occupant == 0: // Carol, long-hours commuter
-		return routine{
-			worker:        true,
-			wakeMean:      6*60 + 20, wakeStd: 15,
-			bedMean: 22*60 + 30, bedStd: 20,
-			leaveMean:     7*60 + 50,
-			returnMean:    18*60 + 30,
-			showerMorning: 0.8,
-			eveningTVMean: 60,
-			choresWeight:  0.6,
+		return ScheduleProfile{
+			Worker:   true,
+			WakeMean: 6*60 + 20, WakeStd: 15,
+			BedMean: 22*60 + 30, BedStd: 20,
+			LeaveMean:     7*60 + 50,
+			ReturnMean:    18*60 + 30,
+			ShowerMorning: 0.8,
+			EveningTVMean: 60,
+			ChoresWeight:  0.6,
 		}
 	default: // Dave, commuter with evening activities out
-		return routine{
-			worker:        true,
-			wakeMean:      7 * 60, wakeStd: 18,
-			bedMean: 23*60 + 15, bedStd: 25,
-			leaveMean:     8*60 + 30,
-			returnMean:    19*60 + 15,
-			showerMorning: 0.7,
-			eveningTVMean: 70,
-			choresWeight:  0.4,
+		return ScheduleProfile{
+			Worker:   true,
+			WakeMean: 7 * 60, WakeStd: 18,
+			BedMean: 23*60 + 15, BedStd: 25,
+			LeaveMean:     8*60 + 30,
+			ReturnMean:    19*60 + 15,
+			ShowerMorning: 0.7,
+			EveningTVMean: 70,
+			ChoresWeight:  0.4,
 		}
 	}
 }
@@ -114,10 +132,15 @@ type block struct {
 	dur int
 }
 
-// Generate produces a synthetic trace for the house.
+// Generate produces a synthetic trace for the house. Schedule profiles come
+// from cfg.Profiles (the scenario layer); a nil Profiles falls back to the
+// paper houses' default archetypes.
 func Generate(house *home.House, cfg GeneratorConfig) (*Trace, error) {
 	if cfg.Days <= 0 {
 		return nil, ErrBadConfig
+	}
+	if cfg.Profiles != nil && len(cfg.Profiles) != len(house.Occupants) {
+		return nil, fmt.Errorf("%w: %d profiles for %d occupants", ErrBadProfiles, len(cfg.Profiles), len(house.Occupants))
 	}
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed)
@@ -135,7 +158,12 @@ func Generate(house *home.House, cfg GeneratorConfig) (*Trace, error) {
 		day := NewDay(len(house.Occupants), len(house.Appliances))
 		weekday := d%7 < 5
 		for o := range house.Occupants {
-			rt := routineFor(house.Name, o)
+			var rt ScheduleProfile
+			if cfg.Profiles != nil {
+				rt = cfg.Profiles[o]
+			} else {
+				rt = DefaultProfile(house.Name, o)
+			}
 			irregular := occRngs[o].Bool(cfg.IrregularProb)
 			plan := planDay(rt, weekday, irregular, occRngs[o])
 			rasterize(house, plan, &day, o, occRngs[o])
@@ -148,7 +176,7 @@ func Generate(house *home.House, cfg GeneratorConfig) (*Trace, error) {
 
 // planDay builds the ordered block list for one occupant-day, beginning at
 // midnight (asleep) and covering all 1440 minutes.
-func planDay(rt routine, weekday, irregular bool, r *rng.Source) []block {
+func planDay(rt ScheduleProfile, weekday, irregular bool, r *rng.Source) []block {
 	jit := 1.0
 	if irregular {
 		jit = 3.0
@@ -183,11 +211,11 @@ func planDay(rt routine, weekday, irregular bool, r *rng.Source) []block {
 		}
 	}
 
-	wake := norm(rt.wakeMean, rt.wakeStd)
+	wake := norm(rt.WakeMean, rt.WakeStd)
 	add(home.Sleeping, wake)
 	// Morning routine.
 	add(home.Toileting, norm(8, 2))
-	if r.Bool(rt.showerMorning) {
+	if r.Bool(rt.ShowerMorning) {
 		add(home.HavingShower, norm(14, 3))
 	}
 	add(home.BrushingTeeth, norm(3, 1))
@@ -195,9 +223,9 @@ func planDay(rt routine, weekday, irregular bool, r *rng.Source) []block {
 	add(home.PreparingBreakfast, norm(17, 4))
 	add(home.HavingBreakfast, norm(15, 4))
 
-	if rt.worker && weekday {
+	if rt.Worker && weekday {
 		// Out for the work day.
-		ret := norm(rt.returnMean, 25)
+		ret := norm(rt.ReturnMean, 25)
 		padUntil(ret, home.GoingOut)
 	} else {
 		// Home day: anchored lunch, daytime activity mix.
@@ -216,7 +244,7 @@ func planDay(rt routine, weekday, irregular bool, r *rng.Source) []block {
 	add(home.PreparingDinner, norm(24, 5))
 	add(home.HavingDinner, norm(25, 5))
 	add(home.WashingDishes, norm(10, 3))
-	add(home.WatchingTV, norm(rt.eveningTVMean, 20))
+	add(home.WatchingTV, norm(rt.EveningTVMean, 20))
 	if r.Bool(0.6) {
 		add(home.UsingInternet, norm(35, 12))
 	}
@@ -225,7 +253,7 @@ func planDay(rt routine, weekday, irregular bool, r *rng.Source) []block {
 	}
 	add(home.Toileting, norm(6, 2))
 	add(home.BrushingTeeth, norm(3, 1))
-	bed := norm(rt.bedMean, rt.bedStd)
+	bed := norm(rt.BedMean, rt.BedStd)
 	padUntil(bed, home.ReadingBook)
 	// Sleep to midnight.
 	add(home.Sleeping, SlotsPerDay-total)
@@ -234,7 +262,7 @@ func planDay(rt routine, weekday, irregular bool, r *rng.Source) []block {
 
 // fillDaytime adds a few randomly chosen home-day activities until close to
 // the anchor minute.
-func fillDaytime(rt routine, r *rng.Source, anchor int, add func(home.ActivityID, int), total *int) {
+func fillDaytime(rt ScheduleProfile, r *rng.Source, anchor int, add func(home.ActivityID, int), total *int) {
 	sedentary := []home.ActivityID{
 		home.UsingInternet, home.WatchingTV, home.ReadingBook,
 		home.Studying, home.TalkingOnPhone, home.ListeningToMusic, home.HavingSnack,
@@ -242,7 +270,7 @@ func fillDaytime(rt routine, r *rng.Source, anchor int, add func(home.ActivityID
 	active := []home.ActivityID{home.Cleaning, home.Laundry, home.Napping}
 	for *total < anchor-20 {
 		var act home.ActivityID
-		if r.Bool(0.22 * rt.choresWeight) {
+		if r.Bool(0.22 * rt.ChoresWeight) {
 			act = active[r.Intn(len(active))]
 		} else {
 			act = sedentary[r.Intn(len(sedentary))]
@@ -269,13 +297,15 @@ func fillDaytime(rt routine, r *rng.Source, anchor int, add func(home.ActivityID
 }
 
 // rasterize writes the plan into the day's slot arrays and switches linked
-// appliances on during activity blocks.
+// appliances on during activity blocks. Zones come from the house's
+// per-occupant activity assignment, so multi-bedroom layouts place each
+// occupant in their own room.
 func rasterize(house *home.House, plan []block, day *Day, occupant int, r *rng.Source) {
 	t := 0
 	for _, b := range plan {
-		act := home.ActivityByID(b.act)
+		zone := house.ZoneForActivity(occupant, b.act)
 		for i := 0; i < b.dur && t < SlotsPerDay; i, t = i+1, t+1 {
-			day.Zone[occupant][t] = act.Zone
+			day.Zone[occupant][t] = zone
 			day.Act[occupant][t] = b.act
 		}
 		// Appliances linked to the activity run for (most of) the block.
@@ -299,9 +329,10 @@ func rasterize(house *home.House, plan []block, day *Day, occupant int, r *rng.S
 			}
 		}
 	}
-	// Safety: fill any remaining slots as sleeping in the bedroom.
+	// Safety: fill any remaining slots as sleeping in the occupant's bedroom.
+	bed := house.ZoneForActivity(occupant, home.Sleeping)
 	for ; t < SlotsPerDay; t++ {
-		day.Zone[occupant][t] = home.Bedroom
+		day.Zone[occupant][t] = bed
 		day.Act[occupant][t] = home.Sleeping
 	}
 }

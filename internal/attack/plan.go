@@ -63,7 +63,7 @@ func (p *Plan) setReport(trace *aras.Trace, day, occupant, slot int, z home.Zone
 		return
 	}
 	if z.Conditioned() {
-		p.RepAct[day][occupant][slot] = home.MostIntenseActivityInZone(z)
+		p.RepAct[day][occupant][slot] = trace.House.MostIntenseActivity(z)
 	} else {
 		p.RepAct[day][occupant][slot] = home.GoingOut
 	}

@@ -63,11 +63,12 @@ func zonesOf(h *home.House) []home.ZoneID {
 func (pl *Planner) costFor(day, occupant int) solver.CostFn {
 	w := pl.Trace.Weather[day]
 	dd := pl.Trace.Days[day]
+	house := pl.Trace.House
 	return func(slot int, z home.ZoneID) float64 {
 		if !z.Conditioned() {
 			return 0
 		}
-		act := home.MostIntenseActivityInZone(z)
+		act := house.MostIntenseActivity(z)
 		if dd.Zone[occupant][slot] == z {
 			act = dd.Act[occupant][slot]
 		}
@@ -79,17 +80,19 @@ func (pl *Planner) costFor(day, occupant int) solver.CostFn {
 // (zone, slot)-indexed table and returns a table-backed CostFn plus the
 // (possibly grown) buffer for reuse. The schedule optimisers query the
 // surrogate thousands of times per occupant-day with the same (slot, zone)
-// arguments; tabulating the ≤ NumZones × SlotsPerDay distinct values once
+// arguments; tabulating the ≤ house-zones × SlotsPerDay distinct values once
 // removes the repeated HVAC cost-model evaluations from the hot path.
 func (pl *Planner) costTableFn(day, occupant int, tbl []float64) (solver.CostFn, []float64) {
-	n := int(home.NumZones) * aras.SlotsPerDay
+	house := pl.Trace.House
+	nz := len(house.Zones)
+	n := nz * aras.SlotsPerDay
 	if cap(tbl) < n {
 		tbl = make([]float64, n)
 	}
 	tbl = tbl[:n]
 	w := pl.Trace.Weather[day]
 	dd := pl.Trace.Days[day]
-	for z := home.ZoneID(0); z < home.NumZones; z++ {
+	for z := home.ZoneID(0); int(z) < nz; z++ {
 		row := tbl[int(z)*aras.SlotsPerDay : (int(z)+1)*aras.SlotsPerDay]
 		if !z.Conditioned() {
 			for t := range row {
@@ -97,7 +100,7 @@ func (pl *Planner) costTableFn(day, occupant int, tbl []float64) (solver.CostFn,
 			}
 			continue
 		}
-		intense := home.MostIntenseActivityInZone(z)
+		intense := house.MostIntenseActivity(z)
 		for t := range row {
 			act := intense
 			if dd.Zone[occupant][t] == z {
@@ -117,10 +120,13 @@ func (pl *Planner) CostTable(day, occupant int) []float64 {
 	return tbl
 }
 
-// CostFnFromTable wraps a CostTable surface as a solver.CostFn.
+// CostFnFromTable wraps a CostTable surface as a solver.CostFn. The zone
+// bound is recovered from the table size, so surfaces built for any house
+// layout self-describe.
 func CostFnFromTable(tbl []float64) solver.CostFn {
+	nz := home.ZoneID(len(tbl) / aras.SlotsPerDay)
 	return func(slot int, z home.ZoneID) float64 {
-		if z < 0 || z >= home.NumZones {
+		if z < 0 || z >= nz {
 			return 0
 		}
 		return tbl[int(z)*aras.SlotsPerDay+slot]
@@ -457,11 +463,11 @@ func (pl *Planner) PlanBIoTA() (*Plan, error) {
 	// Hoist the per-slot loop invariants: zone capacities, per-occupant cost
 	// surrogates (rebuilt per day), and a zone-indexed occupancy counter in
 	// place of a per-slot map.
-	maxOcc := make([]int, home.NumZones)
+	maxOcc := make([]int, len(house.Zones))
 	for _, z := range zones {
 		maxOcc[z] = house.Zone(z).MaxOccupancy
 	}
-	counts := make([]int, home.NumZones)
+	counts := make([]int, len(house.Zones))
 	costs := make([]solver.CostFn, len(house.Occupants))
 	ctbls := make([][]float64, len(house.Occupants))
 	for d := 0; d < pl.Trace.NumDays(); d++ {

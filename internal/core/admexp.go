@@ -14,14 +14,16 @@ type Fig4Result struct {
 	Points    []adm.TunePoint
 }
 
-// Fig4 sweeps DBSCAN MinPts and K-Means k on the HAO1 dataset. The two
-// backend sweeps run as independent cells.
+// Fig4 sweeps DBSCAN MinPts and K-Means k on the first scenario's first
+// occupant (the paper's HAO1 dataset under the default configuration). The
+// two backend sweeps run as independent cells.
 func (s *Suite) Fig4() ([]Fig4Result, error) {
-	train, err := s.trainSplit("A")
+	first := s.Worlds[0].ID
+	train, err := s.trainSplit(first)
 	if err != nil {
 		return nil, err
 	}
-	name := aras.DatasetName("A", 0)
+	name := aras.DatasetName(first, 0)
 	out := []Fig4Result{
 		{Dataset: name, Algorithm: adm.DBSCAN},
 		{Dataset: name, Algorithm: adm.KMeans},
@@ -66,8 +68,8 @@ func (s *Suite) Fig5() ([]Fig5Result, error) {
 	days := []int{10, 15, 20, 25}
 	var out []Fig5Result
 	for _, alg := range []adm.Algorithm{adm.DBSCAN, adm.KMeans} {
-		for _, house := range []string{"A", "B"} {
-			for o := range s.Houses[house].House.Occupants {
+		for _, house := range s.ScenarioIDs() {
+			for o := range s.trace(house).House.Occupants {
 				out = append(out, Fig5Result{
 					Dataset:   aras.DatasetName(house, o),
 					Occupant:  o,
@@ -119,11 +121,12 @@ type Fig6Result struct {
 	Stats     adm.HullStats
 }
 
-// Fig6 reports hull statistics for both backends.
+// Fig6 reports hull statistics for both backends on the first scenario.
 func (s *Suite) Fig6() ([]Fig6Result, error) {
+	first := s.Worlds[0].ID
 	out := []Fig6Result{{Algorithm: adm.DBSCAN}, {Algorithm: adm.KMeans}}
 	err := s.runCells(len(out), func(i int) error {
-		model, err := s.trainADM("A", out[i].Algorithm, false)
+		model, err := s.trainADM(first, out[i].Algorithm, false)
 		if err != nil {
 			return err
 		}
@@ -144,10 +147,11 @@ type TableIVRow struct {
 	Metrics   stats.Confusion
 }
 
-// TableIV evaluates both ADMs on all four datasets against BIoTA attack
-// samples generated with full or partial attacker knowledge. The 16 grid
-// cells run in parallel; the defender models and labelled-episode sets are
-// cache-shared, so the grid trains each distinct model exactly once.
+// TableIV evaluates both ADMs on every scenario's per-occupant datasets
+// against BIoTA attack samples generated with full or partial attacker
+// knowledge. The grid cells run in parallel; the defender models and
+// labelled-episode sets are cache-shared, so the grid trains each distinct
+// model exactly once.
 func (s *Suite) TableIV() ([]TableIVRow, error) {
 	type cell struct {
 		alg     adm.Algorithm
@@ -163,8 +167,8 @@ func (s *Suite) TableIV() ([]TableIVRow, error) {
 			if partial {
 				knowledge = "Partial Data"
 			}
-			for _, house := range []string{"A", "B"} {
-				for o := range s.Houses[house].House.Occupants {
+			for _, house := range s.ScenarioIDs() {
+				for o := range s.trace(house).House.Occupants {
 					cells = append(cells, cell{alg, partial, house, o})
 					rows = append(rows, TableIVRow{
 						Algorithm: alg,

@@ -22,11 +22,11 @@ type TableVRow struct {
 	DetectionRate map[string]float64
 }
 
-// BenignCosts returns the no-attack monthly cost per house (the Table V
+// BenignCosts returns the no-attack monthly cost per scenario (the Table V
 // reference line; paper: $244.69 for House A). The costs come straight from
 // the cached benign simulations.
 func (s *Suite) BenignCosts() (map[string]float64, error) {
-	houses := []string{"A", "B"}
+	houses := s.ScenarioIDs()
 	costs := make([]float64, len(houses))
 	err := s.runCells(len(houses), func(i int) error {
 		res, err := s.benignSim(houses[i], ctrlSHATTER)
@@ -53,7 +53,7 @@ func (s *Suite) evaluateImpact(house string, plan *attack.Plan, defender *adm.Mo
 		return attack.Impact{}, err
 	}
 	opts.Benign = &benign
-	return attack.EvaluateImpact(s.Houses[house], plan, defender, s.controller(), s.Params, s.Pricing, opts)
+	return attack.EvaluateImpact(s.trace(house), plan, defender, s.controllerFor(house), s.Params, s.pricingFor(house), opts)
 }
 
 // TableV reproduces the BIoTA / Greedy / SHATTER cost grid. Greedy and
@@ -65,7 +65,7 @@ func (s *Suite) evaluateImpact(house string, plan *attack.Plan, defender *adm.Mo
 // across the worker pool and are folded into the 9 rows afterwards, so the
 // row order and contents are identical to a sequential run.
 func (s *Suite) TableV() ([]TableVRow, error) {
-	houses := []string{"A", "B"}
+	houses := s.ScenarioIDs()
 	rows := []TableVRow{{
 		Framework: "BIoTA",
 		ADM:       "Rules-based",
@@ -119,7 +119,7 @@ func (s *Suite) TableV() ([]TableVRow, error) {
 		)
 		switch c.framework {
 		case "BIoTA":
-			pl := s.planner(c.house, nil, attack.Full(s.Houses[c.house].House))
+			pl := s.planner(c.house, nil, attack.Full(s.trace(c.house).House))
 			plan, err = pl.PlanBIoTA()
 		default:
 			var attacker *adm.Model
@@ -127,7 +127,7 @@ func (s *Suite) TableV() ([]TableVRow, error) {
 			if err != nil {
 				return err
 			}
-			pl := s.planner(c.house, attacker, attack.Full(s.Houses[c.house].House))
+			pl := s.planner(c.house, attacker, attack.Full(s.trace(c.house).House))
 			if c.framework == "Greedy" {
 				plan, err = pl.PlanGreedy()
 			} else {
@@ -172,12 +172,12 @@ type Fig10Result struct {
 }
 
 // Fig10 runs the DBSCAN-ADM SHATTER attack with and without the Algorithm-1
-// appliance-triggering stage, one cell per house.
+// appliance-triggering stage, one cell per scenario.
 func (s *Suite) Fig10() ([]Fig10Result, error) {
-	houses := []string{"A", "B"}
+	houses := s.ScenarioIDs()
 	out := make([]Fig10Result, len(houses))
 	err := s.runCells(len(houses), func(i int) error {
-		res, err := s.triggerImpact(houses[i], attack.Full(s.Houses[houses[i]].House))
+		res, err := s.triggerImpact(houses[i], attack.Full(s.trace(houses[i]).House))
 		if err != nil {
 			return err
 		}
@@ -207,7 +207,7 @@ func (s *Suite) triggerImpact(house string, cap attack.Capability) (*Fig10Result
 	if err != nil {
 		return nil, err
 	}
-	attack.TriggerAppliances(s.Houses[house], plan, attacker, cap)
+	attack.TriggerAppliances(s.trace(house), plan, attacker, cap)
 	withTrig, err := s.evaluateImpact(house, plan, attacker, attack.EvalOptions{})
 	if err != nil {
 		return nil, err
@@ -248,7 +248,7 @@ func (s *Suite) TableVI() ([]AccessRow, error) {
 	}
 	rows := make([]AccessRow, len(zoneSets))
 	err := s.accessSweep(rows, len(zoneSets), func(set int, house string) attack.Capability {
-		return attack.Full(s.Houses[house].House).WithZones(zoneSets[set].zones...)
+		return attack.Full(s.trace(house).House).WithZones(zoneSets[set].zones...)
 	})
 	if err != nil {
 		return nil, err
@@ -259,10 +259,10 @@ func (s *Suite) TableVI() ([]AccessRow, error) {
 	return rows, nil
 }
 
-// accessSweep runs the Table VI/VII pattern: sets × houses triggering
+// accessSweep runs the Table VI/VII pattern: sets × scenarios triggering
 // impacts as independent cells, folded into per-set rows.
 func (s *Suite) accessSweep(rows []AccessRow, sets int, capFor func(set int, house string) attack.Capability) error {
-	houses := []string{"A", "B"}
+	houses := s.ScenarioIDs()
 	impacts := make([]float64, sets*len(houses))
 	err := s.runCells(len(impacts), func(i int) error {
 		set, house := i/len(houses), houses[i%len(houses)]
@@ -298,7 +298,7 @@ func (s *Suite) TableVII() ([]AccessRow, error) {
 	}
 	rows := make([]AccessRow, len(sets))
 	err := s.accessSweep(rows, len(sets), func(set int, house string) attack.Capability {
-		return attack.Full(s.Houses[house].House).WithAppliances(sets[set].appliances...)
+		return attack.Full(s.trace(house).House).WithAppliances(sets[set].appliances...)
 	})
 	if err != nil {
 		return nil, err

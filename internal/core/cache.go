@@ -13,10 +13,11 @@ import (
 
 // artifactCache memoizes the expensive artifacts the experiment grid shares:
 // trained ADMs, benign plant simulations, train/test splits, truth plans,
-// and the BIoTA labelled-episode evaluation sets. Seven of the paper's
-// tables and figures retrain the very same models from scratch without it;
-// with it the whole harness — including repeated benchmark iterations —
-// computes each artifact exactly once.
+// and the BIoTA labelled-episode evaluation sets, each keyed by scenario ID
+// so ScenarioSweep worlds reuse artifacts exactly like the paper pair.
+// Seven of the paper's tables and figures retrain the very same models from
+// scratch without it; with it the whole harness — including repeated
+// benchmark iterations — computes each artifact exactly once.
 //
 // Every entry is built under a per-key sync.Once, so concurrent experiment
 // cells that race for the same artifact block until the single builder
@@ -31,8 +32,9 @@ type artifactCache struct {
 }
 
 // artifactKey identifies one artifact. kind discriminates the artifact
-// family; house/alg/n cover every family's parameters (n holds training
-// days, occupant index, or a boolean flag as 0/1 depending on kind).
+// family; house (a scenario ID), alg, and n cover every family's parameters
+// (n holds training days, occupant index, or a boolean flag as 0/1
+// depending on kind).
 type artifactKey struct {
 	kind  artifactKind
 	house string
@@ -104,7 +106,7 @@ func (s *Suite) CacheStats() CacheStats {
 // (house, alg, endDays) points.
 func (s *Suite) trainADMPrefix(house string, alg adm.Algorithm, endDays int) (*adm.Model, error) {
 	v, err := s.cache.do(artifactKey{kind: artifactADM, house: house, alg: alg, n: endDays}, func() (any, error) {
-		tr, err := s.Houses[house].SubTrace(0, endDays)
+		tr, err := s.trace(house).SubTrace(0, endDays)
 		if err != nil {
 			return nil, err
 		}
@@ -137,7 +139,7 @@ func (s *Suite) testSplit(house string) (*aras.Trace, error) {
 
 func (s *Suite) split(house string, from, to int) (*aras.Trace, error) {
 	v, err := s.cache.do(artifactKey{kind: artifactSplit, house: house, n: from<<16 | to}, func() (any, error) {
-		return s.Houses[house].SubTrace(from, to)
+		return s.trace(house).SubTrace(from, to)
 	})
 	if err != nil {
 		return nil, err
@@ -151,20 +153,20 @@ const (
 	ctrlASHRAE
 )
 
-// benignSim returns the memoized no-attack simulation of a house under the
-// given controller. The SHATTER entry doubles as the benign leg of every
-// attack-impact evaluation.
+// benignSim returns the memoized no-attack simulation of a scenario under
+// the given controller. The ctrlSHATTER entry (the scenario's configured
+// controller) doubles as the benign leg of every attack-impact evaluation.
 func (s *Suite) benignSim(house string, ctrlID int) (hvac.Result, error) {
 	v, err := s.cache.do(artifactKey{kind: artifactBenign, house: house, n: ctrlID}, func() (any, error) {
-		tr := s.Houses[house]
+		tr := s.trace(house)
 		var ctrl hvac.Controller
 		switch ctrlID {
 		case ctrlASHRAE:
 			ctrl = hvac.NewASHRAEController(s.Params, tr.House)
 		default:
-			ctrl = s.controller()
+			ctrl = s.controllerFor(house)
 		}
-		return hvac.Simulate(tr, ctrl, s.Params, s.Pricing, hvac.Options{})
+		return hvac.Simulate(tr, ctrl, s.Params, s.pricingFor(house), hvac.Options{})
 	})
 	if err != nil {
 		return hvac.Result{}, err
@@ -217,7 +219,7 @@ func (s *Suite) labeledEpisodes(house string, occupant int, partial bool) ([]adm
 // knowledge level that plans against the house. Planners re-pointed at a
 // different trace (sub-trace splits) get nil back and tabulate locally.
 func (s *Suite) costSurface(house string) func(tr *aras.Trace, day, occupant int) solver.CostFn {
-	full := s.Houses[house]
+	full := s.trace(house)
 	return func(tr *aras.Trace, day, occupant int) solver.CostFn {
 		if tr != full {
 			return nil // surface indexes full-trace days only

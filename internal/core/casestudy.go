@@ -43,13 +43,14 @@ type CaseStudyResult struct {
 	DaySHATTERCents float64
 }
 
-// CaseStudy reproduces Table III: the 6:00-6:09 PM window, comparing the
-// actual occupancy, the greedy schedule, and the SHATTER schedule, with the
-// ADM stay thresholds and appliance-trigger decisions.
+// CaseStudy reproduces Table III: the 6:00-6:09 PM window of the first
+// scenario (House A under the default configuration), comparing the actual
+// occupancy, the greedy schedule, and the SHATTER schedule, with the ADM
+// stay thresholds and appliance-trigger decisions.
 func (s *Suite) CaseStudy() (*CaseStudyResult, error) {
 	const start = 18 * 60 // 6:00 PM
 	const span = 10
-	house := "A"
+	house := s.Worlds[0].ID
 	day := 4
 	if day >= s.Config.Days {
 		day = s.Config.Days - 1
@@ -58,7 +59,7 @@ func (s *Suite) CaseStudy() (*CaseStudyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := s.Houses[house]
+	tr := s.trace(house)
 	pl := s.planner(house, model, attack.Full(tr.House))
 	greedy, err := pl.PlanGreedy()
 	if err != nil {

@@ -25,6 +25,19 @@ func TestNewSuiteValidation(t *testing.T) {
 	if _, err := NewSuite(SuiteConfig{Days: 10, TrainDays: 10}); err == nil {
 		t.Error("TrainDays == Days should fail")
 	}
+	if _, err := NewSuite(SuiteConfig{Days: 10, TrainDays: 8, WindowLen: -1}); err == nil {
+		t.Error("negative WindowLen should fail")
+	}
+	if _, err := NewSuite(SuiteConfig{Days: 10, TrainDays: 8, Scenarios: []string{"nope"}}); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+	if _, err := NewSuite(SuiteConfig{Days: 10, TrainDays: 8, Scenarios: []string{"A", "A"}}); err == nil {
+		t.Error("duplicate scenario should fail")
+	}
+	// Validate is usable standalone (the CLI front-ends call it directly).
+	if err := (SuiteConfig{Days: 10, TrainDays: 8}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
 }
 
 func TestFig3Shape(t *testing.T) {

@@ -100,7 +100,7 @@ func TestTruthPlanCached(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := p1.InjectedSlots(s.Houses["A"]); n != 0 {
+	if n := p1.InjectedSlots(s.Trace("A")); n != 0 {
 		t.Errorf("truth plan injects %d slots, want 0", n)
 	}
 	p2, err := s.truthPlan("A")

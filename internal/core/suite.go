@@ -1,27 +1,29 @@
 // Package core orchestrates the full SHATTER reproduction: it owns the
-// generated ARAS-style datasets and exposes one typed experiment per table
-// and figure of the paper's evaluation (see DESIGN.md §4 for the index).
-// The cmd/experiments binary and the repository's benchmark harness are
-// thin wrappers over this package.
+// generated scenario worlds and exposes one typed experiment per table
+// and figure of the paper's evaluation (see DESIGN.md §4 for the index),
+// plus the full-stack ScenarioSweep over arbitrary registry or procedural
+// scenarios. The cmd/experiments binary and the repository's benchmark
+// harness are thin wrappers over this package.
 //
 // The suite is a concurrent, cache-aware experiment engine: the evaluation
-// grid of {house × ADM backend × knowledge level × framework} cells is
+// grid of {scenario × ADM backend × knowledge level × framework} cells is
 // embarrassingly parallel, so each experiment fans its independent cells
 // across a bounded worker pool (SuiteConfig.Workers), while a suite-level
 // artifact cache (cache.go) memoizes the trained models, benign
-// simulations, splits, and truth plans the cells share. Results are
-// deterministic: a Workers=1 run and a Workers=N run produce identical
-// tables.
+// simulations, splits, and truth plans the cells share, keyed by scenario
+// ID. Results are deterministic: a Workers=1 run and a Workers=N run
+// produce identical tables.
 package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/acyd-lab/shatter/internal/adm"
 	"github.com/acyd-lab/shatter/internal/aras"
 	"github.com/acyd-lab/shatter/internal/attack"
-	"github.com/acyd-lab/shatter/internal/home"
 	"github.com/acyd-lab/shatter/internal/hvac"
+	"github.com/acyd-lab/shatter/internal/scenario"
 )
 
 // SuiteConfig parameterises a reproduction run.
@@ -33,12 +35,17 @@ type SuiteConfig struct {
 	TrainDays int
 	// Seed fixes the synthetic datasets.
 	Seed uint64
-	// WindowLen is the attack optimisation horizon I (paper: 10).
+	// WindowLen is the attack optimisation horizon I (paper: 10). Zero
+	// selects the paper default; negative values are rejected.
 	WindowLen int
 	// Workers bounds the experiment worker pool. 0 (the default) uses one
 	// worker per available CPU; 1 forces sequential execution for
 	// reproducibility checks. Results are identical either way.
 	Workers int
+	// Scenarios lists the registry scenario IDs the suite loads, in order.
+	// Empty selects the paper's ARAS pair {"A", "B"}, reproducing the
+	// hardwired evaluation exactly.
+	Scenarios []string
 }
 
 // DefaultSuiteConfig mirrors the paper's setup.
@@ -46,92 +53,185 @@ func DefaultSuiteConfig() SuiteConfig {
 	return SuiteConfig{Days: 30, TrainDays: 25, Seed: 20230427, WindowLen: 10}
 }
 
+// Validate reports configuration errors. It is the single validation point
+// shared by NewSuite and the CLI front-ends.
+func (c SuiteConfig) Validate() error {
+	if c.Days < 2 || c.TrainDays < 1 || c.TrainDays >= c.Days {
+		return fmt.Errorf("core: need Days >= 2 and 1 <= TrainDays < Days, got %d/%d", c.TrainDays, c.Days)
+	}
+	if c.WindowLen < 0 {
+		return fmt.Errorf("core: need WindowLen >= 0 (0 = paper default 10), got %d", c.WindowLen)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: need Workers >= 0 (0 = one per CPU), got %d", c.Workers)
+	}
+	seen := make(map[string]bool, len(c.Scenarios))
+	for _, id := range c.Scenarios {
+		if _, ok := scenario.Get(id); !ok {
+			return fmt.Errorf("core: unknown scenario %q (registered: %v)", id, scenario.IDs())
+		}
+		if seen[id] {
+			return fmt.Errorf("core: scenario %q listed twice", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// normalized resolves the config defaults Validate treats as sentinels.
+func (c SuiteConfig) normalized() SuiteConfig {
+	if c.WindowLen == 0 {
+		c.WindowLen = 10
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = []string{"A", "B"}
+	}
+	return c
+}
+
+// World is one loaded scenario: its declarative spec and generated trace.
+type World struct {
+	ID    string
+	Spec  scenario.Spec
+	Trace *aras.Trace
+}
+
 // Suite holds the generated worlds and shared parameters.
 type Suite struct {
 	Config  SuiteConfig
 	Params  hvac.Params
 	Pricing hvac.Pricing
-	// Houses maps "A"/"B" to the generated traces.
-	Houses map[string]*aras.Trace
+	// Worlds are the configured scenarios in order. ScenarioSweep may load
+	// further worlds on demand; those are reachable through Trace/World but
+	// do not join the experiment grid.
+	Worlds []*World
 
+	mu    sync.RWMutex
+	byID  map[string]*World
 	cache *artifactCache
 }
 
-// NewSuite generates both houses' traces.
+// NewSuite generates the configured scenarios' traces.
 func NewSuite(cfg SuiteConfig) (*Suite, error) {
-	if cfg.Days < 2 || cfg.TrainDays < 1 || cfg.TrainDays >= cfg.Days {
-		return nil, fmt.Errorf("core: need Days >= 2 and 1 <= TrainDays < Days, got %d/%d", cfg.TrainDays, cfg.Days)
-	}
-	if cfg.WindowLen <= 0 {
-		cfg.WindowLen = 10
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	s := &Suite{
 		Config:  cfg,
 		Params:  hvac.DefaultParams(),
 		Pricing: hvac.DefaultPricing(),
-		Houses:  make(map[string]*aras.Trace, 2),
+		byID:    make(map[string]*World, len(cfg.Scenarios)),
 		cache:   newArtifactCache(),
 	}
-	// The two houses' generators are independent (separate seeds), so build
+	// The scenarios' generators are independent (separate seeds), so build
 	// them as cells of the suite's worker pool.
-	names := []string{"A", "B"}
-	traces := make([]*aras.Trace, len(names))
-	err := s.runCells(len(names), func(i int) error {
-		h, err := home.NewHouse(names[i])
+	worlds := make([]*World, len(cfg.Scenarios))
+	err := s.runCells(len(worlds), func(i int) error {
+		sp, _ := scenario.Get(cfg.Scenarios[i])
+		tr, err := sp.Generate(cfg.Days, cfg.Seed+uint64(i))
 		if err != nil {
-			return err
+			return fmt.Errorf("core: generate scenario %s: %w", sp.ID, err)
 		}
-		tr, err := aras.Generate(h, aras.GeneratorConfig{Days: cfg.Days, Seed: cfg.Seed + uint64(i)})
-		if err != nil {
-			return fmt.Errorf("core: generate house %s: %w", names[i], err)
-		}
-		traces[i] = tr
+		worlds[i] = &World{ID: sp.ID, Spec: sp, Trace: tr}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for i, name := range names {
-		s.Houses[name] = traces[i]
+	s.Worlds = worlds
+	for _, w := range worlds {
+		s.byID[w.ID] = w
 	}
 	return s, nil
 }
 
-// trainADM fits an ADM of the given algorithm on a house's training split,
-// memoized by the suite cache. Partial-knowledge attacker models train on
-// only the first half of the training days (Section VII's "partial data").
-func (s *Suite) trainADM(house string, alg adm.Algorithm, partial bool) (*adm.Model, error) {
+// World returns the loaded world for a scenario ID (nil when not loaded).
+func (s *Suite) World(id string) *World {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byID[id]
+}
+
+// Trace returns the generated trace for a loaded scenario (nil when not
+// loaded).
+func (s *Suite) Trace(id string) *aras.Trace {
+	if w := s.World(id); w != nil {
+		return w.Trace
+	}
+	return nil
+}
+
+// trace is the internal accessor for scenario IDs the suite is known to
+// have loaded; an unknown ID is a programmer error.
+func (s *Suite) trace(id string) *aras.Trace {
+	tr := s.Trace(id)
+	if tr == nil {
+		panic(fmt.Sprintf("core: scenario %q not loaded", id))
+	}
+	return tr
+}
+
+// ScenarioIDs returns the configured scenario IDs in order — the axis the
+// paper experiments iterate (on-demand sweep worlds are excluded).
+func (s *Suite) ScenarioIDs() []string {
+	ids := make([]string, len(s.Worlds))
+	for i, w := range s.Worlds {
+		ids[i] = w.ID
+	}
+	return ids
+}
+
+// trainADM fits an ADM of the given algorithm on a scenario's training
+// split, memoized by the suite cache. Partial-knowledge attacker models
+// train on only the first half of the training days (Section VII's
+// "partial data").
+func (s *Suite) trainADM(id string, alg adm.Algorithm, partial bool) (*adm.Model, error) {
 	end := s.Config.TrainDays
 	if partial {
 		end = (s.Config.TrainDays + 1) / 2
 	}
-	return s.trainADMPrefix(house, alg, end)
+	return s.trainADMPrefix(id, alg, end)
 }
 
-// planner builds an attack planner against a house with the given attacker
-// model and capability. The planner consumes the suite's memoized cost
-// surface; the surface provider declines traces other than the house's
-// full trace, so re-pointing the planner at a sub-trace is safe.
-func (s *Suite) planner(house string, model *adm.Model, cap attack.Capability) *attack.Planner {
-	tr := s.Houses[house]
+// planner builds an attack planner against a scenario with the given
+// attacker model and capability. The planner consumes the suite's memoized
+// cost surface; the surface provider declines traces other than the
+// scenario's full trace, so re-pointing the planner at a sub-trace is safe.
+func (s *Suite) planner(id string, model *adm.Model, cap attack.Capability) *attack.Planner {
+	tr := s.trace(id)
 	return &attack.Planner{
 		Trace:       tr,
 		Model:       model,
-		Cost:        hvac.NewCostModel(tr.House, s.Params, s.Pricing),
+		Cost:        hvac.NewCostModel(tr.House, s.Params, s.pricingFor(id)),
 		Cap:         cap,
 		WindowLen:   s.Config.WindowLen,
-		CostSurface: s.costSurface(house),
+		CostSurface: s.costSurface(id),
 	}
 }
 
-// controller returns the SHATTER DCHVAC controller under the suite params.
-func (s *Suite) controller() hvac.Controller {
+// controllerFor returns the scenario's chosen DCHVAC controller under the
+// suite params — the paper's SHATTER controller unless the spec opts into
+// the ASHRAE baseline.
+func (s *Suite) controllerFor(id string) hvac.Controller {
+	if w := s.World(id); w != nil && w.Spec.Controller == scenario.ControllerASHRAE {
+		return hvac.NewASHRAEController(s.Params, w.Trace.House)
+	}
 	return &hvac.SHATTERController{Params: s.Params}
 }
 
-// Fig3Result is one house's controller-cost comparison (Fig 3): the daily
-// cost series under the ASHRAE baseline and the activity-aware SHATTER
-// controller, plus the monthly saving.
+// pricingFor returns the scenario's tariff (the suite default unless the
+// spec overrides it).
+func (s *Suite) pricingFor(id string) hvac.Pricing {
+	if w := s.World(id); w != nil && w.Spec.Pricing != nil {
+		return *w.Spec.Pricing
+	}
+	return s.Pricing
+}
+
+// Fig3Result is one scenario's controller-cost comparison (Fig 3): the
+// daily cost series under the ASHRAE baseline and the activity-aware
+// SHATTER controller, plus the monthly saving.
 type Fig3Result struct {
 	House      string
 	ASHRAE     []float64
@@ -139,12 +239,12 @@ type Fig3Result struct {
 	SavingsPct float64
 }
 
-// Fig3 reproduces the Fig 3 controller comparison for both houses. The four
-// (house, controller) simulations run as independent cells and land in the
-// benign-simulation cache, where the SHATTER legs are shared with every
-// attack-impact evaluation.
+// Fig3 reproduces the Fig 3 controller comparison for every configured
+// scenario. The (scenario, controller) simulations run as independent cells
+// and land in the benign-simulation cache, where the SHATTER legs are
+// shared with every attack-impact evaluation.
 func (s *Suite) Fig3() ([]Fig3Result, error) {
-	houses := []string{"A", "B"}
+	houses := s.ScenarioIDs()
 	type cell struct {
 		house  string
 		ctrlID int

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/acyd-lab/shatter/internal/adm"
+	"github.com/acyd-lab/shatter/internal/attack"
+	"github.com/acyd-lab/shatter/internal/scenario"
+)
+
+// SweepPoint is one scenario's full-stack pipeline measurement: the world
+// is generated, an ADM trained, a SHATTER attack planned and triggered, and
+// its impact evaluated — the real end-to-end run that replaces the Fig 11b
+// synthetic-oracle scaling proxy.
+type SweepPoint struct {
+	ScenarioID string
+	// Zones and Occupants describe the world's size (conditioned zones).
+	Zones     int
+	Occupants int
+	// Appliances is the smart-appliance count.
+	Appliances int
+	// BenignUSD and AttackedUSD are the simulated bills; ExtraUSD is the
+	// attack's added cost.
+	BenignUSD   float64
+	AttackedUSD float64
+	ExtraUSD    float64
+	// DetectionRate is the defender ADM's flag rate over injected episodes.
+	DetectionRate float64
+	// InjectedSlots and TriggeredSlots are the campaign's footprint.
+	InjectedSlots  int
+	TriggeredSlots int
+	// InfeasibleWindows counts optimisation windows without a stealthy
+	// schedule.
+	InfeasibleWindows int
+	// Elapsed is the cell's wall-clock time (generation through evaluation).
+	// It is the only non-deterministic field; determinism comparisons must
+	// zero it.
+	Elapsed time.Duration
+}
+
+// sweepSeed decorrelates on-demand worlds from the configured scenario set
+// deterministically: the seed depends only on the base seed and scenario
+// ID, never on load order or worker interleaving.
+func sweepSeed(base uint64, id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return base + h.Sum64()
+}
+
+// ensureWorld loads a scenario world on demand. Worlds already loaded
+// (configured or previously swept) are reused, so repeated sweeps share
+// every cached artifact.
+func (s *Suite) ensureWorld(sp scenario.Spec) (*World, error) {
+	if w := s.World(sp.ID); w != nil {
+		return w, nil
+	}
+	tr, err := sp.Generate(s.Config.Days, sweepSeed(s.Config.Seed, sp.ID))
+	if err != nil {
+		return nil, fmt.Errorf("core: sweep scenario %s: %w", sp.ID, err)
+	}
+	w := &World{ID: sp.ID, Spec: sp, Trace: tr}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prior := s.byID[sp.ID]; prior != nil {
+		return prior, nil // lost a benign race: both builders used the same inputs
+	}
+	s.byID[sp.ID] = w
+	return w, nil
+}
+
+// ScenarioSweep runs the full SHATTER pipeline end to end on each spec:
+// generate the world, train the DBSCAN defender on the training prefix,
+// plan the windowed SHATTER attack, run the Algorithm-1 appliance
+// triggering, and evaluate the impact against the defender. Specs may come
+// from the registry or scenario.Synth; worlds and artifacts are cached by
+// scenario ID, so re-sweeping is warm. Cells fan across the suite's worker
+// pool and the deterministic fields of the result are identical for any
+// worker count.
+func (s *Suite) ScenarioSweep(specs []scenario.Spec) ([]SweepPoint, error) {
+	// Phase 1: materialise every world so the pipeline cells only read.
+	if err := s.runCells(len(specs), func(i int) error {
+		_, err := s.ensureWorld(specs[i])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	// Phase 2: one full-pipeline cell per scenario.
+	points := make([]SweepPoint, len(specs))
+	err := s.runCells(len(specs), func(i int) error {
+		p, err := s.sweepScenario(specs[i].ID)
+		if err != nil {
+			return fmt.Errorf("core: sweep %s: %w", specs[i].ID, err)
+		}
+		points[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// sweepScenario measures one loaded scenario end to end.
+func (s *Suite) sweepScenario(id string) (SweepPoint, error) {
+	started := time.Now()
+	tr := s.trace(id)
+	house := tr.House
+	defender, err := s.trainADM(id, adm.DBSCAN, false)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	cap := attack.Full(house)
+	pl := s.planner(id, defender, cap)
+	plan, err := pl.PlanSHATTER()
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	triggered := attack.TriggerAppliances(tr, plan, defender, cap)
+	imp, err := s.evaluateImpact(id, plan, defender, attack.EvalOptions{})
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{
+		ScenarioID:        id,
+		Zones:             len(house.Zones) - 1, // conditioned zones
+		Occupants:         len(house.Occupants),
+		Appliances:        len(house.Appliances),
+		BenignUSD:         imp.Benign.TotalCostUSD,
+		AttackedUSD:       imp.Attacked.TotalCostUSD,
+		ExtraUSD:          imp.ExtraCostUSD,
+		DetectionRate:     imp.DetectionRate,
+		InjectedSlots:     plan.InjectedSlots(tr),
+		TriggeredSlots:    triggered,
+		InfeasibleWindows: plan.InfeasibleWindows,
+		Elapsed:           time.Since(started),
+	}, nil
+}

@@ -43,6 +43,14 @@ type Zone struct {
 	ID ZoneID
 	// Name is the display name ("Bedroom").
 	Name string
+	// Kind classifies the zone by the canonical ARAS space it behaves like
+	// (Bedroom, Livingroom, Kitchen, or Bathroom, expressed as the canonical
+	// ZoneID). Activities whose canonical zone matches the kind are conducted
+	// there, which is how houses with more zones than the ARAS pair (second
+	// bedrooms, extra bathrooms) map the 27 activities onto their layout.
+	// BuildHouse normalises a zero Kind on a conditioned canonical zone to
+	// the zone's own ID, so the ARAS houses keep Kind == ID.
+	Kind ZoneID
 	// VolumeFt3 is the air volume in cubic feet (P^V_z in the paper).
 	VolumeFt3 float64
 	// AreaFt2 is the floor area in square feet, used by the ASHRAE

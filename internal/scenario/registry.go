@@ -1,0 +1,258 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// The registry maps scenario IDs to specs. Builtins are registered at init;
+// applications may add their own with Register.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Spec)
+	regOrder []string
+)
+
+// ErrDuplicateID is returned by Register for an already-registered ID.
+var ErrDuplicateID = fmt.Errorf("%w: duplicate scenario ID", ErrBadSpec)
+
+// Register validates the spec and adds it to the registry.
+func Register(sp Spec) error {
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[sp.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, sp.ID)
+	}
+	registry[sp.ID] = sp
+	regOrder = append(regOrder, sp.ID)
+	return nil
+}
+
+// MustRegister is Register panicking on error, for builtin registration.
+func MustRegister(sp Spec) {
+	if err := Register(sp); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the registered spec for the ID.
+func Get(id string) (Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	sp, ok := registry[id]
+	return sp, ok
+}
+
+// IDs returns all registered scenario IDs in registration order (builtins
+// first, with the paper's ARAS pair "A", "B" leading).
+func IDs() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}
+
+// profile is a ScheduleProfile literal helper for the builtin tables.
+func profile(p aras.ScheduleProfile) *aras.ScheduleProfile { return &p }
+
+func init() {
+	// The paper's two ARAS houses, derived from the same canonical
+	// blueprints NewHouse builds from, with their default schedule profiles
+	// made explicit — registry runs of "A"/"B" reproduce the hardwired
+	// pipeline byte for byte.
+	for _, name := range []string{"A", "B"} {
+		bp, err := home.ArasBlueprint(name)
+		if err != nil {
+			panic(err)
+		}
+		sp := Spec{
+			ID:          name,
+			Description: "ARAS house " + name + " (Haque et al., DSN 2023 evaluation pair)",
+		}
+		for _, z := range bp.Zones[1:] {
+			sp.Zones = append(sp.Zones, ZoneSpec{
+				Name: z.Name, Kind: z.Kind,
+				VolumeFt3: z.VolumeFt3, AreaFt2: z.AreaFt2,
+				MaxOccupancy: z.MaxOccupancy,
+			})
+		}
+		for i, o := range bp.Occupants {
+			sp.Occupants = append(sp.Occupants, OccupantSpec{
+				Name:         o.Name,
+				Demographics: o.Demographics,
+				Profile:      profile(aras.DefaultProfile(name, i)),
+			})
+		}
+		MustRegister(sp)
+	}
+
+	// Studio: one resident in a single main room doubling as bedroom and
+	// living space, with a kitchenette and a bathroom. The bedroom-kind
+	// activities are pinned to the studio room.
+	MustRegister(Spec{
+		ID:          "studio",
+		Description: "studio apartment, one home-office resident, 3 zones",
+		Zones: []ZoneSpec{
+			{Name: "Studio", Kind: home.Livingroom, VolumeFt3: 1800, AreaFt2: 200, MaxOccupancy: 4},
+			{Name: "Kitchenette", Kind: home.Kitchen, VolumeFt3: 540, AreaFt2: 60, MaxOccupancy: 2},
+			{Name: "Bathroom", Kind: home.Bathroom, VolumeFt3: 380, AreaFt2: 42, MaxOccupancy: 1},
+		},
+		Occupants: []OccupantSpec{
+			{Name: "Riley", Demographics: 1.0, Profile: profile(aras.ScheduleProfile{
+				Worker:   false,
+				WakeMean: 8 * 60, WakeStd: 25,
+				BedMean: 23*60 + 40, BedStd: 30,
+				ShowerMorning: 0.7,
+				EveningTVMean: 110,
+				ChoresWeight:  0.8,
+			})},
+		},
+		// Pin the (absent) bedroom kind to the studio room.
+		ZoneAssignments: [][]home.ZoneID{{home.Outside, 1, 1, 2, 3}},
+	})
+
+	// Family of four: parents in the master bedroom, two children sharing
+	// the kids' room, six conditioned zones with a second bathroom.
+	MustRegister(Spec{
+		ID:          "family4",
+		Description: "family of four, 6 zones, two bedrooms and two bathrooms",
+		Zones: []ZoneSpec{
+			{Name: "MasterBedroom", Kind: home.Bedroom, VolumeFt3: 1260, AreaFt2: 140, MaxOccupancy: 3},
+			{Name: "KidsRoom", Kind: home.Bedroom, VolumeFt3: 990, AreaFt2: 110, MaxOccupancy: 3},
+			{Name: "Livingroom", Kind: home.Livingroom, VolumeFt3: 2070, AreaFt2: 230, MaxOccupancy: 8},
+			{Name: "Kitchen", Kind: home.Kitchen, VolumeFt3: 1080, AreaFt2: 120, MaxOccupancy: 5},
+			{Name: "Bathroom", Kind: home.Bathroom, VolumeFt3: 486, AreaFt2: 54, MaxOccupancy: 2},
+			{Name: "EnsuiteBath", Kind: home.Bathroom, VolumeFt3: 380, AreaFt2: 42, MaxOccupancy: 1},
+		},
+		Occupants: []OccupantSpec{
+			{Name: "Maya", Demographics: 1.0, Profile: profile(aras.ScheduleProfile{
+				Worker:   true,
+				WakeMean: 6*60 + 30, WakeStd: 15,
+				BedMean: 22*60 + 50, BedStd: 20,
+				LeaveMean: 8 * 60, ReturnMean: 17 * 60,
+				ShowerMorning: 0.85,
+				EveningTVMean: 70,
+				ChoresWeight:  0.7,
+			})},
+			{Name: "Noah", Demographics: 1.15, Profile: profile(aras.ScheduleProfile{
+				Worker:   false,
+				WakeMean: 7 * 60, WakeStd: 20,
+				BedMean: 23 * 60, BedStd: 25,
+				ShowerMorning: 0.75,
+				EveningTVMean: 85,
+				ChoresWeight:  1.1,
+			})},
+			{Name: "Ada", Demographics: 0.6, Profile: profile(aras.ScheduleProfile{
+				Worker:   true, // school hours
+				WakeMean: 7*60 + 15, WakeStd: 15,
+				BedMean: 21*60 + 30, BedStd: 20,
+				LeaveMean: 8*60 + 15, ReturnMean: 15*60 + 30,
+				ShowerMorning: 0.4,
+				EveningTVMean: 60,
+				ChoresWeight:  0.3,
+			})},
+			{Name: "Leo", Demographics: 0.5, Profile: profile(aras.ScheduleProfile{
+				Worker:   true, // school hours
+				WakeMean: 7*60 + 20, WakeStd: 18,
+				BedMean: 21 * 60, BedStd: 20,
+				LeaveMean: 8*60 + 15, ReturnMean: 15*60 + 45,
+				ShowerMorning: 0.35,
+				EveningTVMean: 55,
+				ChoresWeight:  0.3,
+			})},
+		},
+		// Parents share the master (zone 1) and ensuite (6); kids share the
+		// kids' room (2) and hall bathroom (5).
+		ZoneAssignments: [][]home.ZoneID{
+			{home.Outside, 1, 3, 4, 6},
+			{home.Outside, 1, 3, 4, 6},
+			{home.Outside, 2, 3, 4, 5},
+			{home.Outside, 2, 3, 4, 5},
+		},
+	})
+
+	// Night-shift worker: sleeps from midnight to early afternoon, leaves
+	// for the shift late in the evening — the activity clusters land in
+	// time-of-day regions the ARAS pair never populates.
+	MustRegister(Spec{
+		ID:          "nightshift",
+		Description: "night-shift worker, inverted schedule, 4 zones",
+		Zones: []ZoneSpec{
+			{Name: "Bedroom", Kind: home.Bedroom, VolumeFt3: 1080, AreaFt2: 120, MaxOccupancy: 2},
+			{Name: "Livingroom", Kind: home.Livingroom, VolumeFt3: 1458, AreaFt2: 162, MaxOccupancy: 5},
+			{Name: "Kitchen", Kind: home.Kitchen, VolumeFt3: 875, AreaFt2: 97, MaxOccupancy: 3},
+			{Name: "Bathroom", Kind: home.Bathroom, VolumeFt3: 437, AreaFt2: 49, MaxOccupancy: 1},
+		},
+		Occupants: []OccupantSpec{
+			{Name: "Vesna", Demographics: 1.05, Profile: profile(aras.ScheduleProfile{
+				Worker:   true,
+				WakeMean: 13 * 60, WakeStd: 30,
+				BedMean: 23*60 + 55, BedStd: 2,
+				LeaveMean: 15 * 60, ReturnMean: 23 * 60,
+				ShowerMorning: 0.9,
+				EveningTVMean: 20,
+				ChoresWeight:  0.6,
+			})},
+		},
+	})
+
+	// Shared 8-zone home: four adults with staggered schedules, each with
+	// their own bedroom, sharing two bathrooms, a living room, and a
+	// kitchen.
+	MustRegister(Spec{
+		ID:          "shared8",
+		Description: "shared 8-zone home, four adults with staggered schedules",
+		Zones: []ZoneSpec{
+			{Name: "Bedroom1", Kind: home.Bedroom, VolumeFt3: 945, AreaFt2: 105, MaxOccupancy: 2},
+			{Name: "Bedroom2", Kind: home.Bedroom, VolumeFt3: 900, AreaFt2: 100, MaxOccupancy: 2},
+			{Name: "Bedroom3", Kind: home.Bedroom, VolumeFt3: 855, AreaFt2: 95, MaxOccupancy: 2},
+			{Name: "Bedroom4", Kind: home.Bedroom, VolumeFt3: 810, AreaFt2: 90, MaxOccupancy: 2},
+			{Name: "Livingroom", Kind: home.Livingroom, VolumeFt3: 2250, AreaFt2: 250, MaxOccupancy: 8},
+			{Name: "Kitchen", Kind: home.Kitchen, VolumeFt3: 1170, AreaFt2: 130, MaxOccupancy: 5},
+			{Name: "BathroomA", Kind: home.Bathroom, VolumeFt3: 486, AreaFt2: 54, MaxOccupancy: 2},
+			{Name: "BathroomB", Kind: home.Bathroom, VolumeFt3: 437, AreaFt2: 49, MaxOccupancy: 2},
+		},
+		Occupants: []OccupantSpec{
+			{Name: "Ines", Demographics: 0.95, Profile: profile(aras.ScheduleProfile{
+				Worker:   true,
+				WakeMean: 6 * 60, WakeStd: 12,
+				BedMean: 22 * 60, BedStd: 18,
+				LeaveMean: 7 * 60, ReturnMean: 16 * 60,
+				ShowerMorning: 0.9,
+				EveningTVMean: 50,
+				ChoresWeight:  0.5,
+			})},
+			{Name: "Jonas", Demographics: 1.1, Profile: profile(aras.ScheduleProfile{
+				Worker:   true,
+				WakeMean: 7*60 + 30, WakeStd: 20,
+				BedMean: 23*60 + 30, BedStd: 25,
+				LeaveMean: 9 * 60, ReturnMean: 18*60 + 30,
+				ShowerMorning: 0.8,
+				EveningTVMean: 75,
+				ChoresWeight:  0.4,
+			})},
+			{Name: "Kai", Demographics: 1.0, Profile: profile(aras.ScheduleProfile{
+				Worker:   false,
+				WakeMean: 8*60 + 30, WakeStd: 30,
+				BedMean: 23*60 + 45, BedStd: 30,
+				ShowerMorning: 0.6,
+				EveningTVMean: 100,
+				ChoresWeight:  0.9,
+			})},
+			{Name: "Lena", Demographics: 0.9, Profile: profile(aras.ScheduleProfile{
+				Worker:   true,
+				WakeMean: 6*60 + 45, WakeStd: 15,
+				BedMean: 22*60 + 30, BedStd: 20,
+				LeaveMean: 8*60 + 10, ReturnMean: 19 * 60,
+				ShowerMorning: 0.85,
+				EveningTVMean: 60,
+				ChoresWeight:  0.6,
+			})},
+		},
+	})
+}

@@ -1,0 +1,138 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/home"
+	"github.com/acyd-lab/shatter/internal/rng"
+)
+
+// DefaultSweep returns the benchmark sweep set shared by cmd/bench and the
+// root BenchmarkScenarioSweep: every non-ARAS registry archetype plus a
+// procedural ramp to 12 zones / 4 occupants. Keeping one definition keeps
+// the BENCH_PR*.json scenario_sweep series comparable with the Go bench.
+func DefaultSweep(seed uint64) []Spec {
+	specs := []Spec{}
+	for _, id := range []string{"studio", "family4", "nightshift", "shared8"} {
+		if sp, ok := Get(id); ok {
+			specs = append(specs, sp)
+		}
+	}
+	return append(specs,
+		Synth(6, 2, seed),
+		Synth(9, 3, seed),
+		Synth(12, 4, seed),
+	)
+}
+
+// clampShape applies Synth's minimum world shape: a home needs a living
+// space, kitchen, bathroom, and bedroom, and at least one occupant.
+func clampShape(zones, occupants int) (int, int) {
+	if zones < 4 {
+		zones = 4
+	}
+	if occupants < 1 {
+		occupants = 1
+	}
+	return zones, occupants
+}
+
+// SynthID names the procedural scenario for the given shape — the ID Synth
+// assigns, usable for cache keys before the spec is built. It applies the
+// same shape clamps as Synth, so SynthID(args) == Synth(args).ID always.
+func SynthID(zones, occupants int, seed uint64) string {
+	zones, occupants = clampShape(zones, occupants)
+	return fmt.Sprintf("synth-%dz-%do-%d", zones, occupants, seed)
+}
+
+// Synth procedurally generates a scenario with the given conditioned-zone
+// and occupant counts. The result is a pure function of its arguments:
+// the same (zones, occupants, seed) triple always yields a deeply equal
+// spec, so sweeps are reproducible and cache-keyable by ID. Shapes below
+// the 4-zone / 1-occupant minimum are clamped up (see clampShape).
+func Synth(zones, occupants int, seed uint64) Spec {
+	zones, occupants = clampShape(zones, occupants)
+	r := rng.New(seed ^ uint64(zones)<<32 ^ uint64(occupants)<<16)
+	sp := Spec{
+		ID:          SynthID(zones, occupants, seed),
+		Description: fmt.Sprintf("procedural home: %d zones, %d occupants (seed %d)", zones, occupants, seed),
+	}
+
+	// Zone layout: the four essential kinds first, then a bedroom-heavy mix.
+	kinds := []home.ZoneID{home.Livingroom, home.Kitchen, home.Bathroom, home.Bedroom}
+	for len(kinds) < zones {
+		switch v := r.Float64(); {
+		case v < 0.50:
+			kinds = append(kinds, home.Bedroom)
+		case v < 0.70:
+			kinds = append(kinds, home.Livingroom)
+		case v < 0.90:
+			kinds = append(kinds, home.Bathroom)
+		default:
+			kinds = append(kinds, home.Kitchen)
+		}
+	}
+	baseVolume := map[home.ZoneID]float64{
+		home.Bedroom:    1080,
+		home.Livingroom: 1620,
+		home.Kitchen:    972,
+		home.Bathroom:   486,
+	}
+	baseCap := map[home.ZoneID]int{
+		home.Bedroom:    3,
+		home.Livingroom: 6,
+		home.Kitchen:    4,
+		home.Bathroom:   2,
+	}
+	kindSeq := make(map[home.ZoneID]int)
+	for _, k := range kinds {
+		kindSeq[k]++
+		scale := r.Range(0.75, 1.3)
+		vol := baseVolume[k] * scale
+		sp.Zones = append(sp.Zones, ZoneSpec{
+			Name:         fmt.Sprintf("%v%d", k, kindSeq[k]),
+			Kind:         k,
+			VolumeFt3:    vol,
+			AreaFt2:      vol / 9, // 9 ft ceilings
+			MaxOccupancy: baseCap[k],
+		})
+	}
+
+	// Occupants: a mix of commuters, home workers, and late risers with
+	// jittered anchors, so every synthetic home clusters differently.
+	for o := 0; o < occupants; o++ {
+		worker := r.Bool(0.6)
+		wake := r.Norm(7*60, 45)
+		if wake < 5*60 {
+			wake = 5 * 60
+		}
+		p := aras.ScheduleProfile{
+			Worker:   worker,
+			WakeMean: wake, WakeStd: r.Range(10, 30),
+			BedMean: r.Norm(23*60, 30), BedStd: r.Range(15, 35),
+			ShowerMorning: r.Range(0.4, 0.95),
+			EveningTVMean: r.Range(40, 110),
+			ChoresWeight:  r.Range(0.3, 1.1),
+		}
+		if p.BedMean > 23*60+55 {
+			p.BedMean = 23*60 + 55
+		}
+		if p.BedMean < wake+8*60 {
+			p.BedMean = wake + 8*60
+		}
+		if worker {
+			p.LeaveMean = wake + r.Range(60, 120)
+			p.ReturnMean = p.LeaveMean + r.Range(7*60, 10*60)
+			if p.ReturnMean > 22*60 {
+				p.ReturnMean = 22 * 60
+			}
+		}
+		sp.Occupants = append(sp.Occupants, OccupantSpec{
+			Name:         fmt.Sprintf("Occ%d", o+1),
+			Demographics: r.Range(0.8, 1.25),
+			Profile:      &p,
+		})
+	}
+	return sp
+}

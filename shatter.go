@@ -4,13 +4,16 @@
 //
 // The package re-exports the stable surface of the internal modules:
 //
+//   - the declarative scenario layer (a registry of named home archetypes
+//     plus a procedural generator for arbitrary worlds),
 //   - dataset generation (ARAS-style synthetic activity traces),
 //   - the DCHVAC controllers and plant simulation,
 //   - the clustering + convex-hull anomaly detection model (ADM),
 //   - the attack planner (BIoTA baseline, greedy Algorithm 2, SHATTER
 //     windowed schedule) and the appliance-triggering stage (Algorithm 1),
 //   - the experiment suite that regenerates every table and figure of the
-//     paper's evaluation, and
+//     paper's evaluation and sweeps the full pipeline over arbitrary
+//     scenarios, and
 //   - the scaled prototype testbed with its MQTT-style transport.
 //
 // See examples/quickstart for a five-minute tour.
@@ -23,6 +26,7 @@ import (
 	"github.com/acyd-lab/shatter/internal/core"
 	"github.com/acyd-lab/shatter/internal/home"
 	"github.com/acyd-lab/shatter/internal/hvac"
+	"github.com/acyd-lab/shatter/internal/scenario"
 	"github.com/acyd-lab/shatter/internal/testbed"
 )
 
@@ -54,11 +58,50 @@ const (
 // SlotsPerDay is the number of 1-minute control slots per day.
 const SlotsPerDay = aras.SlotsPerDay
 
-// NewHouse returns one of the two ARAS-style houses, "A" or "B".
+// NewHouse returns one of the two ARAS-style houses, "A" or "B" — a compat
+// wrapper over the canonical blueprints. Other homes come from the scenario
+// registry (GetScenario) or BuildHouse.
 func NewHouse(name string) (*House, error) { return home.NewHouse(name) }
 
 // Generate produces a synthetic activity trace for the house.
 func Generate(h *House, cfg GeneratorConfig) (*Trace, error) { return aras.Generate(h, cfg) }
+
+// Scenario layer: declarative world models.
+type (
+	// Scenario is a declarative home description: zones, occupants with
+	// schedule profiles, appliances, and generator/controller configuration.
+	Scenario = scenario.Spec
+	// ScenarioZone declares one conditioned zone of a scenario.
+	ScenarioZone = scenario.ZoneSpec
+	// ScenarioOccupant declares one resident of a scenario.
+	ScenarioOccupant = scenario.OccupantSpec
+	// ScheduleProfile is an occupant's daily-routine archetype.
+	ScheduleProfile = aras.ScheduleProfile
+	// HouseBlueprint is the home layer's declarative construction form.
+	HouseBlueprint = home.Blueprint
+	// SweepPoint is one scenario's end-to-end pipeline measurement.
+	SweepPoint = core.SweepPoint
+)
+
+// RegisterScenario validates a scenario and adds it to the named registry.
+func RegisterScenario(sp Scenario) error { return scenario.Register(sp) }
+
+// GetScenario returns a registered scenario by ID. Builtins include the
+// paper's ARAS pair ("A", "B") plus "studio", "family4", "nightshift", and
+// "shared8".
+func GetScenario(id string) (Scenario, bool) { return scenario.Get(id) }
+
+// ScenarioIDs lists all registered scenario IDs in registration order.
+func ScenarioIDs() []string { return scenario.IDs() }
+
+// SynthScenario procedurally generates a home with the given conditioned
+// zone and occupant counts, deterministically from the seed.
+func SynthScenario(zones, occupants int, seed uint64) Scenario {
+	return scenario.Synth(zones, occupants, seed)
+}
+
+// BuildHouse assembles a House from a declarative blueprint.
+func BuildHouse(bp HouseBlueprint) (*House, error) { return home.BuildHouse(bp) }
 
 // HVAC control.
 type (
@@ -167,8 +210,9 @@ type (
 // DefaultSuiteConfig mirrors the paper's setup (30 days, horizon 10).
 func DefaultSuiteConfig() SuiteConfig { return core.DefaultSuiteConfig() }
 
-// NewSuite generates both houses' datasets and returns the experiment
-// runner.
+// NewSuite generates the configured scenarios' datasets (the paper's ARAS
+// pair by default) and returns the experiment runner. Suite.ScenarioSweep
+// runs the full pipeline over further registry or procedural scenarios.
 func NewSuite(cfg SuiteConfig) (*Suite, error) { return core.NewSuite(cfg) }
 
 // Testbed.
