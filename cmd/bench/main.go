@@ -2,12 +2,15 @@
 // machine-readable JSON baseline (wall time per experiment, allocation
 // stats, cache effectiveness) for tracking the performance trajectory
 // across PRs. Alongside the per-table experiments it measures a
-// scenario_sweep series: the full pipeline over registry archetypes and
-// procedural homes up to 12 zones / 4 occupants.
+// scenario_sweep series (the full pipeline over registry archetypes and
+// procedural homes up to 12 zones / 4 occupants) and a stream_fleet
+// series: the incremental streaming runtime driving a procedurally
+// generated fleet concurrently, reporting homes/sec and events/sec.
 //
 // Usage:
 //
 //	bench [-days N] [-train N] [-seed S] [-workers N] [-o BENCH.json]
+//	      [-fleet-homes N] [-fleet-days N]
 //
 // The default configuration matches the benchmark harness's quick suite
 // (12 days) so numbers are comparable with `go test -bench` and with the
@@ -24,6 +27,7 @@ import (
 
 	"github.com/acyd-lab/shatter/internal/core"
 	"github.com/acyd-lab/shatter/internal/scenario"
+	"github.com/acyd-lab/shatter/internal/stream"
 )
 
 // Measurement is one experiment's wall-clock record. Cold is the first run
@@ -44,9 +48,14 @@ type Report struct {
 	GOMAXPROCS   int           `json:"gomaxprocs"`
 	SuiteBuildNS int64         `json:"suite_build_ns"`
 	Experiments  []Measurement `json:"experiments"`
-	ADMTrainings int64         `json:"adm_trainings"`
-	CacheEntries int           `json:"cache_entries"`
-	TotalNS      int64         `json:"total_ns"`
+	// StreamFleet is the stream_fleet series' aggregate: homes/sec and
+	// events/sec for FleetHomes homes streaming FleetDays days each.
+	FleetHomes   int                `json:"fleet_homes"`
+	FleetDays    int                `json:"fleet_days"`
+	StreamFleet  *stream.FleetStats `json:"stream_fleet,omitempty"`
+	ADMTrainings int64              `json:"adm_trainings"`
+	CacheEntries int                `json:"cache_entries"`
+	TotalNS      int64              `json:"total_ns"`
 }
 
 func main() {
@@ -62,7 +71,9 @@ func run(args []string) error {
 	train := fs.Int("train", 9, "ADM training days")
 	seed := fs.Uint64("seed", 20230427, "dataset seed")
 	workers := fs.Int("workers", 0, "experiment worker pool (0 = all CPUs)")
-	out := fs.String("o", "BENCH_PR3.json", "output path (- for stdout)")
+	fleetHomes := fs.Int("fleet-homes", 100, "stream_fleet series: concurrent synth homes")
+	fleetDays := fs.Int("fleet-days", 2, "stream_fleet series: days per home")
+	out := fs.String("o", "BENCH_PR4.json", "output path (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +114,21 @@ func run(args []string) error {
 			// every per-scenario cached artifact.
 			_, err := s.ScenarioSweep(scenario.DefaultSweep(cfg.Seed))
 			return err
+		}},
+		{"stream_fleet", func() error {
+			// The streaming runtime at fleet scale: N procedurally generated
+			// homes advance slot-by-slot over the worker pool. There is no
+			// artifact cache on this path (nothing is materialized), so cold
+			// and warm legs measure the same steady-state throughput; the
+			// emitted stats come from the warm leg.
+			res, err := s.Stream(scenario.SynthFleet(*fleetHomes, cfg.Seed), core.StreamOptions{Days: *fleetDays})
+			if err != nil {
+				return err
+			}
+			report.FleetHomes = *fleetHomes
+			report.FleetDays = *fleetDays
+			report.StreamFleet = &res.Stats
+			return nil
 		}},
 	}
 	for _, e := range experiments {

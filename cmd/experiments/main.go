@@ -5,6 +5,8 @@
 //
 //	experiments [-days N] [-train N] [-seed S] [-workers N] [-quick]
 //	            [-only fig3,tableV,...] [-suite A,B,...] [-scenarios list]
+//	            [-stream list|N] [-stream-days N] [-stream-mqtt]
+//	            [-stream-defend] [-stream-attack]
 //
 // -quick runs a reduced 12-day configuration for a fast smoke pass.
 // -workers bounds the experiment worker pool (0 = one per CPU; 1 = fully
@@ -15,6 +17,14 @@
 // registry IDs ("studio", "family4", ...) and/or procedural homes written
 // as "synth:ZxO" or "synth:ZxO@SEED" (e.g. "synth:12x4" is a 12-zone,
 // 4-occupant generated home).
+// -stream runs the streaming fleet instead of (or alongside) the batch
+// experiments: the argument is either a scenario list in the -scenarios
+// syntax or a bare home count N (N procedurally generated homes). Each
+// home advances slot-by-slot through the incremental event core;
+// -stream-defend attaches the online detector, -stream-attack injects a
+// live SHATTER campaign, and -stream-mqtt routes every home's frames
+// through an in-process MQTT broker with a fleet-wide home/+/sensor
+// monitor.
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"time"
 
 	"github.com/acyd-lab/shatter/internal/core"
+	"github.com/acyd-lab/shatter/internal/mqtt"
 	"github.com/acyd-lab/shatter/internal/scenario"
 )
 
@@ -46,6 +57,11 @@ func run(args []string) error {
 	only := fs.String("only", "", "comma-separated experiment ids (default all)")
 	suiteScen := fs.String("suite", "", "registry scenarios for the paper experiments (default A,B)")
 	sweep := fs.String("scenarios", "", "ScenarioSweep worlds: registry IDs and/or synth:ZxO[@SEED]")
+	streamArg := fs.String("stream", "", "streaming fleet: scenario list (same syntax as -scenarios) or a bare synth home count")
+	streamDays := fs.Int("stream-days", 0, "days each fleet home streams (0 = -days)")
+	streamMQTT := fs.Bool("stream-mqtt", false, "route fleet frames through an in-process MQTT broker")
+	streamDefend := fs.Bool("stream-defend", false, "attach the online ADM detector to every fleet home")
+	streamAttack := fs.Bool("stream-attack", false, "inject a live SHATTER campaign into every fleet home")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +90,13 @@ func run(args []string) error {
 	sel := func(id string) bool { return len(want) == 0 || want[strings.ToLower(id)] }
 	if want["scenarios"] && len(sweepSpecs) == 0 {
 		return fmt.Errorf("-only scenarios needs a -scenarios list (e.g. -scenarios \"studio,synth:12x4\")")
+	}
+	streamSpecs, err := parseStreamSpecs(*streamArg, *seed)
+	if err != nil {
+		return err
+	}
+	if want["stream"] && len(streamSpecs) == 0 {
+		return fmt.Errorf("-only stream needs a -stream fleet (e.g. -stream 100 or -stream \"A,B,synth:6x2\")")
 	}
 
 	started := time.Now()
@@ -148,6 +171,12 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if len(streamSpecs) > 0 && sel("stream") {
+		opts := core.StreamOptions{Days: *streamDays, Defend: *streamDefend, Attack: *streamAttack}
+		if err := printStream(s, streamSpecs, opts, *streamMQTT); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("\nall selected experiments done in %s\n", time.Since(started).Round(time.Millisecond))
 	return nil
 }
@@ -189,6 +218,65 @@ func parseSweepSpecs(list string, seed uint64) ([]scenario.Spec, error) {
 		specs = append(specs, sp)
 	}
 	return specs, nil
+}
+
+// parseStreamSpecs resolves the -stream argument: a bare integer N fans out
+// N procedurally generated homes with varied shapes; anything else is the
+// -scenarios list syntax.
+func parseStreamSpecs(arg string, seed uint64) ([]scenario.Spec, error) {
+	arg = strings.TrimSpace(arg)
+	if arg == "" {
+		return nil, nil
+	}
+	if n, err := strconv.Atoi(arg); err == nil {
+		if n < 1 {
+			return nil, fmt.Errorf("-stream home count must be positive, got %d", n)
+		}
+		return scenario.SynthFleet(n, seed), nil
+	}
+	return parseSweepSpecs(arg, seed)
+}
+
+func printStream(s *core.Suite, specs []scenario.Spec, opts core.StreamOptions, useMQTT bool) error {
+	fmt.Println("== Streaming fleet — incremental event core over the worker pool ==")
+	if useMQTT {
+		broker, err := mqtt.NewBroker("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer broker.Close()
+		opts.Broker = broker.Addr()
+		fmt.Printf("transport: MQTT broker %s (per-home topics, home/+/sensor monitor)\n", broker.Addr())
+	}
+	res, err := s.Stream(specs, opts)
+	if err != nil {
+		return err
+	}
+	if len(res.Homes) <= 16 {
+		fmt.Printf("%-22s %5s %9s %10s %10s %9s %9s %7s\n",
+			"home", "days", "slots", "kWh", "cost $", "verdicts", "injected", "caught")
+		for _, h := range res.Homes {
+			fmt.Printf("%-22s %5d %9d %10.1f %10.2f %9d %9d %7d\n",
+				h.ID, h.Days, h.Slots, h.Sim.TotalKWh, h.Sim.TotalCostUSD, h.Verdicts, h.Injected, h.Flagged)
+		}
+	}
+	st := res.Stats
+	fmt.Printf("fleet: %d homes, %d days, %d slots, %d events (%d sensor / %d action / %d verdict)\n",
+		st.Homes, st.Days, st.Slots, st.Events, st.SensorEvents, st.ActionEvents, st.Verdicts)
+	fmt.Printf("energy: %.1f kWh, $%.2f", st.TotalKWh, st.TotalCostUSD)
+	if st.Injected > 0 {
+		fmt.Printf("; detection: %d/%d injected episodes flagged (%.2f)",
+			st.Flagged, st.Injected, float64(st.Flagged)/float64(st.Injected))
+	}
+	fmt.Println()
+	fmt.Printf("throughput: %.1f homes/s, %.0f events/s in %s",
+		st.HomesPerSec, st.EventsPerSec, st.Elapsed.Round(time.Millisecond))
+	if st.BusFrames > 0 {
+		fmt.Printf("; bus: %d frames through the broker", st.BusFrames)
+	}
+	fmt.Println()
+	fmt.Println()
+	return nil
 }
 
 func printScenarioSweep(s *core.Suite, specs []scenario.Spec) error {

@@ -1,13 +1,17 @@
 // Command testbedsim runs the Section VI prototype-testbed validation:
 // dynamics identification, the benign demonstration hour, and the MITM
-// attacked hour, printing the paper-vs-measured comparison.
+// attacked hour, printing the paper-vs-measured comparison. With -house it
+// scales any scenario-registry world down to the tabletop rig instead of
+// the paper's canonical house A.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"github.com/acyd-lab/shatter/internal/scenario"
 	"github.com/acyd-lab/shatter/internal/testbed"
 )
 
@@ -22,6 +26,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("testbedsim", flag.ContinueOnError)
 	ambient := fs.Float64("ambient", 72, "lab ambient temperature (°F)")
 	setpoint := fs.Float64("setpoint", 75, "zone setpoint (°F)")
+	houseID := fs.String("house", "A", "scenario ID to scale down (see the registry: A, B, studio, ...)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -29,11 +34,24 @@ func run(args []string) error {
 	cfg.AmbientF = *ambient
 	cfg.SetpointF = *setpoint
 
-	res, err := testbed.Validate(cfg)
+	sp, ok := scenario.Get(*houseID)
+	if !ok {
+		sp, ok = scenario.Get(strings.ToUpper(*houseID))
+	}
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (registered: %s)", *houseID, strings.Join(scenario.IDs(), ", "))
+	}
+	house, err := sp.Build()
 	if err != nil {
 		return err
 	}
-	fmt.Println("SHATTER prototype testbed validation (scaled 1/24, 5W LEDs, 1.4 CFM fans)")
+
+	res, err := testbed.ValidateHouse(cfg, house)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SHATTER prototype testbed validation (house %s: %d zones scaled 1/%.0f, %gW LEDs, %.1f CFM fans)\n",
+		house.Name, len(house.Zones)-1, cfg.Scale, cfg.LEDPowerW, cfg.FanCFM)
 	fmt.Printf("dynamics identification error: %.2f%%   (paper: <2%%)\n", res.FitErrorPct)
 	fmt.Printf("benign hour   : %.1f Wh, worst occupied excursion %.2f °F\n",
 		res.Benign.EnergyWh, res.Benign.MaxRiseF)

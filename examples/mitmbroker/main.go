@@ -31,7 +31,7 @@ func run() error {
 	fmt.Printf("dynamics identified: %.2f%% held-out error (paper: <2%%)\n", model.FitErrorPct)
 
 	// Benign hour: Alice in the bathroom then living room, Bob napping.
-	actual := [4]float64{cfg.LEDPowerW, 0, 0, cfg.LEDPowerW} // bedroom + bathroom bulbs
+	actual := []float64{cfg.LEDPowerW, 0, 0, cfg.LEDPowerW} // bedroom + bathroom bulbs
 	benign, err := runRig(sim, model, nil, actual, actual)
 	if err != nil {
 		return err
@@ -60,7 +60,7 @@ func run() error {
 }
 
 // runRig runs 60 supervisory minutes through broker + optional MITM.
-func runRig(sim *testbed.Simulator, model *testbed.DynamicsModel, rewrite func(m mqttMessage) mqttMessage, actual, published [4]float64) (float64, error) {
+func runRig(sim *testbed.Simulator, model *testbed.DynamicsModel, rewrite func(m mqttMessage) mqttMessage, actual, published []float64) (float64, error) {
 	rig, err := testbed.NewRig(sim, model, adapt(rewrite))
 	if err != nil {
 		return 0, err

@@ -1,0 +1,154 @@
+package adm
+
+import (
+	"fmt"
+
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// Episodizer segments an occupancy stream into episodes online: it tracks
+// each occupant's current stay and closes it the moment the occupant moves
+// zones or a day boundary passes. Segmentation replicates the batch
+// extractor (Trace.DayEpisodes) exactly — stays split at midnight and the
+// dominant activity resolves ties toward the smallest ActivityID — so a
+// replayed trace produces identical episodes. Not safe for concurrent use.
+type Episodizer struct {
+	cur []stay
+}
+
+// stay is one occupant's open episode.
+type stay struct {
+	open     bool
+	day      int
+	zone     home.ZoneID
+	start    int // arrival slot (minute of day)
+	last     int // last observed slot
+	actCount map[home.ActivityID]int
+}
+
+// NewEpisodizer tracks the given number of occupants.
+func NewEpisodizer(occupants int) *Episodizer {
+	return &Episodizer{cur: make([]stay, occupants)}
+}
+
+// Observe feeds one occupant-slot of an occupancy stream. Slots must arrive
+// in order per occupant: day-major, then slot 0..aras.SlotsPerDay-1. When
+// the observation closes the previous stay — the occupant moved zones, or a
+// new day began — the closed episode is returned with ok = true.
+func (ez *Episodizer) Observe(day, slot, occupant int, zone home.ZoneID, act home.ActivityID) (e aras.Episode, ok bool, err error) {
+	if occupant < 0 || occupant >= len(ez.cur) {
+		return aras.Episode{}, false, fmt.Errorf("adm: occupant %d out of range", occupant)
+	}
+	if slot < 0 || slot >= aras.SlotsPerDay {
+		return aras.Episode{}, false, fmt.Errorf("adm: slot %d out of range", slot)
+	}
+	st := &ez.cur[occupant]
+	if st.open {
+		if day < st.day || (day == st.day && slot <= st.last) {
+			return aras.Episode{}, false, fmt.Errorf("adm: out-of-order observation day %d slot %d after day %d slot %d",
+				day, slot, st.day, st.last)
+		}
+		if day != st.day {
+			// Day boundary: the batch extractor splits stays at midnight.
+			e, ok = ez.close(occupant, aras.SlotsPerDay), true
+		} else if zone != st.zone {
+			e, ok = ez.close(occupant, slot), true
+		}
+	}
+	if !st.open {
+		*st = stay{open: true, day: day, zone: zone, start: slot, last: slot,
+			actCount: map[home.ActivityID]int{act: 1}}
+		return e, ok, nil
+	}
+	st.last = slot
+	st.actCount[act]++
+	return e, ok, nil
+}
+
+// Flush closes every occupant's open stay and returns the final episodes in
+// occupant order. For whole-day streams this matches the batch extractor's
+// end-of-day close; Flush also seals a stream that stops mid-day (the
+// episode ends after its last observed slot).
+func (ez *Episodizer) Flush() []aras.Episode {
+	var out []aras.Episode
+	for o := range ez.cur {
+		if !ez.cur[o].open {
+			continue
+		}
+		out = append(out, ez.close(o, ez.cur[o].last+1))
+	}
+	return out
+}
+
+// close seals occupant o's stay [start, end) and resets the slot state.
+func (ez *Episodizer) close(o, end int) aras.Episode {
+	st := &ez.cur[o]
+	// Dominant activity: maximum count, ties toward the smaller ActivityID —
+	// the same resolution Trace.DayEpisodes computes.
+	dominant, best := home.Other, -1
+	for a, c := range st.actCount {
+		if c > best || (c == best && a < dominant) {
+			dominant, best = a, c
+		}
+	}
+	e := aras.Episode{
+		Day:         st.day,
+		Occupant:    o,
+		Zone:        st.zone,
+		ArrivalSlot: st.start,
+		Duration:    end - st.start,
+		Activity:    dominant,
+	}
+	*st = stay{}
+	return e
+}
+
+// Verdict is the online detector's judgement of one closed episode — the
+// per-episode event the streaming runtime publishes as soon as a stay ends,
+// instead of waiting for a whole trace to materialize.
+type Verdict struct {
+	Episode aras.Episode
+	// Anomalous mirrors Model.EpisodeAnomalous on the closed episode.
+	Anomalous bool
+}
+
+// Detector scores an occupancy stream online: an Episodizer segments the
+// stream and, the moment a stay closes, the trained model classifies it.
+// Verdicts are identical to what the batch path computes from
+// Trace.DayEpisodes + Model.EpisodeAnomalous on the same stream. A Detector
+// is not safe for concurrent use; run one per home.
+type Detector struct {
+	model *Model
+	ez    *Episodizer
+}
+
+// NewDetector wraps a trained model for online use.
+func NewDetector(m *Model) *Detector {
+	return &Detector{model: m, ez: NewEpisodizer(len(m.house.Occupants))}
+}
+
+// Model returns the wrapped ADM.
+func (d *Detector) Model() *Model { return d.model }
+
+// Observe feeds one occupant-slot of the (possibly falsified) occupancy
+// stream; see Episodizer.Observe for ordering requirements. When the
+// observation closes a stay, its verdict is returned with ok = true.
+func (d *Detector) Observe(day, slot, occupant int, zone home.ZoneID, act home.ActivityID) (v Verdict, ok bool, err error) {
+	e, ok, err := d.ez.Observe(day, slot, occupant, zone, act)
+	if err != nil || !ok {
+		return Verdict{}, false, err
+	}
+	return Verdict{Episode: e, Anomalous: d.model.EpisodeAnomalous(e)}, true, nil
+}
+
+// Flush closes every occupant's open stay and returns the final verdicts in
+// occupant order.
+func (d *Detector) Flush() []Verdict {
+	eps := d.ez.Flush()
+	out := make([]Verdict, len(eps))
+	for i, e := range eps {
+		out[i] = Verdict{Episode: e, Anomalous: d.model.EpisodeAnomalous(e)}
+	}
+	return out
+}

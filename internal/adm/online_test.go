@@ -1,0 +1,150 @@
+package adm
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// testTrace generates a short deterministic trace for a paper house.
+func testTrace(t *testing.T, name string, days int) *aras.Trace {
+	t.Helper()
+	tr, err := aras.Generate(home.MustHouse(name), aras.GeneratorConfig{Days: days, Seed: 2024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// streamVerdicts replays a trace's occupancy stream through the online
+// detector slot-by-slot and returns all verdicts in close order.
+func streamVerdicts(t *testing.T, m *Model, tr *aras.Trace) []Verdict {
+	t.Helper()
+	det := NewDetector(m)
+	var out []Verdict
+	for d := 0; d < tr.NumDays(); d++ {
+		day := tr.Days[d]
+		for s := 0; s < aras.SlotsPerDay; s++ {
+			for o := range day.Zone {
+				v, closed, err := det.Observe(d, s, o, day.Zone[o][s], day.Act[o][s])
+				if err != nil {
+					t.Fatalf("Observe(day %d slot %d occ %d): %v", d, s, o, err)
+				}
+				if closed {
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	return append(out, det.Flush()...)
+}
+
+// TestDetectorMatchesBatch pins the online detector's episodes and verdicts
+// to the batch path (DayEpisodes + EpisodeAnomalous) on both paper houses.
+func TestDetectorMatchesBatch(t *testing.T) {
+	for _, name := range []string{"A", "B"} {
+		tr := testTrace(t, name, 8)
+		train, err := tr.SubTrace(0, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(DBSCAN)
+		cfg.MinPts = 3
+		cfg.Eps = 30
+		m, err := Train(train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Batch reference: per-day episodes per occupant, in (day, occupant,
+		// arrival) order.
+		var batch []Verdict
+		for d := 0; d < tr.NumDays(); d++ {
+			for o := range tr.House.Occupants {
+				for _, e := range tr.DayEpisodes(d, o) {
+					batch = append(batch, Verdict{Episode: e, Anomalous: m.EpisodeAnomalous(e)})
+				}
+			}
+		}
+		streamed := streamVerdicts(t, m, tr)
+		if len(streamed) != len(batch) {
+			t.Fatalf("house %s: %d streamed verdicts, %d batch", name, len(streamed), len(batch))
+		}
+		// Streaming interleaves occupants by close time; compare as sets
+		// keyed by (day, occupant, arrival) — unique per episode — and also
+		// confirm per-occupant close order is monotone.
+		index := make(map[[3]int]Verdict, len(batch))
+		for _, v := range batch {
+			index[[3]int{v.Episode.Day, v.Episode.Occupant, v.Episode.ArrivalSlot}] = v
+		}
+		lastClose := make(map[int][2]int)
+		for _, v := range streamed {
+			want, ok := index[[3]int{v.Episode.Day, v.Episode.Occupant, v.Episode.ArrivalSlot}]
+			if !ok {
+				t.Fatalf("house %s: streamed episode %+v not in batch set", name, v.Episode)
+			}
+			if !reflect.DeepEqual(v, want) {
+				t.Fatalf("house %s: verdict mismatch\nstreamed: %+v\nbatch:    %+v", name, v, want)
+			}
+			o := v.Episode.Occupant
+			at := [2]int{v.Episode.Day, v.Episode.ArrivalSlot}
+			if prev, seen := lastClose[o]; seen && (at[0] < prev[0] || (at[0] == prev[0] && at[1] <= prev[1])) {
+				t.Fatalf("house %s: occupant %d episodes closed out of order", name, o)
+			}
+			lastClose[o] = at
+		}
+	}
+}
+
+// TestDetectorRejectsDisorder covers the stream-hygiene errors.
+func TestDetectorRejectsDisorder(t *testing.T) {
+	tr := testTrace(t, "A", 4)
+	m, err := Train(tr, Config{Algorithm: KMeans, K: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(m)
+	if _, _, err := det.Observe(0, 0, 99, home.Bedroom, home.Sleeping); err == nil {
+		t.Error("occupant out of range accepted")
+	}
+	if _, _, err := det.Observe(0, aras.SlotsPerDay, 0, home.Bedroom, home.Sleeping); err == nil {
+		t.Error("slot out of range accepted")
+	}
+	if _, _, err := det.Observe(0, 5, 0, home.Bedroom, home.Sleeping); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := det.Observe(0, 5, 0, home.Bedroom, home.Sleeping); err == nil {
+		t.Error("replayed slot accepted")
+	}
+	if _, _, err := det.Observe(0, 4, 0, home.Bedroom, home.Sleeping); err == nil {
+		t.Error("rewound slot accepted")
+	}
+}
+
+// TestDetectorFlushMidDay seals a stream that stops between day boundaries.
+func TestDetectorFlushMidDay(t *testing.T) {
+	tr := testTrace(t, "A", 4)
+	m, err := Train(tr, Config{Algorithm: KMeans, K: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(m)
+	for s := 0; s < 10; s++ {
+		if _, _, err := det.Observe(0, s, 0, home.Bedroom, home.Sleeping); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs := det.Flush()
+	if len(vs) != 1 {
+		t.Fatalf("got %d verdicts, want 1", len(vs))
+	}
+	e := vs[0].Episode
+	if e.ArrivalSlot != 0 || e.Duration != 10 || e.Zone != home.Bedroom {
+		t.Fatalf("bad sealed episode: %+v", e)
+	}
+	if len(det.Flush()) != 0 {
+		t.Error("second Flush should be empty")
+	}
+}

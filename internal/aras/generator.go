@@ -3,6 +3,7 @@ package aras
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"github.com/acyd-lab/shatter/internal/home"
@@ -40,8 +41,9 @@ func (c GeneratorConfig) withDefaults() GeneratorConfig {
 	return c
 }
 
-// ErrBadConfig is returned for non-positive day counts.
-var ErrBadConfig = errors.New("aras: Days must be positive")
+// ErrBadConfig is returned for invalid day counts: batch Generate requires
+// Days > 0, the incremental Generator requires Days >= 0 (0 = unbounded).
+var ErrBadConfig = errors.New("aras: invalid Days")
 
 // ErrBadProfiles is returned when GeneratorConfig.Profiles does not match
 // the house's occupant count.
@@ -132,11 +134,26 @@ type block struct {
 	dur int
 }
 
-// Generate produces a synthetic trace for the house. Schedule profiles come
-// from cfg.Profiles (the scenario layer); a nil Profiles falls back to the
-// paper houses' default archetypes.
-func Generate(house *home.House, cfg GeneratorConfig) (*Trace, error) {
-	if cfg.Days <= 0 {
+// Generator produces a trace one day at a time — the incremental core the
+// streaming runtime pulls from instead of materializing a whole multi-day
+// trace up front. It owns the same forked per-occupant and weather RNG
+// streams the batch path uses, so the sequence of days it emits is
+// byte-identical to a single Generate call with the same configuration.
+// A Generator is not safe for concurrent use.
+type Generator struct {
+	house      *home.House
+	cfg        GeneratorConfig
+	occRngs    []*rng.Source
+	weatherRng *rng.Source
+	day        int
+}
+
+// NewGenerator validates the configuration and seeds the day stream.
+// cfg.Days bounds the stream (NextDay returns io.EOF after that many days);
+// Days == 0 leaves the stream unbounded, which only the incremental API
+// supports — batch Generate still requires a positive day count.
+func NewGenerator(house *home.House, cfg GeneratorConfig) (*Generator, error) {
+	if cfg.Days < 0 {
 		return nil, ErrBadConfig
 	}
 	if cfg.Profiles != nil && len(cfg.Profiles) != len(house.Occupants) {
@@ -144,32 +161,71 @@ func Generate(house *home.House, cfg GeneratorConfig) (*Trace, error) {
 	}
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed)
+	g := &Generator{
+		house:   house,
+		cfg:     cfg,
+		occRngs: make([]*rng.Source, len(house.Occupants)),
+	}
+	for o := range g.occRngs {
+		g.occRngs[o] = r.Fork()
+	}
+	g.weatherRng = r.Fork()
+	return g, nil
+}
+
+// House returns the world the generator emits days for.
+func (g *Generator) House() *home.House { return g.house }
+
+// DayIndex returns the index of the day the next NextDay call emits.
+func (g *Generator) DayIndex() int { return g.day }
+
+// NextDay plans, rasterizes, and returns one day of ground truth with its
+// weather. It returns io.EOF once the configured day count is exhausted.
+func (g *Generator) NextDay() (Day, Weather, error) {
+	if g.cfg.Days > 0 && g.day >= g.cfg.Days {
+		return Day{}, Weather{}, io.EOF
+	}
+	day := NewDay(len(g.house.Occupants), len(g.house.Appliances))
+	weekday := g.day%7 < 5
+	for o := range g.house.Occupants {
+		var rt ScheduleProfile
+		if g.cfg.Profiles != nil {
+			rt = g.cfg.Profiles[o]
+		} else {
+			rt = DefaultProfile(g.house.Name, o)
+		}
+		irregular := g.occRngs[o].Bool(g.cfg.IrregularProb)
+		plan := planDay(rt, weekday, irregular, g.occRngs[o])
+		rasterize(g.house, plan, &day, o, g.occRngs[o])
+	}
+	w := genWeather(g.cfg.SummerMeanF, g.weatherRng)
+	g.day++
+	return day, w, nil
+}
+
+// Generate produces a synthetic trace for the house by draining the
+// incremental Generator — the batch path is a loop over NextDay, so the two
+// are equivalent by construction. Schedule profiles come from cfg.Profiles
+// (the scenario layer); a nil Profiles falls back to the paper houses'
+// default archetypes.
+func Generate(house *home.House, cfg GeneratorConfig) (*Trace, error) {
+	if cfg.Days <= 0 {
+		return nil, ErrBadConfig
+	}
+	g, err := NewGenerator(house, cfg)
+	if err != nil {
+		return nil, err
+	}
 	tr := &Trace{
 		House:   house,
 		Days:    make([]Day, cfg.Days),
 		Weather: make([]Weather, cfg.Days),
 	}
-	occRngs := make([]*rng.Source, len(house.Occupants))
-	for o := range occRngs {
-		occRngs[o] = r.Fork()
-	}
-	weatherRng := r.Fork()
 	for d := 0; d < cfg.Days; d++ {
-		day := NewDay(len(house.Occupants), len(house.Appliances))
-		weekday := d%7 < 5
-		for o := range house.Occupants {
-			var rt ScheduleProfile
-			if cfg.Profiles != nil {
-				rt = cfg.Profiles[o]
-			} else {
-				rt = DefaultProfile(house.Name, o)
-			}
-			irregular := occRngs[o].Bool(cfg.IrregularProb)
-			plan := planDay(rt, weekday, irregular, occRngs[o])
-			rasterize(house, plan, &day, o, occRngs[o])
+		tr.Days[d], tr.Weather[d], err = g.NextDay()
+		if err != nil {
+			return nil, err
 		}
-		tr.Days[d] = day
-		tr.Weather[d] = genWeather(cfg.SummerMeanF, weatherRng)
 	}
 	return tr, nil
 }

@@ -1,0 +1,108 @@
+package aras
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// TestGeneratorMatchesBatch pins the incremental day stream to the batch
+// path: draining NextDay reproduces Generate's trace byte-for-byte (CSV
+// encoding compared) for both paper houses.
+func TestGeneratorMatchesBatch(t *testing.T) {
+	for _, name := range []string{"A", "B"} {
+		house := home.MustHouse(name)
+		cfg := GeneratorConfig{Days: 9, Seed: 42}
+		batch, err := Generate(house, cfg)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", name, err)
+		}
+		g, err := NewGenerator(house, cfg)
+		if err != nil {
+			t.Fatalf("NewGenerator(%s): %v", name, err)
+		}
+		streamed := &Trace{House: house}
+		for {
+			if got, want := g.DayIndex(), len(streamed.Days); got != want {
+				t.Fatalf("house %s: DayIndex = %d, want %d", name, got, want)
+			}
+			day, w, err := g.NextDay()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("NextDay(%s): %v", name, err)
+			}
+			streamed.Days = append(streamed.Days, day)
+			streamed.Weather = append(streamed.Weather, w)
+		}
+		if streamed.NumDays() != cfg.Days {
+			t.Fatalf("house %s: streamed %d days, want %d", name, streamed.NumDays(), cfg.Days)
+		}
+		var bb, sb bytes.Buffer
+		if err := batch.WriteCSV(&bb); err != nil {
+			t.Fatal(err)
+		}
+		if err := streamed.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bb.Bytes(), sb.Bytes()) {
+			t.Errorf("house %s: streamed trace differs from batch trace", name)
+		}
+		// Weather is not CSV-encoded; compare directly.
+		for d := range batch.Weather {
+			for _, pair := range [][2][]float64{
+				{batch.Weather[d].TempF, streamed.Weather[d].TempF},
+				{batch.Weather[d].CO2PPM, streamed.Weather[d].CO2PPM},
+			} {
+				for i := range pair[0] {
+					if pair[0][i] != pair[1][i] {
+						t.Fatalf("house %s day %d: weather diverges at slot %d", name, d, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratorUnbounded checks Days = 0 streams past any batch horizon and
+// stays aligned with a longer batch run.
+func TestGeneratorUnbounded(t *testing.T) {
+	house := home.MustHouse("A")
+	batch, err := Generate(house, GeneratorConfig{Days: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(house, GeneratorConfig{Days: 0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 5; d++ {
+		day, _, err := g.NextDay()
+		if err != nil {
+			t.Fatalf("day %d: %v", d, err)
+		}
+		for o := range day.Zone {
+			for s := 0; s < SlotsPerDay; s++ {
+				if day.Zone[o][s] != batch.Days[d].Zone[o][s] || day.Act[o][s] != batch.Days[d].Act[o][s] {
+					t.Fatalf("day %d occupant %d slot %d diverges", d, o, s)
+				}
+			}
+		}
+	}
+	if _, _, err := g.NextDay(); err != nil {
+		t.Fatalf("unbounded generator hit %v after the batch horizon", err)
+	}
+}
+
+func TestNewGeneratorRejectsBadConfig(t *testing.T) {
+	house := home.MustHouse("A")
+	if _, err := NewGenerator(house, GeneratorConfig{Days: -1}); err == nil {
+		t.Error("negative Days accepted")
+	}
+	if _, err := NewGenerator(house, GeneratorConfig{Days: 3, Profiles: make([]ScheduleProfile, 1)}); err == nil {
+		t.Error("profile count mismatch accepted")
+	}
+}

@@ -1,67 +1,13 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"github.com/acyd-lab/shatter/internal/pool"
 )
 
-// workers resolves the configured pool width: Workers if positive, otherwise
-// one worker per available CPU. Workers = 1 forces fully sequential
-// execution for reproducibility checks.
-func (s *Suite) workers() int {
-	if s.Config.Workers > 0 {
-		return s.Config.Workers
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
 // runCells executes fn(i) for every cell index in [0, n) across the suite's
-// worker pool. Cells must be independent and write their results only to
-// their own index, which makes the output deterministic regardless of pool
-// width — parallel and sequential runs produce identical results.
-//
-// Error handling is first-error-wins with cancellation: once any cell
-// fails, no new cells start, and the error reported is the one from the
-// lowest-indexed failed cell that ran.
+// worker pool — SuiteConfig.Workers wide, 0 selecting one worker per CPU
+// (see pool.Run for the determinism and first-error-wins contract the
+// experiments rely on).
 func (s *Suite) runCells(n int, fn func(i int) error) error {
-	w := min(s.workers(), n)
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		next     atomic.Int64
-		failed   atomic.Bool
-		mu       sync.Mutex
-		firstErr error
-		errIdx   = n
-	)
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
-				}
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if i < errIdx {
-						errIdx, firstErr = i, err
-					}
-					mu.Unlock()
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return pool.Run(s.Config.Workers, n, fn)
 }

@@ -133,16 +133,3 @@ func TestRunCellsErrorPropagation(t *testing.T) {
 		t.Errorf("all-ok run returned %v", err)
 	}
 }
-
-// TestWorkersKnob checks the pool-width resolution rules.
-func TestWorkersKnob(t *testing.T) {
-	s := testSuite(t)
-	s.Config.Workers = 3
-	if got := s.workers(); got != 3 {
-		t.Errorf("explicit Workers: got %d", got)
-	}
-	s.Config.Workers = 0
-	if got := s.workers(); got < 1 {
-		t.Errorf("default Workers: got %d, want >= 1", got)
-	}
-}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/acyd-lab/shatter/internal/adm"
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/attack"
+	"github.com/acyd-lab/shatter/internal/hvac"
+	"github.com/acyd-lab/shatter/internal/scenario"
+	"github.com/acyd-lab/shatter/internal/stream"
+)
+
+// StreamOptions configures a Suite.Stream fleet run.
+type StreamOptions struct {
+	// Days bounds each home's stream; 0 streams the suite's configured
+	// trace length, which makes a defended/attacked run comparable
+	// slot-for-slot with the batch pipeline over the same world.
+	Days int
+	// Defend attaches an online detector per home: the suite's cached
+	// DBSCAN defender (trained on the configured training prefix) scores
+	// episodes the moment they close.
+	Defend bool
+	// Attack plans a full-knowledge SHATTER campaign (sensor spoofing +
+	// Algorithm-1 appliance triggering) per home and injects it into the
+	// stream in flight.
+	Attack bool
+	// Broker, when non-empty, routes every home's frames through the MQTT
+	// broker at this address (per-home topics, fleet-wide monitor).
+	Broker string
+}
+
+// Stream drives the scenario worlds as a concurrent streaming fleet: each
+// home advances slot-by-slot through an incremental generator source, the
+// optional live injector, the optional online detector, and the incremental
+// HVAC stepper, across the suite's worker pool with per-home backpressure.
+// Per-home results and the deterministic aggregate fields are identical for
+// any worker count, and — because every streaming stage is equivalence-
+// locked to its batch counterpart — identical to the batch pipeline over
+// the same worlds.
+//
+// Worlds are materialized (and defenders trained, campaigns planned) only
+// when Defend or Attack demands them; a plain benign fleet streams straight
+// from the generators without ever holding a full trace.
+func (s *Suite) Stream(specs []scenario.Spec, opts StreamOptions) (stream.FleetResult, error) {
+	days := opts.Days
+	if days <= 0 {
+		days = s.Config.Days
+	}
+	if opts.Defend || opts.Attack {
+		// Training and planning need the materialized trace; build every
+		// world up front across the pool so job Opens only read.
+		if err := s.runCells(len(specs), func(i int) error {
+			_, err := s.ensureWorld(specs[i])
+			return err
+		}); err != nil {
+			return stream.FleetResult{}, err
+		}
+	}
+	jobs := make([]stream.Job, len(specs))
+	for i, sp := range specs {
+		sp := sp
+		jobs[i] = stream.Job{ID: sp.ID, Open: func() (stream.Source, *stream.Home, error) {
+			src, h, err := s.openStream(sp, days, opts)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: stream %s: %w", sp.ID, err)
+			}
+			return src, h, nil
+		}}
+	}
+	return stream.RunFleet(jobs, stream.FleetOptions{Workers: s.Config.Workers, Broker: opts.Broker})
+}
+
+// openStream assembles one home's streaming pipeline on the worker that
+// picked the job up.
+func (s *Suite) openStream(sp scenario.Spec, days int, opts StreamOptions) (stream.Source, *stream.Home, error) {
+	cfg := stream.HomeConfig{ID: sp.ID, Params: s.Params, Pricing: s.Pricing}
+	if sp.Pricing != nil {
+		cfg.Pricing = *sp.Pricing
+	}
+	var seed uint64
+	if w := s.World(sp.ID); w != nil {
+		cfg.House, seed = w.Trace.House, w.Seed
+	} else {
+		house, err := sp.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		// The seed ensureWorld would use, so a later materialization of the
+		// same scenario replays exactly this stream.
+		cfg.House, seed = house, sweepSeed(s.Config.Seed, sp.ID)
+	}
+	if sp.Controller == scenario.ControllerASHRAE {
+		cfg.Controller = hvac.NewASHRAEController(s.Params, cfg.House)
+	}
+	if opts.Defend || opts.Attack {
+		defender, err := s.trainADM(sp.ID, adm.DBSCAN, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		if opts.Defend {
+			cfg.Defender = defender
+		}
+		if opts.Attack {
+			cap := attack.Full(cfg.House)
+			pl := s.planner(sp.ID, defender, cap)
+			plan, err := pl.PlanSHATTER()
+			if err != nil {
+				return nil, nil, err
+			}
+			attack.TriggerAppliances(s.trace(sp.ID), plan, defender, cap)
+			inj, err := stream.NewInjector(cfg.House, plan)
+			if err != nil {
+				return nil, nil, err
+			}
+			cfg.Injector = inj
+		}
+	}
+	gen, err := aras.NewGenerator(cfg.House, sp.GeneratorConfig(days, seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := stream.NewHome(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stream.NewGeneratorSource(sp.ID, gen), h, nil
+}

@@ -94,6 +94,10 @@ type World struct {
 	ID    string
 	Spec  scenario.Spec
 	Trace *aras.Trace
+	// Seed is the base seed the trace was generated from — the seed an
+	// incremental source must use to reproduce the trace frame-by-frame
+	// (Suite.Stream's generator jobs).
+	Seed uint64
 }
 
 // Suite holds the generated worlds and shared parameters.
@@ -129,11 +133,12 @@ func NewSuite(cfg SuiteConfig) (*Suite, error) {
 	worlds := make([]*World, len(cfg.Scenarios))
 	err := s.runCells(len(worlds), func(i int) error {
 		sp, _ := scenario.Get(cfg.Scenarios[i])
-		tr, err := sp.Generate(cfg.Days, cfg.Seed+uint64(i))
+		seed := cfg.Seed + uint64(i)
+		tr, err := sp.Generate(cfg.Days, seed)
 		if err != nil {
 			return fmt.Errorf("core: generate scenario %s: %w", sp.ID, err)
 		}
-		worlds[i] = &World{ID: sp.ID, Spec: sp, Trace: tr}
+		worlds[i] = &World{ID: sp.ID, Spec: sp, Trace: tr, Seed: seed}
 		return nil
 	})
 	if err != nil {

@@ -56,11 +56,12 @@ func (s *Suite) ensureWorld(sp scenario.Spec) (*World, error) {
 	if w := s.World(sp.ID); w != nil {
 		return w, nil
 	}
-	tr, err := sp.Generate(s.Config.Days, sweepSeed(s.Config.Seed, sp.ID))
+	seed := sweepSeed(s.Config.Seed, sp.ID)
+	tr, err := sp.Generate(s.Config.Days, seed)
 	if err != nil {
 		return nil, fmt.Errorf("core: sweep scenario %s: %w", sp.ID, err)
 	}
-	w := &World{ID: sp.ID, Spec: sp, Trace: tr}
+	w := &World{ID: sp.ID, Spec: sp, Trace: tr, Seed: seed}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if prior := s.byID[sp.ID]; prior != nil {

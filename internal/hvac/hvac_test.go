@@ -334,15 +334,32 @@ func TestApplianceSlotCost(t *testing.T) {
 func TestPropertyCO2AboveOutdoor(t *testing.T) {
 	tr := testTrace(t, "A", 1)
 	params := DefaultParams()
-	zoneCO2 := []float64{420, 420, 420, 420, 420}
 	w := tr.Weather[0]
 	view := &TraceView{Trace: tr}
-	ctrl := &SHATTERController{Params: params}
+	sim, err := NewSim(tr.House, &SHATTERController{Params: params}, params, DefaultPricing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := tr.Days[0]
+	in := StepInput{
+		BelievedAppliance: make([]bool, len(tr.House.Appliances)),
+		ActualOccupants:   make([]OccupantObs, len(tr.House.Occupants)),
+		ActualAppliance:   make([]bool, len(tr.House.Appliances)),
+	}
 	for tslot := 0; tslot < aras.SlotsPerDay; tslot++ {
-		cond := ZoneConditions{OutdoorTempF: w.TempF[tslot], OutdoorCO2PPM: w.CO2PPM[tslot], ZoneCO2PPM: zoneCO2}
-		demands := ctrl.Plan(tr.House, view, 0, tslot, cond)
-		stepZoneCO2(tr, params, 0, tslot, demands, w, zoneCO2, make([]float64, len(tr.House.Zones)))
-		for zi, c := range zoneCO2 {
+		in.OutdoorTempF = w.TempF[tslot]
+		in.OutdoorCO2PPM = w.CO2PPM[tslot]
+		in.Believed = view.Occupants(0, tslot)
+		for ai := range tr.House.Appliances {
+			on := day.Appliance[ai][tslot]
+			in.BelievedAppliance[ai] = on
+			in.ActualAppliance[ai] = on
+		}
+		for o := range tr.House.Occupants {
+			in.ActualOccupants[o] = OccupantObs{Zone: day.Zone[o][tslot], Activity: day.Act[o][tslot]}
+		}
+		sim.Step(in)
+		for zi, c := range sim.ZoneCO2() {
 			if home.ZoneID(zi).Conditioned() && c < 380 {
 				t.Fatalf("slot %d zone %d CO2 %v below plausible floor", tslot, zi, c)
 			}

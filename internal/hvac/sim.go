@@ -73,11 +73,16 @@ var ErrEmptyTrace = errors.New("hvac: empty trace")
 // accounting per Eqs 3-4. The plant CO2 state evolves from ground-truth
 // occupancy and the delivered fresh airflow; the controller acts on the
 // (possibly falsified) View.
+//
+// Simulate is the batch shell over the incremental Sim.Step core: it builds
+// one StepInput per slot from the trace and the view and drains the stepper,
+// so batch and streaming execution are equivalent by construction.
 func Simulate(trace *aras.Trace, ctrl Controller, params Params, pricing Pricing, opts Options) (Result, error) {
 	if trace.NumDays() == 0 {
 		return Result{}, ErrEmptyTrace
 	}
-	if err := params.Validate(); err != nil {
+	sim, err := NewSim(trace.House, ctrl, params, pricing)
+	if err != nil {
 		return Result{}, err
 	}
 	view := opts.View
@@ -91,70 +96,29 @@ func Simulate(trace *aras.Trace, ctrl Controller, params Params, pricing Pricing
 		}
 	}
 	house := trace.House
-	res := Result{
-		Controller:   ctrl.Name(),
-		DailyCostUSD: make([]float64, trace.NumDays()),
-		DailyKWh:     make([]float64, trace.NumDays()),
-		ZoneCoilKWh:  make([]float64, len(house.Zones)),
+	in := StepInput{
+		BelievedAppliance: make([]bool, len(house.Appliances)),
+		ActualOccupants:   make([]OccupantObs, len(house.Occupants)),
+		ActualAppliance:   make([]bool, len(house.Appliances)),
 	}
-	zoneCO2 := make([]float64, len(house.Zones))
-	genScratch := make([]float64, len(house.Zones))
 	for d := 0; d < trace.NumDays(); d++ {
 		w := trace.Weather[d]
-		for zi := range zoneCO2 {
-			if zoneCO2[zi] == 0 {
-				zoneCO2[zi] = w.CO2PPM[0]
-			}
-		}
-		peakKWh := 0.0
+		day := trace.Days[d]
 		for t := 0; t < aras.SlotsPerDay; t++ {
-			cond := ZoneConditions{
-				OutdoorTempF:  w.TempF[t],
-				OutdoorCO2PPM: w.CO2PPM[t],
-				ZoneCO2PPM:    zoneCO2,
+			in.OutdoorTempF = w.TempF[t]
+			in.OutdoorCO2PPM = w.CO2PPM[t]
+			in.Believed = view.Occupants(d, t)
+			for ai := range house.Appliances {
+				in.BelievedAppliance[ai] = view.ApplianceOn(d, t, ai)
+				in.ActualAppliance[ai] = actualAppl(d, t, ai)
 			}
-			demands := ctrl.Plan(house, view, d, t, cond)
-			// Energy: coil on the fresh/return mix (Eq 3) plus fan power.
-			var slotW float64
-			for zi, dem := range demands {
-				if dem.SupplyCFM <= 0 {
-					continue
-				}
-				tMix := mixedAirTempF(dem, w.TempF[t], params.ZoneSetpointF)
-				coilW := dem.SupplyCFM * math.Max(0, tMix-params.SupplyAirTempF) * SensibleHeatFactor
-				fanW := dem.SupplyCFM * params.FanWPerCFM
-				slotW += coilW + fanW
-				kwh := (coilW + fanW) * SlotMinutes / 60000
-				res.CoilKWh += coilW * SlotMinutes / 60000
-				res.FanKWh += fanW * SlotMinutes / 60000
-				res.ZoneCoilKWh[zi] += kwh
+			for o := range house.Occupants {
+				in.ActualOccupants[o] = OccupantObs{Zone: day.Zone[o][t], Activity: day.Act[o][t]}
 			}
-			// Appliance and base loads (actual draw).
-			for ai, appl := range house.Appliances {
-				if actualAppl(d, t, ai) {
-					slotW += appl.PowerW
-					res.ApplianceKWh += appl.PowerW * SlotMinutes / 60000
-				}
-			}
-			slotW += params.BaseLoadW
-			res.BaseKWh += params.BaseLoadW * SlotMinutes / 60000
-
-			slotKWh := slotW * SlotMinutes / 60000
-			rate := pricing.RateAt(t, peakKWh)
-			if pricing.InPeak(t) {
-				peakKWh += slotKWh
-			}
-			res.DailyKWh[d] += slotKWh
-			res.DailyCostUSD[d] += slotKWh * rate
-
-			// Plant CO2 mass balance from ground truth occupancy and the
-			// delivered fresh air.
-			stepZoneCO2(trace, params, d, t, demands, w, zoneCO2, genScratch)
+			sim.Step(in)
 		}
-		res.TotalCostUSD += res.DailyCostUSD[d]
-		res.TotalKWh += res.DailyKWh[d]
 	}
-	return res, nil
+	return sim.Result(), nil
 }
 
 // mixedAirTempF returns the AHU mixing-chamber temperature for a demand:
@@ -167,39 +131,6 @@ func mixedAirTempF(dem Demand, outdoorF, returnF float64) float64 {
 	frac := dem.FreshCFM / dem.SupplyCFM
 	frac = math.Max(0, math.Min(1, frac))
 	return frac*outdoorF + (1-frac)*returnF
-}
-
-// stepZoneCO2 advances each conditioned zone's CO2 with the Eq 1 mass
-// balance using ground-truth generation and delivered fresh airflow. gen is
-// caller-provided per-zone scratch.
-func stepZoneCO2(trace *aras.Trace, params Params, day, slot int, demands []Demand, w aras.Weather, zoneCO2, gen []float64) {
-	house := trace.House
-	for i := range gen {
-		gen[i] = 0
-	}
-	dd := trace.Days[day]
-	for o := range dd.Zone {
-		z := dd.Zone[o][slot]
-		if !z.Conditioned() {
-			continue
-		}
-		demo := house.Occupants[o].Demographics
-		act := home.ActivityByID(dd.Act[o][slot])
-		gen[z] += act.CO2Ft3PerMin(demo)
-	}
-	for zi := range house.Zones {
-		z := house.Zones[zi]
-		if !z.ID.Conditioned() || z.VolumeFt3 <= 0 {
-			continue
-		}
-		r := 0.0
-		if zi < len(demands) {
-			r = demands[zi].FreshCFM * SlotMinutes / z.VolumeFt3
-		}
-		r = math.Min(r, 1)
-		genPPM := gen[zi] * SlotMinutes / z.VolumeFt3 * 1e6
-		zoneCO2[zi] = (1-r)*zoneCO2[zi] + r*w.CO2PPM[slot] + genPPM
-	}
 }
 
 // CostModel precomputes per-slot marginal costs the attack optimiser uses

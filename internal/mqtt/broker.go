@@ -86,7 +86,8 @@ type Broker struct {
 	ln net.Listener
 
 	mu     sync.Mutex
-	subs   map[string]map[net.Conn]*subscriber // topic → conn → writer
+	subs   map[string]map[net.Conn]*subscriber // exact filter → conn → writer
+	wild   map[string]map[net.Conn]*subscriber // wildcard filter → conn → writer
 	conns  map[net.Conn]struct{}               // every live connection
 	closed bool
 
@@ -117,6 +118,7 @@ func NewBroker(addr string) (*Broker, error) {
 	b := &Broker{
 		ln:    ln,
 		subs:  make(map[string]map[net.Conn]*subscriber),
+		wild:  make(map[string]map[net.Conn]*subscriber),
 		conns: make(map[net.Conn]struct{}),
 	}
 	b.wg.Add(1)
@@ -166,11 +168,18 @@ func (b *Broker) serve(conn net.Conn) {
 		}
 		switch ctl.Op {
 		case "sub":
-			b.mu.Lock()
-			if b.subs[ctl.Topic] == nil {
-				b.subs[ctl.Topic] = make(map[net.Conn]*subscriber)
+			if !ValidFilter(ctl.Topic) {
+				return // malformed filter: drop the client
 			}
-			b.subs[ctl.Topic][conn] = sub
+			table := b.subs
+			if isWildcard(ctl.Topic) {
+				table = b.wild
+			}
+			b.mu.Lock()
+			if table[ctl.Topic] == nil {
+				table[ctl.Topic] = make(map[net.Conn]*subscriber)
+			}
+			table[ctl.Topic][conn] = sub
 			b.mu.Unlock()
 		case "pub":
 			b.publish(ctl.Msg)
@@ -180,11 +189,33 @@ func (b *Broker) serve(conn net.Conn) {
 	}
 }
 
+// publish routes a message to every subscription matching its topic —
+// exact filters by direct lookup, wildcard filters ('+' one level, '#'
+// trailing remainder) by Match — delivering at most one copy per
+// connection even when multiple overlapping filters match.
 func (b *Broker) publish(m Message) {
 	b.mu.Lock()
 	targets := make([]*subscriber, 0, len(b.subs[m.Topic]))
 	for _, s := range b.subs[m.Topic] {
 		targets = append(targets, s)
+	}
+	if len(b.wild) > 0 { // dedup only needed once wildcard filters exist
+		seen := make(map[net.Conn]struct{}, len(b.subs[m.Topic]))
+		for conn := range b.subs[m.Topic] {
+			seen[conn] = struct{}{}
+		}
+		for filter, conns := range b.wild {
+			if !Match(filter, m.Topic) {
+				continue
+			}
+			for conn, s := range conns {
+				if _, dup := seen[conn]; dup {
+					continue
+				}
+				seen[conn] = struct{}{}
+				targets = append(targets, s)
+			}
+		}
 	}
 	b.mu.Unlock()
 	for _, s := range targets {
@@ -198,6 +229,9 @@ func (b *Broker) dropConn(conn net.Conn) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for _, m := range b.subs {
+		delete(m, conn)
+	}
+	for _, m := range b.wild {
 		delete(m, conn)
 	}
 	delete(b.conns, conn)
@@ -218,6 +252,7 @@ func (b *Broker) Close() error {
 		conn.Close()
 	}
 	b.subs = make(map[string]map[net.Conn]*subscriber)
+	b.wild = make(map[string]map[net.Conn]*subscriber)
 	b.mu.Unlock()
 	b.wg.Wait()
 	return err

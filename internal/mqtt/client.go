@@ -3,6 +3,7 @@ package mqtt
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -56,8 +57,19 @@ func (c *Client) readLoop() {
 			c.mu.Unlock()
 			return
 		}
+		// Dispatch to every subscription whose filter matches the topic;
+		// each subscription sees the message once.
 		c.mu.Lock()
-		chans := append([]chan Message(nil), c.subs[m.Topic]...)
+		var chans []chan Message
+		if exact := c.subs[m.Topic]; len(exact) > 0 {
+			chans = append(chans, exact...)
+		}
+		for filter, fchans := range c.subs {
+			if filter == m.Topic || !isWildcard(filter) || !Match(filter, m.Topic) {
+				continue
+			}
+			chans = append(chans, fchans...)
+		}
 		c.mu.Unlock()
 		for _, ch := range chans {
 			select {
@@ -91,9 +103,17 @@ func (c *Client) Publish(topic string, payload any) error {
 	return c.sendControl(control{Op: "pub", Msg: Message{Topic: topic, Payload: data}})
 }
 
-// Subscribe registers for a topic and returns the delivery channel. The
-// channel closes when the client disconnects.
+// ErrBadFilter is returned for malformed subscription filters.
+var ErrBadFilter = errors.New("mqtt: malformed topic filter")
+
+// Subscribe registers for a topic filter and returns the delivery channel.
+// Filters may use MQTT wildcards: '+' matches one level, a trailing '#'
+// matches the remainder (so "home/+/sensor" collects every home's sensor
+// stream). The channel closes when the client disconnects.
 func (c *Client) Subscribe(topic string) (<-chan Message, error) {
+	if !ValidFilter(topic) {
+		return nil, fmt.Errorf("%w: %q", ErrBadFilter, topic)
+	}
 	ch := make(chan Message, 64)
 	c.mu.Lock()
 	c.subs[topic] = append(c.subs[topic], ch)

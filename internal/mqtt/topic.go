@@ -1,0 +1,59 @@
+package mqtt
+
+import "strings"
+
+// Topic filters follow MQTT 3.1.1 wildcard semantics: topics are
+// '/'-separated level lists; a '+' filter level matches exactly one topic
+// level (any value, including empty), and a trailing '#' level matches the
+// remainder of the topic — zero or more levels, so "home/#" matches both
+// "home" and "home/1/sensor". The fleet runtime leans on this for
+// fleet-wide subscriptions like "home/+/sensor".
+
+// ValidFilter reports whether a subscription filter is well-formed: it is
+// non-empty, '#' appears only as the final whole level, and '+' only as a
+// whole level.
+func ValidFilter(filter string) bool {
+	if filter == "" {
+		return false
+	}
+	levels := strings.Split(filter, "/")
+	for i, l := range levels {
+		switch {
+		case l == "#":
+			if i != len(levels)-1 {
+				return false // '#' must terminate the filter
+			}
+		case strings.ContainsAny(l, "#+") && l != "+":
+			return false // wildcards must occupy a whole level
+		}
+	}
+	return true
+}
+
+// Match reports whether a well-formed filter matches a concrete topic.
+// Filters without wildcards match only the identical topic. Match does not
+// validate the filter; run ValidFilter first when the filter is untrusted.
+func Match(filter, topic string) bool {
+	if !strings.ContainsAny(filter, "#+") {
+		return filter == topic // exact-match fast path
+	}
+	fl := strings.Split(filter, "/")
+	tl := strings.Split(topic, "/")
+	for i, f := range fl {
+		if f == "#" {
+			return true // consumes the rest, including zero levels
+		}
+		if i >= len(tl) {
+			return false // filter has more levels than the topic
+		}
+		if f != "+" && f != tl[i] {
+			return false
+		}
+	}
+	return len(fl) == len(tl)
+}
+
+// isWildcard reports whether the filter contains any wildcard level.
+func isWildcard(filter string) bool {
+	return strings.ContainsAny(filter, "#+")
+}

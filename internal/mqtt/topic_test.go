@@ -1,0 +1,209 @@
+package mqtt
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestValidFilter(t *testing.T) {
+	valid := []string{
+		"a", "a/b", "+", "#", "a/+/c", "a/b/#", "+/+", "a/+/#", "/", "a//b",
+	}
+	for _, f := range valid {
+		if !ValidFilter(f) {
+			t.Errorf("ValidFilter(%q) = false, want true", f)
+		}
+	}
+	invalid := []string{
+		"", "a/#/b", "#/a", "a+", "+a", "a#", "a/b+/c", "a/#b",
+	}
+	for _, f := range invalid {
+		if ValidFilter(f) {
+			t.Errorf("ValidFilter(%q) = true, want false", f)
+		}
+	}
+}
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		filter, topic string
+		want          bool
+	}{
+		// Exact.
+		{"home/1/sensor", "home/1/sensor", true},
+		{"home/1/sensor", "home/2/sensor", false},
+		{"home/1/sensor", "home/1/sensor/x", false},
+		// '+' matches exactly one level.
+		{"home/+/sensor", "home/1/sensor", true},
+		{"home/+/sensor", "home/abc/sensor", true},
+		{"home/+/sensor", "home/1/2/sensor", false},
+		{"home/+/sensor", "home/sensor", false},
+		{"home/+", "home/1", true},
+		{"home/+", "home", false},
+		{"home/+", "home/1/2", false},
+		{"+/+", "a/b", true},
+		{"+/+", "a", false},
+		// Empty levels are real levels.
+		{"home/+", "home/", true},
+		{"+", "", true},
+		// '#' matches the remainder, including zero levels.
+		{"#", "anything/at/all", true},
+		{"home/#", "home", true},
+		{"home/#", "home/1", true},
+		{"home/#", "home/1/sensor", true},
+		{"home/#", "hometown", false},
+		{"home/1/#", "home/2", false},
+		// Mixed.
+		{"home/+/#", "home/1", true},
+		{"home/+/#", "home/1/sensor/0", true},
+		{"home/+/#", "home", false},
+	}
+	for _, c := range cases {
+		if got := Match(c.filter, c.topic); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.filter, c.topic, got, c.want)
+		}
+	}
+}
+
+// TestWildcardSubscription routes real traffic: a fleet-wide "home/+/sensor"
+// subscriber sees every home's stream; an exact subscriber only its own; an
+// overlapping pair of filters on one connection still delivers one copy per
+// subscription with no duplicates from the broker.
+func TestWildcardSubscription(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	fleet, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	fleetCh, err := fleet.Subscribe("home/+/sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	one, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Close()
+	oneCh, err := one.Subscribe("home/1/sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pub, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	time.Sleep(50 * time.Millisecond) // let subscriptions register
+
+	for _, topic := range []string{"home/1/sensor", "home/2/sensor", "home/1/actuator"} {
+		if err := pub.Publish(topic, topic); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recv := func(ch <-chan Message, n int) []string {
+		var got []string
+		for i := 0; i < n; i++ {
+			select {
+			case m := <-ch:
+				var s string
+				if err := json.Unmarshal(m.Payload, &s); err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, m.Topic)
+			case <-time.After(2 * time.Second):
+				t.Fatalf("timed out after %d of %d messages", i, n)
+			}
+		}
+		return got
+	}
+	fleetGot := recv(fleetCh, 2)
+	if fleetGot[0] != "home/1/sensor" || fleetGot[1] != "home/2/sensor" {
+		t.Errorf("fleet subscriber got %v", fleetGot)
+	}
+	oneGot := recv(oneCh, 1)
+	if oneGot[0] != "home/1/sensor" {
+		t.Errorf("exact subscriber got %v", oneGot)
+	}
+	// Nothing further should arrive (actuator topic matches neither filter).
+	select {
+	case m := <-fleetCh:
+		t.Errorf("unexpected extra fleet message on %s", m.Topic)
+	case m := <-oneCh:
+		t.Errorf("unexpected extra exact message on %s", m.Topic)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestOverlappingFiltersOneConnection checks broker-side per-connection
+// dedupe plus client-side per-subscription fan-out: a connection holding an
+// exact and a wildcard filter that both match receives the frame once and
+// delivers it to both subscription channels.
+func TestOverlappingFiltersOneConnection(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	exact, err := c.Subscribe("home/7/sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wild, err := c.Subscribe("home/#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := c.Publish("home/7/sensor", 1); err != nil {
+		t.Fatal(err)
+	}
+	for name, ch := range map[string]<-chan Message{"exact": exact, "wild": wild} {
+		select {
+		case m := <-ch:
+			if m.Topic != "home/7/sensor" {
+				t.Errorf("%s: got topic %s", name, m.Topic)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%s subscription starved", name)
+		}
+	}
+	// The broker deduped per connection: each subscription sees exactly one
+	// copy, so both channels must now be empty.
+	select {
+	case <-exact:
+		t.Error("duplicate delivery on exact subscription")
+	case <-wild:
+		t.Error("duplicate delivery on wildcard subscription")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestSubscribeRejectsBadFilter(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Subscribe("bad/#/middle"); err == nil {
+		t.Error("malformed filter accepted")
+	}
+}

@@ -1,0 +1,70 @@
+// Package pool is the bounded worker pool the experiment engine and the
+// streaming fleet share: Run executes independent cells across a fixed
+// number of goroutines with first-error-wins semantics. Keeping one
+// implementation keeps the subtle cancellation/first-error bookkeeping
+// identical everywhere it is relied on for determinism.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(i) for every index in [0, n) across at most w workers.
+// w <= 0 selects one worker per available CPU; the width is then clamped
+// to [1, n], and w == 1 forces fully sequential execution for
+// reproducibility checks. Cells must be independent and write their
+// results only to their own index, which makes the output deterministic
+// regardless of pool width — parallel and sequential runs produce
+// identical results.
+//
+// Error handling is first-error-wins with cancellation: once any cell
+// fails, no new cells start, and the error reported is the one from the
+// lowest-indexed failed cell that ran.
+func Run(w, n int, fn func(i int) error) error {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = n
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

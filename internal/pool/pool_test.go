@@ -1,0 +1,65 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversAllCells checks every index runs exactly once for the whole
+// width-resolution range (explicit, sequential, and 0 = per-CPU).
+func TestRunCoversAllCells(t *testing.T) {
+	for _, w := range []int{0, 1, 3, 64} {
+		const n = 37
+		var ran [n]atomic.Int64
+		if err := Run(w, n, func(i int) error {
+			ran[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("w=%d: cell %d ran %d times", w, i, got)
+			}
+		}
+	}
+}
+
+// TestRunFirstErrorWins checks the lowest-indexed failure that ran is the
+// one reported, sequentially and in parallel.
+func TestRunFirstErrorWins(t *testing.T) {
+	e5, e20 := errors.New("e5"), errors.New("e20")
+	for _, w := range []int{1, 8} {
+		err := Run(w, 32, func(i int) error {
+			switch i {
+			case 5:
+				return e5
+			case 20:
+				return e20
+			}
+			return nil
+		})
+		// Sequentially, cell 20 never runs; in parallel either may run, but
+		// the lowest-indexed failure must win.
+		if !errors.Is(err, e5) {
+			t.Errorf("w=%d: got %v, want e5", w, err)
+		}
+	}
+}
+
+// TestRunSequentialStopsAtError checks w=1 cancels immediately.
+func TestRunSequentialStopsAtError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int
+	err := Run(1, 10, func(i int) error {
+		ran++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || ran != 4 {
+		t.Fatalf("err=%v ran=%d, want boom after 4 cells", err, ran)
+	}
+}

@@ -26,6 +26,18 @@ func DefaultSweep(seed uint64) []Spec {
 	)
 }
 
+// SynthFleet returns n procedurally generated homes with varied shapes
+// (4-11 zones, 1-3 occupants) — the fleet both `experiments -stream N` and
+// cmd/bench's stream_fleet series drive, kept as one definition so the
+// BENCH_PR*.json throughput numbers measure exactly the CLI's fleet.
+func SynthFleet(n int, seed uint64) []Spec {
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = Synth(4+i%8, 1+i%3, seed+uint64(i))
+	}
+	return specs
+}
+
 // clampShape applies Synth's minimum world shape: a home needs a living
 // space, kitchen, bathroom, and bedroom, and at least one occupant.
 func clampShape(zones, occupants int) (int, int) {

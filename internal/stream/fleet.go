@@ -1,0 +1,245 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"github.com/acyd-lab/shatter/internal/mqtt"
+	"github.com/acyd-lab/shatter/internal/pool"
+)
+
+// Job is one home's entry in a fleet run. Open constructs the home's source
+// and runtime lazily on the worker that picks the job up, so a thousand-home
+// fleet does not hold a thousand idle pipelines.
+type Job struct {
+	ID   string
+	Open func() (Source, *Home, error)
+}
+
+// FleetOptions configures a fleet run.
+type FleetOptions struct {
+	// Workers bounds the pool. 0 uses one worker per CPU; 1 forces
+	// sequential execution. Per-home results are deterministic either way.
+	Workers int
+	// Broker, when non-empty, routes every home's frames through the MQTT
+	// broker at this address: each home publishes on home/<id>/sensor and
+	// its runtime consumes the subscribed stream, with per-home
+	// backpressure from the bounded subscription buffer and TCP flow
+	// control. A fleet-wide monitor subscribed to home/+/sensor tallies the
+	// bus traffic.
+	Broker string
+}
+
+// FleetStats aggregates a fleet run.
+type FleetStats struct {
+	Homes        int           `json:"homes"`
+	Days         int64         `json:"days"`
+	Slots        int64         `json:"slots"`
+	SensorEvents int64         `json:"sensor_events"`
+	ActionEvents int64         `json:"action_events"`
+	Verdicts     int64         `json:"verdicts"`
+	Events       int64         `json:"events"`
+	TotalKWh     float64       `json:"total_kwh"`
+	TotalCostUSD float64       `json:"total_cost_usd"`
+	Injected     int64         `json:"injected"`
+	Flagged      int64         `json:"flagged"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	HomesPerSec  float64       `json:"homes_per_sec"`
+	EventsPerSec float64       `json:"events_per_sec"`
+	// BusFrames counts the frames the fleet-wide home/+/sensor monitor saw
+	// (zero without a broker).
+	BusFrames int64 `json:"bus_frames"`
+}
+
+// FleetResult is a fleet run's outcome: per-home results in job order plus
+// the aggregate. Everything except Stats' wall-clock fields is
+// deterministic for a fixed job list, independent of Workers and transport.
+type FleetResult struct {
+	Homes []HomeResult
+	Stats FleetStats
+}
+
+// RunFleet drives every job's pipeline to end-of-stream across a bounded
+// worker pool. Each home's pipeline is sequential (pull-based, so the
+// source, injector, detector, and stepper stay in lockstep), homes run
+// concurrently, and errors propagate first-job-wins.
+func RunFleet(jobs []Job, opts FleetOptions) (FleetResult, error) {
+	started := time.Now()
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if seen[j.ID] {
+			// Duplicate IDs would share a topic in MQTT mode (crossing the
+			// two homes' streams) and are ambiguous in the results either
+			// way; reject them up front.
+			return FleetResult{}, fmt.Errorf("stream: duplicate fleet job ID %q", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	var monitor *fleetMonitor
+	if opts.Broker != "" {
+		m, err := newFleetMonitor(opts.Broker)
+		if err != nil {
+			return FleetResult{}, fmt.Errorf("stream: fleet monitor: %w", err)
+		}
+		monitor = m
+		defer monitor.close()
+	}
+	results := make([]HomeResult, len(jobs))
+	err := pool.Run(opts.Workers, len(jobs), func(i int) error {
+		res, err := runJob(jobs[i], opts.Broker)
+		if err != nil {
+			return fmt.Errorf("stream: home %s: %w", jobs[i].ID, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return FleetResult{}, err
+	}
+	out := FleetResult{Homes: results}
+	st := &out.Stats
+	st.Homes = len(results)
+	for i := range results {
+		r := &results[i]
+		st.Days += int64(r.Days)
+		st.Slots += r.Slots
+		st.SensorEvents += r.SensorEvents
+		st.ActionEvents += r.ActionEvents
+		st.Verdicts += r.Verdicts
+		st.Injected += r.Injected
+		st.Flagged += r.Flagged
+		st.TotalKWh += r.Sim.TotalKWh
+		st.TotalCostUSD += r.Sim.TotalCostUSD
+	}
+	st.Events = st.SensorEvents + st.ActionEvents + st.Verdicts
+	if monitor != nil {
+		st.BusFrames = monitor.drain(len(jobs))
+	}
+	st.Elapsed = time.Since(started)
+	if secs := st.Elapsed.Seconds(); secs > 0 {
+		st.HomesPerSec = float64(st.Homes) / secs
+		st.EventsPerSec = float64(st.Events) / secs
+	}
+	return out, nil
+}
+
+// runJob drives one home from open to close.
+func runJob(job Job, broker string) (HomeResult, error) {
+	src, home, err := job.Open()
+	if err != nil {
+		return HomeResult{}, err
+	}
+	if broker != "" {
+		pipe, err := OpenPipe(broker, SensorTopic(job.ID), src)
+		if err != nil {
+			return HomeResult{}, err
+		}
+		defer pipe.Close()
+		src = pipe
+	}
+	var slot Slot
+	for {
+		if err := src.Next(&slot); err == io.EOF {
+			break
+		} else if err != nil {
+			return HomeResult{}, err
+		}
+		if _, err := home.Ingest(&slot); err != nil {
+			return HomeResult{}, err
+		}
+	}
+	return home.Close()
+}
+
+// SensorTopic names a home's sensor stream on the fleet bus; the fleet-wide
+// filter home/+/sensor matches every home's topic.
+func SensorTopic(homeID string) string { return "home/" + homeID + "/sensor" }
+
+// fleetMonitor is the fleet-wide observer: one client subscribed to
+// home/+/sensor counting every data frame on the bus (transport control
+// frames — handshake probes and end-of-stream sentinels — are excluded
+// from the count; the sentinels mark stream ends for drain).
+type fleetMonitor struct {
+	client *mqtt.Client
+	frames atomic.Int64
+	eofs   atomic.Int64
+	seen   chan struct{} // closed on the first frame of any kind
+	done   chan struct{}
+}
+
+func newFleetMonitor(broker string) (*fleetMonitor, error) {
+	c, err := mqtt.Dial(broker)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := c.Subscribe("home/+/sensor")
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	m := &fleetMonitor{client: c, seen: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(m.done)
+		first := true
+		for msg := range ch {
+			if first {
+				close(m.seen)
+				first = false
+			}
+			var hdr struct {
+				Day int `json:"day"`
+			}
+			switch err := json.Unmarshal(msg.Payload, &hdr); {
+			case err != nil:
+			case hdr.Day >= 0:
+				m.frames.Add(1)
+			case hdr.Day == dayEOF:
+				m.eofs.Add(1)
+			}
+		}
+	}()
+	// Confirm the subscription is registered before any home publishes: a
+	// loopback probe on the monitor's own connection is processed by the
+	// broker strictly after the subscription frame.
+	if err := c.Publish(SensorTopic("monitor"), probeFrame()); err != nil {
+		c.Close()
+		return nil, err
+	}
+	select {
+	case <-m.seen:
+	case <-time.After(5 * time.Second):
+		c.Close()
+		return nil, fmt.Errorf("mqtt monitor probe lost")
+	}
+	return m, nil
+}
+
+// drain waits until every home's end-of-stream sentinel has reached the
+// monitor and returns the data-frame count. Each pipe publishes its data
+// frames and then its sentinel on one connection, and the broker processes
+// a connection's frames in order, so seeing a home's sentinel proves all
+// its data frames were counted. A quiescence fallback bounds the wait if a
+// sentinel was lost to a dead connection.
+func (m *fleetMonitor) drain(homes int) int64 {
+	deadline := time.Now().Add(10 * time.Second)
+	for m.eofs.Load() < int64(homes) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	last := m.frames.Load()
+	for {
+		time.Sleep(20 * time.Millisecond)
+		now := m.frames.Load()
+		if now == last {
+			return now
+		}
+		last = now
+	}
+}
+
+func (m *fleetMonitor) close() {
+	m.client.Close()
+	<-m.done
+}

@@ -1,0 +1,148 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/acyd-lab/shatter/internal/mqtt"
+)
+
+// Sentinel day values for transport control frames; real frames always
+// carry Day >= 0.
+const (
+	dayEOF   = -1 // end of the home's stream
+	dayProbe = -2 // subscription-registration handshake
+)
+
+// probeFrame is the handshake frame a subscriber publishes to its own topic
+// to confirm the broker registered the subscription (the broker processes
+// frames of one connection in order, so the probe's delivery proves the
+// subscription precedes any other publisher's traffic).
+func probeFrame() Slot { return Slot{Day: dayProbe} }
+
+// Pipe routes a source through an MQTT broker: a pump goroutine publishes
+// every frame on the topic, and Next re-receives them from a subscription —
+// the wiring a real deployment has between in-home sensor nodes and the
+// supervisory service. Backpressure is per home: the subscription buffer is
+// bounded and TCP flow control stalls the pump when the consumer lags.
+type Pipe struct {
+	pub, rcv *mqtt.Client
+	ch       <-chan mqtt.Message
+
+	mu      sync.Mutex
+	pumpErr error
+
+	wg sync.WaitGroup
+}
+
+// OpenPipe subscribes to topic on the broker, confirms registration with a
+// loopback probe, and starts pumping src. The returned Pipe is the
+// transport-side Source; callers must Close it.
+func OpenPipe(broker, topic string, src Source) (*Pipe, error) {
+	rcv, err := mqtt.Dial(broker)
+	if err != nil {
+		return nil, fmt.Errorf("stream: pipe dial: %w", err)
+	}
+	ch, err := rcv.Subscribe(topic)
+	if err != nil {
+		rcv.Close()
+		return nil, fmt.Errorf("stream: pipe subscribe: %w", err)
+	}
+	if err := rcv.Publish(topic, probeFrame()); err != nil {
+		rcv.Close()
+		return nil, fmt.Errorf("stream: pipe probe: %w", err)
+	}
+	select {
+	case <-ch: // probe delivered: subscription is live
+	case <-time.After(5 * time.Second):
+		rcv.Close()
+		return nil, fmt.Errorf("stream: pipe probe lost on %s", topic)
+	}
+	pub, err := mqtt.Dial(broker)
+	if err != nil {
+		rcv.Close()
+		return nil, fmt.Errorf("stream: pipe dial: %w", err)
+	}
+	p := &Pipe{pub: pub, rcv: rcv, ch: ch}
+	p.wg.Add(1)
+	go p.pump(topic, src)
+	return p, nil
+}
+
+// pump publishes src's frames until EOF or error, then an end-of-stream
+// sentinel either way.
+func (p *Pipe) pump(topic string, src Source) {
+	defer p.wg.Done()
+	var s Slot
+	for {
+		err := src.Next(&s)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			p.setErr(err)
+			break
+		}
+		if err := p.pub.Publish(topic, &s); err != nil {
+			p.setErr(fmt.Errorf("stream: pipe publish: %w", err))
+			// The sentinel cannot be delivered on a dead publisher, so tear
+			// the receive side down instead — the closed subscription
+			// channel unblocks Next, which then surfaces the pump error.
+			p.rcv.Close()
+			return
+		}
+	}
+	p.pub.Publish(topic, Slot{Day: dayEOF})
+}
+
+func (p *Pipe) setErr(err error) {
+	p.mu.Lock()
+	if p.pumpErr == nil {
+		p.pumpErr = err
+	}
+	p.mu.Unlock()
+}
+
+func (p *Pipe) err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pumpErr
+}
+
+// Next implements Source: it decodes the next frame off the subscription.
+// The pump's end-of-stream sentinel yields io.EOF (or the pump's error).
+func (p *Pipe) Next(dst *Slot) error {
+	for {
+		m, ok := <-p.ch
+		if !ok {
+			if err := p.err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("stream: pipe connection lost: %w", io.ErrUnexpectedEOF)
+		}
+		if err := json.Unmarshal(m.Payload, dst); err != nil {
+			return fmt.Errorf("stream: pipe decode: %w", err)
+		}
+		switch dst.Day {
+		case dayProbe:
+			continue // stray handshake frame
+		case dayEOF:
+			if err := p.err(); err != nil {
+				return err
+			}
+			return io.EOF
+		}
+		return nil
+	}
+}
+
+// Close tears the transport down and waits for the pump.
+func (p *Pipe) Close() error {
+	p.pub.Close()
+	p.rcv.Close()
+	p.wg.Wait()
+	return nil
+}

@@ -1,0 +1,281 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/acyd-lab/shatter/internal/adm"
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/home"
+	"github.com/acyd-lab/shatter/internal/hvac"
+)
+
+// HomeConfig wires one home's streaming pipeline.
+type HomeConfig struct {
+	// ID names the home on the fleet bus.
+	ID string
+	// House is the world the stream describes.
+	House *home.House
+	// Controller plans airflow from the reported view. Nil selects the
+	// paper's SHATTER controller under Params. Controllers hold per-plan
+	// scratch, so every home needs its own instance.
+	Controller hvac.Controller
+	Params     hvac.Params
+	Pricing    hvac.Pricing
+	// Defender, when non-nil, runs online anomaly detection over the
+	// reported occupancy stream.
+	Defender *adm.Model
+	// Injector, when non-nil, applies an attack plan to the stream in
+	// flight.
+	Injector *Injector
+	// OnVerdict, when non-nil, observes every detector verdict the moment
+	// its episode closes — the hook a fleet service publishes verdict events
+	// from. Called synchronously from Ingest/Close.
+	OnVerdict func(adm.Verdict)
+}
+
+// HomeResult aggregates one home's streamed run.
+type HomeResult struct {
+	ID string
+	// Days counts days with at least one ingested slot; Slots the frames.
+	Days  int
+	Slots int64
+	// SensorEvents, ActionEvents, and Verdicts count the typed events the
+	// run produced (occupancy+appliance readings, per-zone controller
+	// demands, and closed-episode judgements respectively).
+	SensorEvents int64
+	ActionEvents int64
+	Verdicts     int64
+	// Anomalies counts verdicts flagged anomalous (attack detections plus
+	// the defender's ordinary false-positive surface).
+	Anomalies int64
+	// Injected counts reported episodes that do not occur in the truth;
+	// Flagged those the defender caught; DetectedDays days with >= 1 catch.
+	Injected     int64
+	Flagged      int64
+	DetectedDays int
+	// Sim is the plant/cost accounting, bit-identical to batch
+	// hvac.Simulate over the same stream.
+	Sim hvac.Result
+}
+
+// Home runs one home's incremental pipeline: frames are rewritten by the
+// optional injector, scored by the optional online detector, and stepped
+// through the incremental HVAC simulator. Not safe for concurrent use.
+type Home struct {
+	cfg HomeConfig
+	sim *hvac.Sim
+	det *adm.Detector
+	nat *adm.Episodizer // truth-stream segmentation for injection labels
+
+	in       hvac.StepInput
+	believed []hvac.OccupantObs
+	actual   []hvac.OccupantObs
+
+	// Per-day ledger: reported verdicts and natural (occupant, zone,
+	// arrival, duration) tuples, resolved once the day's episodes have all
+	// closed. The natural set is keyed per occupant, matching the batch
+	// DayReportedEpisodes semantics (each occupant's reported stream is
+	// compared against that occupant's own truth).
+	verdicts map[int][]adm.Verdict
+	natural  map[int]map[[4]int]bool
+	closed   bool
+	res      HomeResult
+}
+
+// NewHome builds the runtime for one home.
+func NewHome(cfg HomeConfig) (*Home, error) {
+	if cfg.House == nil {
+		return nil, errors.New("stream: HomeConfig.House is nil")
+	}
+	if cfg.Controller == nil {
+		cfg.Controller = &hvac.SHATTERController{Params: cfg.Params}
+	}
+	sim, err := hvac.NewSim(cfg.House, cfg.Controller, cfg.Params, cfg.Pricing)
+	if err != nil {
+		return nil, err
+	}
+	h := &Home{
+		cfg:      cfg,
+		sim:      sim,
+		believed: make([]hvac.OccupantObs, len(cfg.House.Occupants)),
+		actual:   make([]hvac.OccupantObs, len(cfg.House.Occupants)),
+		res:      HomeResult{ID: cfg.ID},
+	}
+	if cfg.Defender != nil {
+		h.det = adm.NewDetector(cfg.Defender)
+		if cfg.Injector != nil {
+			h.nat = adm.NewEpisodizer(len(cfg.House.Occupants))
+			h.verdicts = make(map[int][]adm.Verdict)
+			h.natural = make(map[int]map[[4]int]bool)
+		}
+	}
+	return h, nil
+}
+
+// Ingest advances the pipeline by one frame and returns the controller's
+// action event for the slot (its Demands slice is controller scratch, valid
+// until the next Ingest). Frames must arrive in stream order; the runtime
+// cross-checks the frame's (day, slot) against the stepper's position so
+// transport bugs surface as errors, not silent divergence.
+func (h *Home) Ingest(s *Slot) (Action, error) {
+	if h.closed {
+		return Action{}, errors.New("stream: Ingest after Close")
+	}
+	if s.Day != h.sim.Day() || s.Index != h.sim.SlotOfDay() {
+		return Action{}, fmt.Errorf("stream: home %s: frame (%d,%d) arrived at stepper position (%d,%d)",
+			h.cfg.ID, s.Day, s.Index, h.sim.Day(), h.sim.SlotOfDay())
+	}
+	occ, appl := len(h.actual), len(h.cfg.House.Appliances)
+	if len(s.True) != occ || len(s.TrueAppliance) != appl ||
+		len(s.Reported) != occ || len(s.ReportedAppliance) != appl {
+		return Action{}, fmt.Errorf("stream: home %s: frame sized %dx%d (reported %dx%d), want %dx%d",
+			h.cfg.ID, len(s.True), len(s.TrueAppliance), len(s.Reported), len(s.ReportedAppliance), occ, appl)
+	}
+	if h.cfg.Injector != nil {
+		h.cfg.Injector.Rewrite(s)
+	}
+	if h.det != nil {
+		for o := range s.Reported {
+			v, ok, err := h.det.Observe(s.Day, s.Index, o, s.Reported[o].Zone, s.Reported[o].Activity)
+			if err != nil {
+				return Action{}, err
+			}
+			if ok {
+				h.recordVerdict(v)
+			}
+		}
+		if h.nat != nil {
+			for o := range s.True {
+				e, ok, err := h.nat.Observe(s.Day, s.Index, o, s.True[o].Zone, s.True[o].Activity)
+				if err != nil {
+					return Action{}, err
+				}
+				if ok {
+					h.recordNatural(e)
+				}
+			}
+			// Entering day d closes every day d-1 episode on both streams,
+			// so earlier days are ready to label.
+			if s.Index == 0 && s.Day > 0 {
+				h.resolveDaysBelow(s.Day)
+			}
+		}
+	}
+	for o := range s.Reported {
+		h.believed[o] = hvac.OccupantObs{Zone: s.Reported[o].Zone, Activity: s.Reported[o].Activity}
+		h.actual[o] = hvac.OccupantObs{Zone: s.True[o].Zone, Activity: s.True[o].Activity}
+	}
+	h.in = hvac.StepInput{
+		OutdoorTempF:      s.OutdoorTempF,
+		OutdoorCO2PPM:     s.OutdoorCO2PPM,
+		Believed:          h.believed,
+		BelievedAppliance: s.ReportedAppliance,
+		ActualOccupants:   h.actual,
+		ActualAppliance:   s.TrueAppliance,
+	}
+	rep := h.sim.Step(h.in)
+	if s.Index == 0 {
+		h.res.Days++
+	}
+	h.res.Slots++
+	h.res.SensorEvents += int64(s.SensorEvents())
+	h.res.ActionEvents += int64(len(rep.Demands))
+	return Action{
+		Home:    h.cfg.ID,
+		Day:     rep.Day,
+		Index:   rep.Slot,
+		Demands: rep.Demands,
+		KWh:     rep.KWh,
+		CostUSD: rep.CostUSD,
+	}, nil
+}
+
+// Close seals open episodes, resolves the detection ledger, and returns the
+// final accounting.
+func (h *Home) Close() (HomeResult, error) {
+	if h.closed {
+		return HomeResult{}, errors.New("stream: double Close")
+	}
+	h.closed = true
+	if h.det != nil {
+		for _, v := range h.det.Flush() {
+			h.recordVerdict(v)
+		}
+		if h.nat != nil {
+			for _, e := range h.nat.Flush() {
+				h.recordNatural(e)
+			}
+			h.resolveDaysBelow(int(^uint(0) >> 1)) // all days
+		}
+	}
+	h.res.Sim = h.sim.Result()
+	return h.res, nil
+}
+
+// recordVerdict counts a closed reported episode and, under attack,
+// ledgers it for injection labelling.
+func (h *Home) recordVerdict(v adm.Verdict) {
+	h.res.Verdicts++
+	if v.Anomalous {
+		h.res.Anomalies++
+	}
+	if h.cfg.OnVerdict != nil {
+		h.cfg.OnVerdict(v)
+	}
+	if h.verdicts != nil {
+		h.verdicts[v.Episode.Day] = append(h.verdicts[v.Episode.Day], v)
+	}
+}
+
+// recordNatural ledgers a truth-stream episode for injection labelling.
+func (h *Home) recordNatural(e aras.Episode) {
+	day := h.natural[e.Day]
+	if day == nil {
+		day = make(map[[4]int]bool)
+		h.natural[e.Day] = day
+	}
+	day[[4]int{e.Occupant, int(e.Zone), e.ArrivalSlot, e.Duration}] = true
+}
+
+// resolveDaysBelow labels every ledgered day < bound: a reported episode
+// absent from the day's natural set is an injection (the batch
+// DayReportedEpisodes semantics), and flagged injections mark the day
+// detected.
+func (h *Home) resolveDaysBelow(bound int) {
+	var days []int
+	for d := range h.verdicts {
+		if d < bound {
+			days = append(days, d)
+		}
+	}
+	sort.Ints(days)
+	for _, d := range days {
+		nat := h.natural[d]
+		detected := false
+		for _, v := range h.verdicts[d] {
+			key := [4]int{v.Episode.Occupant, int(v.Episode.Zone), v.Episode.ArrivalSlot, v.Episode.Duration}
+			if nat[key] {
+				continue // occurs in that occupant's truth: ordinary FP surface, not an injection
+			}
+			h.res.Injected++
+			if v.Anomalous {
+				h.res.Flagged++
+				detected = true
+			}
+		}
+		if detected {
+			h.res.DetectedDays++
+		}
+		delete(h.verdicts, d)
+		delete(h.natural, d)
+	}
+	// Natural-only days (no reported verdicts) can linger; drop any below
+	// the bound so the ledger stays bounded.
+	for d := range h.natural {
+		if d < bound {
+			delete(h.natural, d)
+		}
+	}
+}

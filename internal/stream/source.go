@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"io"
+
+	"github.com/acyd-lab/shatter/internal/aras"
+)
+
+// Source produces a home's slot frames in order: day-major, then minute
+// 0..aras.SlotsPerDay-1. Next fills dst (reusing its backing storage where
+// possible) and returns io.EOF at end of stream. Sources are not safe for
+// concurrent use.
+type Source interface {
+	Next(dst *Slot) error
+}
+
+// GeneratorSource adapts the incremental aras.Generator to the event model:
+// days are planned lazily one at a time and emitted slot-by-slot, so a home
+// streams forever (unbounded generator) without ever materializing a
+// multi-day trace. The reported view mirrors the truth — attacks enter the
+// stream through an Injector, not the source.
+type GeneratorSource struct {
+	id   string
+	gen  *aras.Generator
+	day  aras.Day
+	wth  aras.Weather
+	d    int // index of the buffered day
+	slot int // next slot to emit; SlotsPerDay forces a day fetch
+}
+
+// NewGeneratorSource streams the generator's days as slot frames tagged
+// with the home ID.
+func NewGeneratorSource(id string, g *aras.Generator) *GeneratorSource {
+	return &GeneratorSource{id: id, gen: g, slot: aras.SlotsPerDay, d: -1}
+}
+
+// Next implements Source.
+func (s *GeneratorSource) Next(dst *Slot) error {
+	if s.slot == aras.SlotsPerDay {
+		d := s.gen.DayIndex()
+		day, wth, err := s.gen.NextDay()
+		if err != nil {
+			return err
+		}
+		s.day, s.wth, s.d, s.slot = day, wth, d, 0
+	}
+	fillSlot(dst, s.id, s.d, s.slot, s.day, s.wth)
+	s.slot++
+	return nil
+}
+
+// TraceSource replays a materialized trace as slot frames — the bridge that
+// lets recorded (or batch-generated) data drive the streaming runtime, and
+// the replay path the equivalence tests pin against the batch pipeline.
+type TraceSource struct {
+	id    string
+	trace *aras.Trace
+	d     int
+	slot  int
+}
+
+// NewTraceSource streams the trace's days as slot frames tagged with the
+// home ID.
+func NewTraceSource(id string, tr *aras.Trace) *TraceSource {
+	return &TraceSource{id: id, trace: tr}
+}
+
+// Next implements Source.
+func (s *TraceSource) Next(dst *Slot) error {
+	if s.d >= s.trace.NumDays() {
+		return io.EOF
+	}
+	fillSlot(dst, s.id, s.d, s.slot, s.trace.Days[s.d], s.trace.Weather[s.d])
+	s.slot++
+	if s.slot == aras.SlotsPerDay {
+		s.slot = 0
+		s.d++
+	}
+	return nil
+}
+
+// fillSlot populates one frame from a day of ground truth.
+func fillSlot(dst *Slot, id string, d, slot int, day aras.Day, wth aras.Weather) {
+	dst.ensure(len(day.Zone), len(day.Appliance))
+	dst.Home = id
+	dst.Day = d
+	dst.Index = slot
+	dst.OutdoorTempF = wth.TempF[slot]
+	dst.OutdoorCO2PPM = wth.CO2PPM[slot]
+	for o := range day.Zone {
+		dst.True[o] = OccupantReading{Zone: day.Zone[o][slot], Activity: day.Act[o][slot]}
+	}
+	for a := range day.Appliance {
+		dst.TrueAppliance[a] = day.Appliance[a][slot]
+	}
+	dst.mirrorTruth()
+}

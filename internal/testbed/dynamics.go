@@ -16,9 +16,9 @@ import (
 // The paper reports <2% identification error; Identify reproduces that.
 type DynamicsModel struct {
 	// DutyForLoad[i] maps heat load (W) → equilibrium fan duty at setpoint.
-	DutyForLoad [zoneCount]regress.Poly
+	DutyForLoad []regress.Poly
 	// HeatForRise[i] maps fan-off steady rise (°F) → heat load (W).
-	HeatForRise [zoneCount]regress.Poly
+	HeatForRise []regress.Poly
 	// FitErrorPct is the held-out mean absolute percentage error of the
 	// duty model, in percent.
 	FitErrorPct float64
@@ -33,12 +33,15 @@ var ErrIdentification = errors.New("testbed: dynamics identification failed")
 // degree-2 polynomials to both relations. Even-indexed sweep points train,
 // odd-indexed points validate.
 func Identify(sim *Simulator) (*DynamicsModel, error) {
-	m := &DynamicsModel{}
+	m := &DynamicsModel{
+		DutyForLoad: make([]regress.Poly, sim.Zones()),
+		HeatForRise: make([]regress.Poly, sim.Zones()),
+	}
 	// The sweep stays within the fans' controllable envelope (a full-duty
 	// 1.4 CFM fan on 56 °F supply air removes ≈8.4 W at the setpoint).
 	loads := []float64{1, 1.8, 2.6, 3.4, 4.2, 5, 5.8, 6.6, 7.4, 8.2}
 	var allErrPct []float64
-	for zi := 0; zi < zoneCount; zi++ {
+	for zi := 0; zi < sim.Zones(); zi++ {
 		var heats, duties, rises []float64
 		for _, load := range loads {
 			heats = append(heats, load*0.85)
@@ -88,7 +91,7 @@ func equilibrate(sim *Simulator, zi int, loadW float64) float64 {
 // stabilises and returns the steady temperature.
 func settle(sim *Simulator, zi int, loadW, duty float64) float64 {
 	sim.Reset()
-	var in Inputs
+	in := sim.NewInputs()
 	in.LEDWatts[zi] = loadW
 	in.FanDuty[zi] = duty
 	prev := sim.TempF[zi]

@@ -10,18 +10,14 @@ import (
 // each conditioned zone (occupant emulation plus appliance emulation).
 type MinuteLoad struct {
 	// OccupantW[i] is the occupant-emulation LED load per zone.
-	OccupantW [zoneCount]float64
+	OccupantW []float64
 	// ApplianceW[i] is the appliance-emulation LED load per zone.
-	ApplianceW [zoneCount]float64
+	ApplianceW []float64
 }
 
-// totalW returns the electrically real LED load per zone.
-func (m MinuteLoad) totalW() [zoneCount]float64 {
-	var out [zoneCount]float64
-	for i := range out {
-		out[i] = m.OccupantW[i] + m.ApplianceW[i]
-	}
-	return out
+// newMinuteLoad allocates a zeroed load frame for n zones.
+func newMinuteLoad(n int) MinuteLoad {
+	return MinuteLoad{OccupantW: make([]float64, n), ApplianceW: make([]float64, n)}
 }
 
 // Scenario is a minutes-long testbed run: the actual loads and, under
@@ -35,30 +31,41 @@ type Scenario struct {
 	Reported []MinuteLoad
 	// TriggeredW, when non-nil, adds really-on attacker-triggered appliance
 	// LEDs per minute per zone (they draw power and heat the zone).
-	TriggeredW [][zoneCount]float64
+	TriggeredW [][]float64
 }
 
-// Fig8Scenario reproduces the paper's demonstration hour: Alice showers in
-// the bathroom then relaxes in the living room while Bob naps in the
-// bedroom; under attack, the controller is told both are cooking in the
-// kitchen and the kitchen appliance bulbs are really triggered.
-func Fig8Scenario(cfg Config, attacked bool) Scenario {
+// DemoScenario builds the paper's demonstration hour for any scenario
+// house, placed by zone kind: the first occupant showers in their
+// bathroom-kind zone then relaxes in their living-kind zone with the TV
+// bulb on, while every other occupant naps in their bedroom-kind zone.
+// Under attack, the controller is told every occupant is cooking in their
+// kitchen-kind zone and those kitchens' appliance bulbs are really
+// triggered. For house A this reproduces Fig 8's hour exactly.
+func DemoScenario(cfg Config, house *home.House, attacked bool) Scenario {
 	const minutes = 60
+	n := len(house.Zones) - 1
 	led := cfg.LEDPowerW
+	zi := func(z home.ZoneID) int { return int(z) - 1 }
 	sc := Scenario{Actual: make([]MinuteLoad, minutes)}
 	for t := 0; t < minutes; t++ {
-		var m MinuteLoad
-		// Bob naps in the bedroom all hour (1 bulb).
-		m.OccupantW[int(home.Bedroom)-1] = led
-		if t < 25 {
-			// Alice showers (bathroom, bulb + small appliance bulb for the
-			// bathtub heater).
-			m.OccupantW[int(home.Bathroom)-1] = led
-			m.ApplianceW[int(home.Bathroom)-1] = led * 0.5
-		} else {
-			// Alice moves to the living room with the TV bulb on.
-			m.OccupantW[int(home.Livingroom)-1] = led
-			m.ApplianceW[int(home.Livingroom)-1] = led * 0.4
+		m := newMinuteLoad(n)
+		for o := range house.Occupants {
+			switch {
+			case o == 0 && t < 25:
+				// The first occupant showers (bathroom bulb + small appliance
+				// bulb for the bathtub heater).
+				bath := zi(house.ZoneForActivity(o, home.HavingShower))
+				m.OccupantW[bath] += led
+				m.ApplianceW[bath] += led * 0.5
+			case o == 0:
+				// ... then moves to the living room with the TV bulb on.
+				living := zi(house.ZoneForActivity(o, home.WatchingTV))
+				m.OccupantW[living] += led
+				m.ApplianceW[living] += led * 0.4
+			default:
+				// Everyone else naps in their bedroom all hour (1 bulb each).
+				m.OccupantW[zi(house.ZoneForActivity(o, home.Napping))] += led
+			}
 		}
 		sc.Actual[t] = m
 	}
@@ -66,19 +73,35 @@ func Fig8Scenario(cfg Config, attacked bool) Scenario {
 		return sc
 	}
 	sc.Reported = make([]MinuteLoad, minutes)
-	sc.TriggeredW = make([][zoneCount]float64, minutes)
+	sc.TriggeredW = make([][]float64, minutes)
 	for t := 0; t < minutes; t++ {
-		var rep MinuteLoad
-		// The forged story: both occupants cooking in the kitchen with the
-		// oven, microwave, and kettle bulbs on.
-		rep.OccupantW[int(home.Kitchen)-1] = 2 * led
-		rep.ApplianceW[int(home.Kitchen)-1] = 3 * led
+		rep := newMinuteLoad(n)
+		trig := make([]float64, n)
+		for o := range house.Occupants {
+			// The forged story: every occupant cooking in their kitchen with
+			// the oven, microwave, and kettle bulbs on; those bulbs are
+			// REALLY triggered (inaudible voice commands), so they draw
+			// power and heat the kitchen.
+			kitchen := zi(house.ZoneForActivity(o, home.PreparingDinner))
+			rep.OccupantW[kitchen] += led
+			if rep.ApplianceW[kitchen] == 0 {
+				rep.ApplianceW[kitchen] = 3 * led
+				trig[kitchen] = 3 * led
+			}
+		}
 		sc.Reported[t] = rep
-		// The kitchen appliance bulbs are REALLY triggered (inaudible voice
-		// commands): they draw power and heat the kitchen.
-		sc.TriggeredW[t][int(home.Kitchen)-1] = 3 * led
+		sc.TriggeredW[t] = trig
 	}
 	return sc
+}
+
+// Fig8Scenario reproduces the paper's demonstration hour on the canonical
+// house: Alice showers in the bathroom then relaxes in the living room
+// while Bob naps in the bedroom; under attack, the controller is told both
+// are cooking in the kitchen and the kitchen appliance bulbs are really
+// triggered.
+func Fig8Scenario(cfg Config, attacked bool) Scenario {
+	return DemoScenario(cfg, home.MustHouse("A"), attacked)
 }
 
 // RunResult summarises a testbed run.
@@ -108,37 +131,35 @@ func Run(sim *Simulator, model *DynamicsModel, sc Scenario) (RunResult, error) {
 	}
 	sim.Reset()
 	res := RunResult{Minutes: len(sc.Actual)}
+	in := sim.NewInputs()
 	for t := range sc.Actual {
 		believed := sc.Actual[t]
 		if sc.Reported != nil {
 			believed = sc.Reported[t]
 		}
-		var in Inputs
-		in.LEDWatts = sc.Actual[t].totalW()
-		if sc.TriggeredW != nil {
-			for i := range in.LEDWatts {
-				in.LEDWatts[i] += sc.TriggeredW[t][i]
+		for i := range in.LEDWatts {
+			in.LEDWatts[i] = at(sc.Actual[t].OccupantW, i) + at(sc.Actual[t].ApplianceW, i)
+			if sc.TriggeredW != nil {
+				in.LEDWatts[i] += at(sc.TriggeredW[t], i)
 			}
 		}
-		belW := believed.totalW()
-		if sc.TriggeredW != nil {
+		for i := range in.FanDuty {
 			// Triggered appliances report "on", so the controller also sees
 			// their load.
-			for i := range belW {
-				belW[i] += sc.TriggeredW[t][i]
+			belW := at(believed.OccupantW, i) + at(believed.ApplianceW, i)
+			if sc.TriggeredW != nil {
+				belW += at(sc.TriggeredW[t], i)
 			}
-		}
-		for i := range belW {
-			if belW[i] <= 0 {
+			if belW <= 0 {
 				in.FanDuty[i] = 0 // demand control: no believed load, no air
 				continue
 			}
-			in.FanDuty[i] = clamp01(model.DutyForLoad[i].Eval(belW[i] * 0.85))
+			in.FanDuty[i] = clamp01(model.DutyForLoad[i].Eval(belW * 0.85))
 		}
 		res.EnergyWh += sim.Step(in)
 		// Comfort tracking: occupied zones only.
 		for i := range in.LEDWatts {
-			if sc.Actual[t].OccupantW[i] > 0 {
+			if at(sc.Actual[t].OccupantW, i) > 0 {
 				if rise := sim.TempF[i] - sim.cfg.SetpointF; rise > res.MaxRiseF {
 					res.MaxRiseF = rise
 				}
@@ -159,11 +180,17 @@ type ValidationResult struct {
 	FitErrorPct float64
 }
 
-// Validate runs the full Section VI experiment: identify the dynamics, run
-// the demonstration hour benign and attacked, and report the energy
-// increase.
+// Validate runs the full Section VI experiment on the canonical house:
+// identify the dynamics, run the demonstration hour benign and attacked,
+// and report the energy increase.
 func Validate(cfg Config) (ValidationResult, error) {
-	sim, err := New(cfg)
+	return ValidateHouse(cfg, home.MustHouse("A"))
+}
+
+// ValidateHouse runs the Section VI experiment against any scenario
+// house's scaled-down rig — the registry-driven form of Validate.
+func ValidateHouse(cfg Config, house *home.House) (ValidationResult, error) {
+	sim, err := NewForHouse(cfg, house)
 	if err != nil {
 		return ValidationResult{}, err
 	}
@@ -171,11 +198,11 @@ func Validate(cfg Config) (ValidationResult, error) {
 	if err != nil {
 		return ValidationResult{}, err
 	}
-	benign, err := Run(sim, model, Fig8Scenario(cfg, false))
+	benign, err := Run(sim, model, DemoScenario(cfg, house, false))
 	if err != nil {
 		return ValidationResult{}, err
 	}
-	attacked, err := Run(sim, model, Fig8Scenario(cfg, true))
+	attacked, err := Run(sim, model, DemoScenario(cfg, house, true))
 	if err != nil {
 		return ValidationResult{}, err
 	}

@@ -83,19 +83,21 @@ func NewRig(sim *Simulator, model *DynamicsModel, rewrite func(mqtt.Message) mqt
 
 // Tick runs one supervisory minute: the sensor node publishes each zone's
 // believed load, the controller computes and publishes duties, and the
-// plant steps with the real loads. Returns the energy consumed (Wh).
-func (r *Rig) Tick(actual, believed [zoneCount]float64) (float64, error) {
+// plant steps with the real loads. Loads shorter than the zone count read
+// as zero. Returns the energy consumed (Wh).
+func (r *Rig) Tick(actual, believed []float64) (float64, error) {
+	zones := r.sim.Zones()
 	// Sensor node publishes (through the proxy when attacked).
-	for zi := 0; zi < zoneCount; zi++ {
-		if err := r.sensor.Publish("testbed/load", loadReport{Zone: zi, LoadW: believed[zi]}); err != nil {
+	for zi := 0; zi < zones; zi++ {
+		if err := r.sensor.Publish("testbed/load", loadReport{Zone: zi, LoadW: at(believed, zi)}); err != nil {
 			return 0, fmt.Errorf("testbed: publish load: %w", err)
 		}
 	}
-	var in Inputs
-	in.LEDWatts = actual
-	// The controller consumes the four reports and answers with duties.
+	in := r.sim.NewInputs()
+	copy(in.LEDWatts, actual)
+	// The controller consumes the per-zone reports and answers with duties.
 	deadline := time.After(3 * time.Second)
-	for received := 0; received < zoneCount; {
+	for received := 0; received < zones; {
 		select {
 		case m, ok := <-r.loads:
 			if !ok {
@@ -104,6 +106,9 @@ func (r *Rig) Tick(actual, believed [zoneCount]float64) (float64, error) {
 			var rep loadReport
 			if err := json.Unmarshal(m.Payload, &rep); err != nil {
 				return 0, err
+			}
+			if rep.Zone < 0 || rep.Zone >= zones {
+				return 0, fmt.Errorf("testbed: load report for bad zone %d", rep.Zone)
 			}
 			duty := 0.0
 			if rep.LoadW > 0 {
@@ -119,7 +124,7 @@ func (r *Rig) Tick(actual, believed [zoneCount]float64) (float64, error) {
 	}
 	// Apply the actuation commands.
 	deadline = time.After(3 * time.Second)
-	for received := 0; received < zoneCount; {
+	for received := 0; received < zones; {
 		select {
 		case m, ok := <-r.duties:
 			if !ok {
@@ -128,6 +133,9 @@ func (r *Rig) Tick(actual, believed [zoneCount]float64) (float64, error) {
 			var cmd dutyCommand
 			if err := json.Unmarshal(m.Payload, &cmd); err != nil {
 				return 0, err
+			}
+			if cmd.Zone < 0 || cmd.Zone >= zones {
+				return 0, fmt.Errorf("testbed: duty command for bad zone %d", cmd.Zone)
 			}
 			in.FanDuty[cmd.Zone] = cmd.Duty
 			received++
@@ -154,11 +162,10 @@ func (r *Rig) Close() {
 	}
 }
 
-// KitchenForgeRewrite returns the MITM rewrite used by the validation demo:
-// every load report is replaced by the "everyone cooking in the kitchen"
-// story (zones other than the kitchen report empty; the kitchen reports the
-// forged wattage).
-func KitchenForgeRewrite(kitchenIndexW float64) func(mqtt.Message) mqtt.Message {
+// ForgeRewrite returns a MITM rewrite forging every load report into a
+// single-zone story: zones other than forgeZone report empty; forgeZone
+// reports the forged wattage.
+func ForgeRewrite(forgeZone int, forgedW float64) func(mqtt.Message) mqtt.Message {
 	return func(m mqtt.Message) mqtt.Message {
 		if m.Topic != "testbed/load" {
 			return m
@@ -167,8 +174,8 @@ func KitchenForgeRewrite(kitchenIndexW float64) func(mqtt.Message) mqtt.Message 
 		if err := json.Unmarshal(m.Payload, &rep); err != nil {
 			return m
 		}
-		if rep.Zone == 2 { // kitchen index (ZoneID Kitchen − 1)
-			rep.LoadW = kitchenIndexW
+		if rep.Zone == forgeZone {
+			rep.LoadW = forgedW
 		} else {
 			rep.LoadW = 0
 		}
@@ -181,14 +188,21 @@ func KitchenForgeRewrite(kitchenIndexW float64) func(mqtt.Message) mqtt.Message 
 	}
 }
 
-// zoneTopicIndex parses a zone index out of a topic suffix; kept for
-// forward compatibility with per-zone topics.
-func zoneTopicIndex(topic string) (int, bool) {
+// KitchenForgeRewrite is the validation demo's rewrite: the "everyone
+// cooking in the kitchen" story on the canonical layout (kitchen index
+// ZoneID Kitchen − 1).
+func KitchenForgeRewrite(kitchenIndexW float64) func(mqtt.Message) mqtt.Message {
+	return ForgeRewrite(2, kitchenIndexW)
+}
+
+// zoneTopicIndex parses a zone index out of a topic suffix against a zone
+// count bound; kept for forward compatibility with per-zone topics.
+func zoneTopicIndex(topic string, zones int) (int, bool) {
 	if len(topic) == 0 {
 		return 0, false
 	}
 	i, err := strconv.Atoi(topic[len(topic)-1:])
-	if err != nil || i < 0 || i >= zoneCount {
+	if err != nil || i < 0 || i >= zones {
 		return 0, false
 	}
 	return i, true

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/acyd-lab/shatter/internal/home"
+	"github.com/acyd-lab/shatter/internal/scenario"
 )
 
 func newSim(t *testing.T) *Simulator {
@@ -26,7 +27,7 @@ func TestNewBadConfig(t *testing.T) {
 
 func TestPlantHeatsUnderLoad(t *testing.T) {
 	sim := newSim(t)
-	var in Inputs
+	in := sim.NewInputs()
 	in.LEDWatts[0] = 10 // bedroom bulbs
 	for i := 0; i < 200; i++ {
 		sim.Step(in)
@@ -38,7 +39,7 @@ func TestPlantHeatsUnderLoad(t *testing.T) {
 
 func TestPlantCoolsWithFan(t *testing.T) {
 	sim := newSim(t)
-	var in Inputs
+	in := sim.NewInputs()
 	in.LEDWatts[2] = 10
 	for i := 0; i < 300; i++ {
 		sim.Step(in)
@@ -59,7 +60,7 @@ func TestPlantCoolsWithFan(t *testing.T) {
 
 func TestUninsulatedZonesLeakHeat(t *testing.T) {
 	sim := newSim(t)
-	var in Inputs
+	in := sim.NewInputs()
 	in.LEDWatts[1] = 15 // heat only the living room
 	for i := 0; i < 400; i++ {
 		sim.Step(in)
@@ -106,7 +107,7 @@ func TestIdentifyUnderTwoPercent(t *testing.T) {
 		t.Errorf("identification error %.2f%%, want < 2%%", model.FitErrorPct)
 	}
 	// Duty must be monotone in load over the calibrated range.
-	for zi := 0; zi < zoneCount; zi++ {
+	for zi := 0; zi < sim.Zones(); zi++ {
 		prev := -1.0
 		for load := 2.0; load <= 18; load += 2 {
 			d := model.DutyForLoad[zi].Eval(load * 0.85)
@@ -185,7 +186,7 @@ func TestRigEndToEndBenign(t *testing.T) {
 	}
 	defer rig.Close()
 	sim.Reset()
-	loads := [zoneCount]float64{5, 0, 0, 5}
+	loads := []float64{5, 0, 0, 5}
 	var total float64
 	for i := 0; i < 10; i++ {
 		wh, err := rig.Tick(loads, loads)
@@ -210,7 +211,7 @@ func TestRigMITMForgesKitchen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	actual := [zoneCount]float64{5, 5, 0, 0} // bedroom + living room
+	actual := []float64{5, 5, 0, 0} // bedroom + living room
 	sim.Reset()
 	var benignWh float64
 	for i := 0; i < 15; i++ {
@@ -244,13 +245,69 @@ func TestRigMITMForgesKitchen(t *testing.T) {
 }
 
 func TestZoneTopicIndex(t *testing.T) {
-	if _, ok := zoneTopicIndex(""); ok {
+	if _, ok := zoneTopicIndex("", 4); ok {
 		t.Error("empty topic should fail")
 	}
-	if i, ok := zoneTopicIndex("testbed/load/2"); !ok || i != 2 {
+	if i, ok := zoneTopicIndex("testbed/load/2", 4); !ok || i != 2 {
 		t.Errorf("parse = %d,%v", i, ok)
 	}
-	if _, ok := zoneTopicIndex("testbed/load/x"); ok {
+	if _, ok := zoneTopicIndex("testbed/load/x", 4); ok {
 		t.Error("non-numeric suffix should fail")
+	}
+	if _, ok := zoneTopicIndex("testbed/load/2", 2); ok {
+		t.Error("index beyond the zone count should fail")
+	}
+}
+
+func TestNewForHouseMatchesCanonical(t *testing.T) {
+	// The canonical build IS the house-A build: same zone count, same
+	// derived thermal plant, so New and NewForHouse(A) behave identically.
+	a, err := NewForHouse(DefaultConfig(), home.MustHouse("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newSim(t)
+	if a.Zones() != b.Zones() {
+		t.Fatalf("zone counts differ: %d vs %d", a.Zones(), b.Zones())
+	}
+	in := a.NewInputs()
+	in.LEDWatts[1] = 8
+	in.FanDuty[1] = 0.5
+	for i := 0; i < 50; i++ {
+		if wa, wb := a.Step(in), b.Step(in); wa != wb {
+			t.Fatalf("step %d: energy diverges %v vs %v", i, wa, wb)
+		}
+	}
+	for i := range a.TempF {
+		if a.TempF[i] != b.TempF[i] {
+			t.Fatalf("zone %d temperature diverges: %v vs %v", i, a.TempF[i], b.TempF[i])
+		}
+	}
+}
+
+func TestValidateHouseOnScenarioWorld(t *testing.T) {
+	// The Section VI experiment must run against a non-canonical world: a
+	// bigger procedural house scales down to more testbed zones, identifies
+	// cleanly, and still shows the attack's energy penalty.
+	house, err := scenario.Synth(7, 3, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewForHouse(DefaultConfig(), house)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Zones() != 7 {
+		t.Fatalf("synth world scaled to %d testbed zones, want 7", sim.Zones())
+	}
+	res, err := ValidateHouse(DefaultConfig(), house)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FitErrorPct >= 2 {
+		t.Errorf("fit error %.2f%%, want < 2%%", res.FitErrorPct)
+	}
+	if res.IncreasePct <= 0 {
+		t.Errorf("attack decreased energy: %.1f%%", res.IncreasePct)
 	}
 }

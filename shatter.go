@@ -27,6 +27,7 @@ import (
 	"github.com/acyd-lab/shatter/internal/home"
 	"github.com/acyd-lab/shatter/internal/hvac"
 	"github.com/acyd-lab/shatter/internal/scenario"
+	"github.com/acyd-lab/shatter/internal/stream"
 	"github.com/acyd-lab/shatter/internal/testbed"
 )
 
@@ -215,6 +216,68 @@ func DefaultSuiteConfig() SuiteConfig { return core.DefaultSuiteConfig() }
 // runs the full pipeline over further registry or procedural scenarios.
 func NewSuite(cfg SuiteConfig) (*Suite, error) { return core.NewSuite(cfg) }
 
+// Streaming runtime: the incremental event core, online detection, live
+// injection, and the fleet runner. Every streaming path is equivalence-
+// locked to its batch counterpart (replaying a house reproduces the batch
+// trace, controller costs, and ADM verdicts byte-for-byte).
+type (
+	// StreamSlot is one minute of a home's sensor traffic.
+	StreamSlot = stream.Slot
+	// StreamSource produces a home's slot frames in order.
+	StreamSource = stream.Source
+	// StreamHome is one home's incremental pipeline (injector → online
+	// detector → HVAC stepper).
+	StreamHome = stream.Home
+	// StreamHomeConfig wires one home's streaming pipeline.
+	StreamHomeConfig = stream.HomeConfig
+	// StreamHomeResult aggregates one home's streamed run.
+	StreamHomeResult = stream.HomeResult
+	// StreamOptions configures Suite.Stream.
+	StreamOptions = core.StreamOptions
+	// FleetJob is one home's entry in a fleet run.
+	FleetJob = stream.Job
+	// FleetOptions configures a fleet run (workers, MQTT transport).
+	FleetOptions = stream.FleetOptions
+	// FleetResult is a fleet run's per-home results plus aggregate stats.
+	FleetResult = stream.FleetResult
+	// FleetStats is a fleet run's aggregate accounting and throughput.
+	FleetStats = stream.FleetStats
+	// OnlineDetector scores an occupancy stream episode-by-episode online.
+	OnlineDetector = adm.Detector
+	// Verdict is the online detector's judgement of one closed episode.
+	Verdict = adm.Verdict
+)
+
+// NewStreamHome builds the incremental runtime for one home.
+func NewStreamHome(cfg StreamHomeConfig) (*StreamHome, error) { return stream.NewHome(cfg) }
+
+// NewGeneratorStream adapts an incremental trace generator into a slot
+// source, emitting a home's frames minute-by-minute without materializing
+// the trace.
+func NewGeneratorStream(id string, h *House, cfg GeneratorConfig) (StreamSource, error) {
+	g, err := aras.NewGenerator(h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return stream.NewGeneratorSource(id, g), nil
+}
+
+// NewTraceStream replays a materialized trace as slot frames.
+func NewTraceStream(id string, tr *Trace) StreamSource { return stream.NewTraceSource(id, tr) }
+
+// NewInjector builds the live attack injector for a home's plan — the
+// streaming counterpart of the batch attack view.
+func NewInjector(h *House, plan *Plan) (*stream.Injector, error) { return stream.NewInjector(h, plan) }
+
+// NewOnlineDetector wraps a trained ADM for online, per-episode use.
+func NewOnlineDetector(m *ADM) *OnlineDetector { return adm.NewDetector(m) }
+
+// RunFleet drives every job's pipeline to end-of-stream across a bounded
+// worker pool, optionally over an MQTT broker.
+func RunFleet(jobs []FleetJob, opts FleetOptions) (FleetResult, error) {
+	return stream.RunFleet(jobs, opts)
+}
+
 // Testbed.
 type (
 	// TestbedConfig parameterises the scaled prototype testbed.
@@ -226,5 +289,12 @@ type (
 // DefaultTestbedConfig returns the paper's testbed parameters.
 func DefaultTestbedConfig() TestbedConfig { return testbed.DefaultConfig() }
 
-// ValidateTestbed runs the full Section VI experiment.
+// ValidateTestbed runs the full Section VI experiment on the canonical
+// four-zone rig.
 func ValidateTestbed(cfg TestbedConfig) (TestbedValidation, error) { return testbed.Validate(cfg) }
+
+// ValidateTestbedHouse runs the Section VI experiment against any scenario
+// house scaled down to the tabletop rig.
+func ValidateTestbedHouse(cfg TestbedConfig, h *House) (TestbedValidation, error) {
+	return testbed.ValidateHouse(cfg, h)
+}
