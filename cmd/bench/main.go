@@ -10,22 +10,33 @@
 // Usage:
 //
 //	bench [-days N] [-train N] [-seed S] [-workers N] [-o BENCH.json]
-//	      [-fleet-homes N] [-fleet-days N]
+//	      [-fleet-homes N] [-fleet-days N] [-cpuprofile F] [-memprofile F]
+//	      [-baseline BENCH.json] [-max-regress R]
 //
 // The default configuration matches the benchmark harness's quick suite
 // (12 days) so numbers are comparable with `go test -bench` and with the
 // BENCH_PR1.json baseline.
+//
+// -baseline turns the run into a perf gate: after measuring, every warm
+// series is compared against the named committed baseline and the command
+// exits non-zero when any series regresses by more than -max-regress
+// (default 2×, plus a small absolute slack so microsecond-scale series
+// don't flake on scheduler noise). -cpuprofile / -memprofile emit pprof
+// profiles of the whole run so perf work starts from a profile, not a
+// guess.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
 	"github.com/acyd-lab/shatter/internal/core"
+	"github.com/acyd-lab/shatter/internal/profiling"
 	"github.com/acyd-lab/shatter/internal/scenario"
 	"github.com/acyd-lab/shatter/internal/stream"
 )
@@ -73,10 +84,19 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "experiment worker pool (0 = all CPUs)")
 	fleetHomes := fs.Int("fleet-homes", 100, "stream_fleet series: concurrent synth homes")
 	fleetDays := fs.Int("fleet-days", 2, "stream_fleet series: days per home")
-	out := fs.String("o", "BENCH_PR4.json", "output path (- for stdout)")
+	out := fs.String("o", "BENCH_PR5.json", "output path (- for stdout)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
+	baseline := fs.String("baseline", "", "committed baseline report to gate warm series against")
+	maxRegress := fs.Float64("max-regress", 2.0, "fail when a warm series exceeds this multiple of the baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	cfg := core.SuiteConfig{Days: *days, TrainDays: *train, Seed: *seed, WindowLen: 10, Workers: *workers}
 	started := time.Now()
@@ -158,14 +178,81 @@ func run(args []string) error {
 	}
 	enc = append(enc, '\n')
 	if *out == "-" {
-		_, err = os.Stdout.Write(enc)
-		return err
+		if _, err := os.Stdout.Write(enc); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (total %s, %d ADM trainings, %d cache entries)\n",
+			*out, time.Duration(report.TotalNS).Round(time.Millisecond), report.ADMTrainings, report.CacheEntries)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		return err
+	if *baseline != "" {
+		// With the report on stdout, keep the gate's chatter on stderr so
+		// JSON consumers see a clean document.
+		gateOut := io.Writer(os.Stdout)
+		if *out == "-" {
+			gateOut = os.Stderr
+		}
+		return gateAgainstBaseline(gateOut, report, *baseline, *maxRegress)
 	}
-	fmt.Printf("wrote %s (total %s, %d ADM trainings, %d cache entries)\n",
-		*out, time.Duration(report.TotalNS).Round(time.Millisecond), report.ADMTrainings, report.CacheEntries)
+	return nil
+}
+
+// regressSlackNS is the absolute slack the perf gate adds on top of the
+// relative bound: sub-millisecond warm series (fully cache-hit experiments)
+// sit at scheduler-noise scale, where a bare 2× ratio would flake.
+const regressSlackNS = 10_000_000
+
+// gateAgainstBaseline fails the run when any warm series regresses by more
+// than maxRegress× its committed baseline (plus the absolute slack). Series
+// only present on one side are reported but never fail the gate, so the
+// baseline file does not have to move in lockstep with new experiments —
+// but both directions are surfaced, so a series silently dropped from the
+// bench still leaves a visible trace in the gate output.
+func gateAgainstBaseline(w io.Writer, report Report, path string, maxRegress float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseWarm := make(map[string]int64, len(base.Experiments))
+	for _, m := range base.Experiments {
+		baseWarm[m.Name] = m.WarmNS
+	}
+	measured := make(map[string]bool, len(report.Experiments))
+	var failed []string
+	for _, m := range report.Experiments {
+		measured[m.Name] = true
+		want, ok := baseWarm[m.Name]
+		if !ok {
+			fmt.Fprintf(w, "gate: %-16s no baseline series, skipped\n", m.Name)
+			continue
+		}
+		limit := int64(float64(want)*maxRegress) + regressSlackNS
+		status := "ok"
+		if m.WarmNS > limit {
+			status = "FAIL"
+			failed = append(failed, m.Name)
+		}
+		fmt.Fprintf(w, "gate: %-16s warm %12s vs baseline %12s (limit %12s) %s\n",
+			m.Name, time.Duration(m.WarmNS), time.Duration(want), time.Duration(limit), status)
+	}
+	for _, m := range base.Experiments {
+		if !measured[m.Name] {
+			fmt.Fprintf(w, "gate: %-16s in baseline but not measured this run\n", m.Name)
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("perf gate: %d warm series regressed >%.1fx vs %s: %v",
+			len(failed), maxRegress, path, failed)
+	}
+	fmt.Fprintf(w, "perf gate passed against %s (max regress %.1fx + %s slack)\n",
+		path, maxRegress, time.Duration(regressSlackNS))
 	return nil
 }
 

@@ -7,6 +7,7 @@
 //	            [-only fig3,tableV,...] [-suite A,B,...] [-scenarios list]
 //	            [-stream list|N] [-stream-days N] [-stream-mqtt]
 //	            [-stream-defend] [-stream-attack]
+//	            [-cpuprofile F] [-memprofile F]
 //
 // -quick runs a reduced 12-day configuration for a fast smoke pass.
 // -workers bounds the experiment worker pool (0 = one per CPU; 1 = fully
@@ -25,6 +26,8 @@
 // live SHATTER campaign, and -stream-mqtt routes every home's frames
 // through an in-process MQTT broker with a fleet-wide home/+/sensor
 // monitor.
+// -cpuprofile / -memprofile write pprof profiles of the selected
+// experiments, so performance work on the suite starts from a profile.
 package main
 
 import (
@@ -37,6 +40,7 @@ import (
 
 	"github.com/acyd-lab/shatter/internal/core"
 	"github.com/acyd-lab/shatter/internal/mqtt"
+	"github.com/acyd-lab/shatter/internal/profiling"
 	"github.com/acyd-lab/shatter/internal/scenario"
 )
 
@@ -62,9 +66,16 @@ func run(args []string) error {
 	streamMQTT := fs.Bool("stream-mqtt", false, "route fleet frames through an in-process MQTT broker")
 	streamDefend := fs.Bool("stream-defend", false, "attach the online ADM detector to every fleet home")
 	streamAttack := fs.Bool("stream-attack", false, "inject a live SHATTER campaign into every fleet home")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	cfg := core.SuiteConfig{Days: *days, TrainDays: *train, Seed: *seed, WindowLen: 10, Workers: *workers}
 	if *quick {
 		cfg.Days, cfg.TrainDays = 12, 9

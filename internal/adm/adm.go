@@ -20,6 +20,7 @@ import (
 	"github.com/acyd-lab/shatter/internal/cluster"
 	"github.com/acyd-lab/shatter/internal/geometry"
 	"github.com/acyd-lab/shatter/internal/home"
+	"github.com/acyd-lab/shatter/internal/solver"
 )
 
 // Algorithm selects the clustering backend.
@@ -86,6 +87,9 @@ type Model struct {
 	// arrival slots of a day — the attack solver's hot path. Built once at
 	// Train time, so a trained Model is safe for concurrent readers.
 	memo map[key]*zoneMemo
+	// bands flattens each occupant's memos into the solver's tabulated
+	// oracle (StayBands), also built once at Train time.
+	bands []*solver.StayBands
 }
 
 // ErrNoData is returned when a trace yields no episodes to train on.
@@ -137,6 +141,10 @@ func Train(trace *aras.Trace, cfg Config) (*Model, error) {
 	}
 	if !trained {
 		return nil, ErrNoData
+	}
+	m.bands = make([]*solver.StayBands, len(trace.House.Occupants))
+	for o := range m.bands {
+		m.bands[o] = m.buildStayBands(o, len(trace.House.Zones))
 	}
 	return m, nil
 }

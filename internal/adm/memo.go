@@ -13,6 +13,8 @@ import (
 
 	"github.com/acyd-lab/shatter/internal/aras"
 	"github.com/acyd-lab/shatter/internal/geometry"
+	"github.com/acyd-lab/shatter/internal/home"
+	"github.com/acyd-lab/shatter/internal/solver"
 )
 
 // stayInterval is one hull's stealthy-stay band at a fixed arrival slot.
@@ -92,6 +94,61 @@ func clampStayRange(lo, hi float64) (minStay, maxStay int) {
 		maxStay = minStay
 	}
 	return minStay, maxStay
+}
+
+// StayBands returns the occupant's flattened stay-band table — the
+// tabulated oracle solver.OptimizeWindowBands consumes directly on the
+// attack planner's hot path. The table is built once at Train time from the
+// same per-zone memos that back MaxStay/InRangeStay, so for every arrival
+// slot in [0, aras.SlotsPerDay) its answers are identical to the Model's;
+// it is immutable and safe for concurrent readers. Returns nil for unknown
+// occupants.
+func (m *Model) StayBands(occupant int) *solver.StayBands {
+	if occupant < 0 || occupant >= len(m.bands) {
+		return nil
+	}
+	return m.bands[occupant]
+}
+
+// buildStayBands flattens the occupant's per-zone memos over the house's nz
+// zones into one contiguous table.
+func (m *Model) buildStayBands(occupant, nz int) *solver.StayBands {
+	const s = aras.SlotsPerDay
+	b := &solver.StayBands{
+		Slots:   s,
+		Covered: make([]bool, nz*s),
+		MinStay: make([]int32, nz*s),
+		MaxStay: make([]int32, nz*s),
+		IvOff:   make([]int32, nz*s+1),
+		Tol:     memoTol,
+	}
+	total := 0
+	for z := 0; z < nz; z++ {
+		if zm := m.memo[key{occupant: occupant, zone: home.ZoneID(z)}]; zm != nil {
+			total += len(zm.ivs)
+		}
+	}
+	b.IvLo = make([]float64, 0, total)
+	b.IvHi = make([]float64, 0, total)
+	for z := 0; z < nz; z++ {
+		zm := m.memo[key{occupant: occupant, zone: home.ZoneID(z)}]
+		row := z * s
+		for t := 0; t < s; t++ {
+			b.IvOff[row+t] = int32(len(b.IvLo))
+			if zm == nil {
+				continue // zone never visited in training: uncovered row
+			}
+			b.Covered[row+t] = zm.covered[t]
+			b.MinStay[row+t] = zm.minStay[t]
+			b.MaxStay[row+t] = zm.maxStay[t]
+			for _, iv := range zm.ivs[zm.ivOff[t]:zm.ivOff[t+1]] {
+				b.IvLo = append(b.IvLo, iv.lo)
+				b.IvHi = append(b.IvHi, iv.hi)
+			}
+		}
+	}
+	b.IvOff[nz*s] = int32(len(b.IvLo))
+	return b
 }
 
 // stayWithin reports whether the stay lies inside any hull interval at the

@@ -1,11 +1,13 @@
 package adm
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/acyd-lab/shatter/internal/aras"
 	"github.com/acyd-lab/shatter/internal/geometry"
 	"github.com/acyd-lab/shatter/internal/home"
+	"github.com/acyd-lab/shatter/internal/solver"
 )
 
 // geometryWithin is the pre-memo reference implementation of WithinCluster:
@@ -70,5 +72,94 @@ func TestMemoOutOfRangeArrival(t *testing.T) {
 	}
 	if _, _, ok := m.StayRange(0, home.Bedroom, aras.SlotsPerDay+100); ok {
 		t.Error("past-midnight arrival should be uncovered")
+	}
+}
+
+// TestStayBandsMatchModel locks the exported flattened table to the Model's
+// own oracle across the full in-day query surface: identical coverage,
+// stay-range bounds, and gap-aware in-range decisions for every occupant,
+// zone, and arrival slot.
+func TestStayBandsMatchModel(t *testing.T) {
+	for _, alg := range []Algorithm{DBSCAN, KMeans} {
+		m, tr := trainedModel(t, alg, 20)
+		for o := range tr.House.Occupants {
+			b := m.StayBands(o)
+			if b == nil {
+				t.Fatalf("%v: no bands for occupant %d", alg, o)
+			}
+			for z := home.ZoneID(0); int(z) < len(tr.House.Zones); z++ {
+				for arr := 0; arr < aras.SlotsPerDay; arr += 11 {
+					wantMax, wantOK := m.MaxStay(o, z, arr)
+					gotMax, gotOK := b.MaxStayAt(z, arr)
+					if gotOK != wantOK || (wantOK && gotMax != wantMax) {
+						t.Fatalf("%v o=%d z=%v arr=%d: bands MaxStay (%d,%v) != model (%d,%v)",
+							alg, o, z, arr, gotMax, gotOK, wantMax, wantOK)
+					}
+					wantMin, wantMinOK := m.MinStay(o, z, arr)
+					gotMin, gotMinOK := b.MinStayAt(z, arr)
+					if gotMinOK != wantMinOK || (wantMinOK && gotMin != wantMin) {
+						t.Fatalf("%v o=%d z=%v arr=%d: bands MinStay (%d,%v) != model (%d,%v)",
+							alg, o, z, arr, gotMin, gotMinOK, wantMin, wantMinOK)
+					}
+					for _, stay := range []int{0, 1, gotMin, (gotMin + gotMax) / 2, gotMax, gotMax + 1, gotMax + 45} {
+						if stay < 0 {
+							continue
+						}
+						if got, want := b.InRange(z, arr, stay), m.InRangeStay(o, z, arr, stay); got != want {
+							t.Fatalf("%v o=%d z=%v arr=%d stay=%d: bands InRange %v != model %v",
+								alg, o, z, arr, stay, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+	m, _ := trainedModel(t, KMeans, 12)
+	if m.StayBands(-1) != nil || m.StayBands(99) != nil {
+		t.Error("out-of-range occupants should have nil bands")
+	}
+}
+
+// TestBandsDPMatchesModelDP cross-validates the solver's tabulated-oracle
+// pass against the interface pass on a real trained model: the planner's
+// window problem must produce identical schedules either way.
+func TestBandsDPMatchesModelDP(t *testing.T) {
+	m, tr := trainedModel(t, KMeans, 20)
+	zones := make([]home.ZoneID, len(tr.House.Zones))
+	for i := range zones {
+		zones[i] = home.ZoneID(i)
+	}
+	cost := func(slot int, z home.ZoneID) float64 {
+		if !z.Conditioned() {
+			return 0
+		}
+		return float64(int(z)*7%5) + float64(slot%13)/13
+	}
+	allowed := func(int, home.ZoneID) bool { return true }
+	var wsA, wsB solver.Workspace
+	for o := range tr.House.Occupants {
+		b := m.StayBands(o)
+		for start := 0; start+10 <= aras.SlotsPerDay; start += 97 {
+			w := solver.Window{
+				Occupant:  o,
+				StartSlot: start, Length: 10,
+				StartZone: home.Bedroom, StartArrival: start,
+				Zones: zones,
+			}
+			sa, sta, errA := solver.OptimizeWindowWS(&wsA, w, m, cost, allowed)
+			sb, stb, errB := solver.OptimizeWindowBands(&wsB, w, b, cost, allowed)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("o=%d start=%d: error mismatch %v vs %v", o, start, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			if sta != stb || sa.Feasible != sb.Feasible || sa.Value != sb.Value ||
+				sa.EndZone != sb.EndZone || sa.EndArrival != sb.EndArrival ||
+				!reflect.DeepEqual(sa.Zones, sb.Zones) {
+				t.Fatalf("o=%d start=%d: band DP diverges from model DP:\nmodel: %+v %+v\nbands: %+v %+v",
+					o, start, sa, sta, sb, stb)
+			}
+		}
 	}
 }

@@ -2,6 +2,7 @@ package attack
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"github.com/acyd-lab/shatter/internal/adm"
@@ -421,5 +422,69 @@ func TestNoCapabilityNoInjection(t *testing.T) {
 	}
 	if math.Abs(imp.ExtraCostUSD) > 1e-9 {
 		t.Errorf("powerless attack changed cost by %v", imp.ExtraCostUSD)
+	}
+}
+
+// TestPlannerWorkersDeterministic asserts the planner's fan-out contract:
+// for every strategy, a Workers=1 plan and a wide-pool plan are identical,
+// occupant-slot for occupant-slot. CI runs this under -race to certify the
+// occupant-day cells really are independent.
+func TestPlannerWorkersDeterministic(t *testing.T) {
+	f := newFixture(t, "A", 8)
+	for _, tc := range []struct {
+		name string
+		plan func(pl *Planner) (*Plan, error)
+	}{
+		{"SHATTER", (*Planner).PlanSHATTER},
+		{"Greedy", (*Planner).PlanGreedy},
+		{"BIoTA", (*Planner).PlanBIoTA},
+	} {
+		seqPl := f.planner(Full(f.trace.House))
+		seqPl.Workers = 1
+		seq, err := tc.plan(seqPl)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", tc.name, err)
+		}
+		parPl := f.planner(Full(f.trace.House))
+		parPl.Workers = 8
+		par, err := tc.plan(parPl)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: Workers=1 and Workers=8 plans diverge", tc.name)
+		}
+	}
+}
+
+// TestPlannerOccupantDayAllocBounds is the allocation-regression gate for
+// the planning hot path: a warm re-plan must stay within a fixed allocation
+// budget per occupant-day (the residue is the plan skeleton, the per-cell
+// closures, and the sanitisation ledger — the ~144 DP windows themselves
+// allocate nothing).
+func TestPlannerOccupantDayAllocBounds(t *testing.T) {
+	f := newFixture(t, "A", 8)
+	pl := f.planner(Full(f.trace.House))
+	pl.Workers = 1 // AllocsPerRun needs the single-goroutine path
+	cells := float64(f.trace.NumDays() * len(f.trace.House.Occupants))
+	for _, tc := range []struct {
+		name   string
+		plan   func() error
+		budget float64 // allocs per occupant-day, ~2x measured headroom
+	}{
+		{"SHATTER", func() error { _, err := pl.PlanSHATTER(); return err }, 120},
+		{"Greedy", func() error { _, err := pl.PlanGreedy(); return err }, 110},
+	} {
+		if err := tc.plan(); err != nil { // warm-up
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(3, func() {
+			if err := tc.plan(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if perCell := allocs / cells; perCell > tc.budget {
+			t.Errorf("%s: %.1f allocs per occupant-day, budget %.0f", tc.name, perCell, tc.budget)
+		}
 	}
 }

@@ -8,6 +8,10 @@
 package attack
 
 import (
+	"sort"
+	"strconv"
+	"strings"
+
 	"github.com/acyd-lab/shatter/internal/home"
 )
 
@@ -96,6 +100,42 @@ func (c Capability) clone() Capability {
 		out.Occupants[k] = v
 	}
 	return out
+}
+
+// Signature returns a canonical, order-independent key for the capability,
+// usable for memoizing campaigns planned under it. ok is false when the
+// capability carries a SlotAllowed predicate: functions cannot be compared,
+// so slot-restricted capabilities are unkeyable and their campaigns must be
+// planned fresh.
+func (c Capability) Signature() (sig string, ok bool) {
+	if c.SlotAllowed != nil {
+		return "", false
+	}
+	var b strings.Builder
+	writeSet := func(prefix string, set map[int]bool) {
+		b.WriteString(prefix)
+		ids := make([]int, 0, len(set))
+		for id, granted := range set {
+			if granted {
+				ids = append(ids, id)
+			}
+		}
+		sort.Ints(ids)
+		for i, id := range ids {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(id))
+		}
+	}
+	zones := make(map[int]bool, len(c.Zones))
+	for z, granted := range c.Zones {
+		zones[int(z)] = granted
+	}
+	writeSet("z:", zones)
+	writeSet(";d:", c.Appliances)
+	writeSet(";o:", c.Occupants)
+	return b.String(), true
 }
 
 // slotOK applies the T^A restriction.

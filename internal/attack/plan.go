@@ -52,6 +52,27 @@ func newPlan(trace *aras.Trace, strategy string) *Plan {
 	return p
 }
 
+// CloneForTriggering returns a copy of the plan that shares the reported
+// occupancy/activity streams (immutable once planning completes) but
+// carries fresh, empty Triggered grids. Algorithm 1 can then mark triggers
+// on the copy while the original remains a cacheable untriggered campaign.
+func (p *Plan) CloneForTriggering() *Plan {
+	out := &Plan{
+		Strategy:          p.Strategy,
+		RepZone:           p.RepZone,
+		RepAct:            p.RepAct,
+		Triggered:         make([][][]bool, len(p.Triggered)),
+		InfeasibleWindows: p.InfeasibleWindows,
+	}
+	for d := range p.Triggered {
+		out.Triggered[d] = make([][]bool, len(p.Triggered[d]))
+		for a := range p.Triggered[d] {
+			out.Triggered[d][a] = make([]bool, len(p.Triggered[d][a]))
+		}
+	}
+	return out
+}
+
 // setReport records a falsified observation, choosing the activity: the
 // truth when the zone is truthful, otherwise the most intense activity of
 // the reported zone (maximum demand, Algorithm 2's G-maximising choice).

@@ -8,6 +8,7 @@ import (
 	"github.com/acyd-lab/shatter/internal/aras"
 	"github.com/acyd-lab/shatter/internal/home"
 	"github.com/acyd-lab/shatter/internal/hvac"
+	"github.com/acyd-lab/shatter/internal/pool"
 	"github.com/acyd-lab/shatter/internal/solver"
 )
 
@@ -36,6 +37,21 @@ type Planner struct {
 	// built for a different trace (e.g. after the planner is re-pointed at
 	// a sub-trace); the planner then tabulates locally.
 	CostSurface func(tr *aras.Trace, day, occupant int) solver.CostFn
+	// Workers bounds the occupant-day planning fan-out: the cells of a
+	// campaign (one per occupant-day for SHATTER/Greedy, one per day for
+	// BIoTA) are independent and spread across a bounded worker pool.
+	// 0 uses one worker per CPU; 1 forces sequential planning. Plans are
+	// identical for any worker count.
+	Workers int
+}
+
+// planScratch is one planning worker's reusable state: the DP workspace and
+// the local cost-table buffer (used when no memoized surface is injected).
+// Scratch never influences results, only allocation counts, so sharing one
+// per worker preserves the Workers=1 ≡ Workers=N determinism contract.
+type planScratch struct {
+	ws   solver.Workspace
+	ctbl []float64
 }
 
 // ErrNeedModel is returned when a strategy requires an ADM estimate.
@@ -158,28 +174,32 @@ func (pl *Planner) allowedFor(day, occupant int) solver.AllowedFn {
 // viableTerminal builds a window terminal check: the end state must be able
 // to keep earning — continue the stay stealthily, exit into some covered
 // zone, or coincide with ground truth (truth-telling can always continue).
-// zones is the house's reportable zone list, hoisted by the caller so the
-// per-terminal-state check allocates nothing.
-func (pl *Planner) viableTerminal(day, occupant, end int, zones []home.ZoneID, allowed solver.AllowedFn) func(home.ZoneID, int) bool {
+// zones is the house's reportable zone list and bands the occupant's
+// tabulated stay oracle, both hoisted by the caller so the
+// per-terminal-state check allocates nothing. end points at the caller's
+// current window end, so one closure serves every interior window of the
+// occupant-day.
+func (pl *Planner) viableTerminal(day, occupant int, end *int, zones []home.ZoneID, allowed solver.AllowedFn, bands *solver.StayBands) func(home.ZoneID, int) bool {
 	return func(z home.ZoneID, arr int) bool {
-		if end >= aras.SlotsPerDay {
+		e := *end
+		if e >= aras.SlotsPerDay {
 			return true
 		}
-		if z == pl.Trace.Days[day].Zone[occupant][end] {
+		if z == pl.Trace.Days[day].Zone[occupant][e] {
 			return true // truth state: continuation is reality's problem
 		}
-		dur := end - arr
-		if maxStay, ok := pl.Model.MaxStay(occupant, z, arr); ok && dur+1 <= maxStay {
+		dur := e - arr
+		if maxStay, ok := bands.MaxStayAt(z, arr); ok && dur+1 <= maxStay {
 			return true // can keep staying
 		}
-		if !pl.Model.InRangeStay(occupant, z, arr, dur) {
+		if !bands.InRange(z, arr, dur) {
 			return false
 		}
 		for _, z2 := range zones {
-			if z2 == z || !allowed(end, z2) {
+			if z2 == z || !allowed(e, z2) {
 				continue
 			}
-			if _, ok := pl.Model.MaxStay(occupant, z2, end); ok {
+			if _, ok := bands.MaxStayAt(z2, e); ok {
 				return true // can exit into a covered zone
 			}
 		}
@@ -208,109 +228,132 @@ func actualArrival(trace *aras.Trace, day, occupant, slot int) int {
 // PlanSHATTER synthesises the paper's dynamic attack schedule: per
 // occupant, per day, a chain of exactly optimised windows of length I
 // (Section IV-C(a)), each solved with the DP engine against the attacker's
-// ADM estimate and capability.
+// ADM estimate and capability. Occupant-days are independent cells fanned
+// across Workers; each worker recycles one DP workspace across its cells'
+// ~144 windows.
 func (pl *Planner) PlanSHATTER() (*Plan, error) {
 	if pl.Model == nil {
 		return nil, ErrNeedModel
 	}
 	p := newPlan(pl.Trace, "SHATTER")
 	zones := zonesOf(pl.Trace.House)
-	iLen := pl.windowLen()
-	// One DP workspace serves every window of the plan: windows are solved
-	// sequentially, so the state tables are recycled ~144 times per
-	// occupant-day instead of reallocated.
-	var ws solver.Workspace
-	var ctbl []float64
-	for d := 0; d < pl.Trace.NumDays(); d++ {
-		for o := range pl.Trace.House.Occupants {
-			cost := pl.surfaceFor(d, o, &ctbl)
-			allowed := pl.allowedFor(d, o)
-			// Day starts truth-telling: occupants begin where they really
-			// are (typically asleep), with the day-split arrival at slot 0.
-			zone := pl.Trace.Days[d].Zone[o][0]
-			arrival := 0
-			for start := 0; start < aras.SlotsPerDay; start += iLen {
-				length := iLen
-				if start+length > aras.SlotsPerDay {
-					length = aras.SlotsPerDay - start
-				}
-				w := solver.Window{
-					Occupant:     o,
-					StartSlot:    start,
-					Length:       length,
-					StartZone:    zone,
-					StartArrival: arrival,
-					Zones:        zones,
-				}
-				if start+length == aras.SlotsPerDay {
-					// Final window of the day: the midnight-cut episode the
-					// ADM will see must itself lie within a cluster.
-					occ := o
-					w.TerminalOK = func(z home.ZoneID, arr int) bool {
-						return pl.Model.InRangeStay(occ, z, arr, aras.SlotsPerDay-arr)
-					}
-				} else {
-					// Interior window: score terminal states by how much the
-					// in-progress stay can still earn next window, countering
-					// horizon myopia — and require terminal states to be
-					// viable (able to continue or exit stealthily) so a
-					// window cannot strand the next one in a dead end.
-					occ := o
-					end := start + length
-					w.TerminalBonus = func(z home.ZoneID, arr int) float64 {
-						maxStay, ok := pl.Model.MaxStay(occ, z, arr)
-						if !ok {
-							return 0
-						}
-						remaining := maxStay - (end - arr)
-						if remaining <= 0 {
-							return 0
-						}
-						if remaining > iLen {
-							remaining = iLen
-						}
-						slot := end
-						if slot >= aras.SlotsPerDay {
-							slot = aras.SlotsPerDay - 1
-						}
-						return float64(remaining) * cost(slot, z)
-					}
-					w.TerminalOK = pl.viableTerminal(d, occ, end, zones, allowed)
-				}
-				sched, _, err := solver.OptimizeWindowWS(&ws, w, pl.Model, cost, allowed)
-				if err != nil {
-					return nil, fmt.Errorf("attack: day %d occupant %d window %d: %w", d, o, start, err)
-				}
-				if !sched.Feasible && w.TerminalOK != nil && start+length != aras.SlotsPerDay {
-					// No viable terminal existed; accept any terminal and
-					// let the next window's fallback deal with dead ends.
-					w.TerminalOK = nil
-					sched, _, err = solver.OptimizeWindowWS(&ws, w, pl.Model, cost, allowed)
-					if err != nil {
-						return nil, fmt.Errorf("attack: day %d occupant %d window %d: %w", d, o, start, err)
-					}
-				}
-				if !sched.Feasible {
-					p.InfeasibleWindows++
-					// Fall back to truth for this window.
-					for i := 0; i < length; i++ {
-						p.setReport(pl.Trace, d, o, start+i, pl.Trace.Days[d].Zone[o][start+i])
-					}
-					end := start + length - 1
-					zone = pl.Trace.Days[d].Zone[o][end]
-					arrival = actualArrival(pl.Trace, d, o, end)
-					continue
-				}
-				for i, z := range sched.Zones {
-					p.setReport(pl.Trace, d, o, start+i, z)
-				}
-				zone, arrival = sched.EndZone, sched.EndArrival
-			}
-			pl.applyTruthFloor(p, d, o, cost)
-			pl.sanitizeDay(p, d, o)
-		}
+	occ := len(pl.Trace.House.Occupants)
+	cells := pl.Trace.NumDays() * occ
+	// Each cell reports its infeasible-window count to its own slot; the
+	// plan total is folded in index order, independent of pool width.
+	infeasible := make([]int, cells)
+	scratch := make([]planScratch, pool.Width(pl.Workers, cells))
+	err := pool.RunIndexed(pl.Workers, cells, func(worker, i int) error {
+		d, o := i/occ, i%occ
+		n, err := pl.shatterDay(p, &scratch[worker], d, o, zones)
+		infeasible[i] = n
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range infeasible {
+		p.InfeasibleWindows += n
 	}
 	return p, nil
+}
+
+// shatterDay plans one occupant-day: the chain of optimised windows, the
+// truth floor, and the sanitisation pass. It writes only the (d, o) rows of
+// the plan, which is what makes occupant-days safe to fan out.
+func (pl *Planner) shatterDay(p *Plan, st *planScratch, d, o int, zones []home.ZoneID) (infeasible int, err error) {
+	bands := pl.Model.StayBands(o)
+	iLen := pl.windowLen()
+	cost := pl.surfaceFor(d, o, &st.ctbl)
+	allowed := pl.allowedFor(d, o)
+	// The terminal closures are hoisted out of the window loop (one
+	// allocation per occupant-day instead of per window) and read the
+	// current interior-window end through this variable.
+	var end int
+	// Final window of the day: the midnight-cut episode the ADM will see
+	// must itself lie within a cluster.
+	terminalFinal := func(z home.ZoneID, arr int) bool {
+		return bands.InRange(z, arr, aras.SlotsPerDay-arr)
+	}
+	// Interior window: score terminal states by how much the in-progress
+	// stay can still earn next window, countering horizon myopia — and
+	// require terminal states to be viable (able to continue or exit
+	// stealthily) so a window cannot strand the next one in a dead end.
+	terminalBonus := func(z home.ZoneID, arr int) float64 {
+		maxStay, ok := bands.MaxStayAt(z, arr)
+		if !ok {
+			return 0
+		}
+		remaining := maxStay - (end - arr)
+		if remaining <= 0 {
+			return 0
+		}
+		if remaining > iLen {
+			remaining = iLen
+		}
+		slot := end
+		if slot >= aras.SlotsPerDay {
+			slot = aras.SlotsPerDay - 1
+		}
+		return float64(remaining) * cost(slot, z)
+	}
+	terminalViable := pl.viableTerminal(d, o, &end, zones, allowed, bands)
+	// Day starts truth-telling: occupants begin where they really
+	// are (typically asleep), with the day-split arrival at slot 0.
+	zone := pl.Trace.Days[d].Zone[o][0]
+	arrival := 0
+	for start := 0; start < aras.SlotsPerDay; start += iLen {
+		length := iLen
+		if start+length > aras.SlotsPerDay {
+			length = aras.SlotsPerDay - start
+		}
+		w := solver.Window{
+			Occupant:     o,
+			StartSlot:    start,
+			Length:       length,
+			StartZone:    zone,
+			StartArrival: arrival,
+			Zones:        zones,
+		}
+		if start+length == aras.SlotsPerDay {
+			w.TerminalOK = terminalFinal
+		} else {
+			end = start + length
+			w.TerminalBonus = terminalBonus
+			w.TerminalOK = terminalViable
+		}
+		sched, _, err := solver.OptimizeWindowBands(&st.ws, w, bands, cost, allowed)
+		if err != nil {
+			return infeasible, fmt.Errorf("attack: day %d occupant %d window %d: %w", d, o, start, err)
+		}
+		if !sched.Feasible && w.TerminalOK != nil && start+length != aras.SlotsPerDay {
+			// No viable terminal existed; accept any terminal and
+			// let the next window's fallback deal with dead ends.
+			w.TerminalOK = nil
+			sched, _, err = solver.OptimizeWindowBands(&st.ws, w, bands, cost, allowed)
+			if err != nil {
+				return infeasible, fmt.Errorf("attack: day %d occupant %d window %d: %w", d, o, start, err)
+			}
+		}
+		if !sched.Feasible {
+			infeasible++
+			// Fall back to truth for this window.
+			for i := 0; i < length; i++ {
+				p.setReport(pl.Trace, d, o, start+i, pl.Trace.Days[d].Zone[o][start+i])
+			}
+			last := start + length - 1
+			zone = pl.Trace.Days[d].Zone[o][last]
+			arrival = actualArrival(pl.Trace, d, o, last)
+			continue
+		}
+		for i, z := range sched.Zones {
+			p.setReport(pl.Trace, d, o, start+i, z)
+		}
+		zone, arrival = sched.EndZone, sched.EndArrival
+	}
+	pl.applyTruthFloor(p, d, o, cost)
+	pl.sanitizeDay(p, d, o)
+	return infeasible, nil
 }
 
 // applyTruthFloor reverts an occupant-day to truth when the optimised
@@ -385,14 +428,19 @@ func (pl *Planner) PlanGreedy() (*Plan, error) {
 	}
 	p := newPlan(pl.Trace, "Greedy")
 	zones := zonesOf(pl.Trace.House)
-	var ctbl []float64
-	for d := 0; d < pl.Trace.NumDays(); d++ {
-		for o := range pl.Trace.House.Occupants {
-			cost := pl.surfaceFor(d, o, &ctbl)
-			pl.greedyDay(p, d, o, zones, cost)
-			pl.applyTruthFloor(p, d, o, cost)
-			pl.sanitizeDay(p, d, o)
-		}
+	occ := len(pl.Trace.House.Occupants)
+	cells := pl.Trace.NumDays() * occ
+	scratch := make([]planScratch, pool.Width(pl.Workers, cells))
+	err := pool.RunIndexed(pl.Workers, cells, func(worker, i int) error {
+		d, o := i/occ, i%occ
+		cost := pl.surfaceFor(d, o, &scratch[worker].ctbl)
+		pl.greedyDay(p, d, o, zones, cost)
+		pl.applyTruthFloor(p, d, o, cost)
+		pl.sanitizeDay(p, d, o)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return p, nil
 }
@@ -401,17 +449,18 @@ func (pl *Planner) PlanGreedy() (*Plan, error) {
 // zones is the house's reportable zone list and cost the occupant-day
 // surrogate, both hoisted by the caller.
 func (pl *Planner) greedyDay(p *Plan, d, o int, zones []home.ZoneID, cost solver.CostFn) {
+	bands := pl.Model.StayBands(o)
 	allowed := pl.allowedFor(d, o)
 	zone := pl.Trace.Days[d].Zone[o][0]
 	arrival := 0
 	commitUntil := 0 // committed stay end (Algorithm 2's duration)
-	_, startCovered := pl.Model.MaxStay(o, zone, arrival)
+	_, startCovered := bands.MaxStayAt(zone, arrival)
 	lenient := !startCovered
 	for t := 0; t < aras.SlotsPerDay; t++ {
 		dur := t - arrival
-		canExit := dur >= 1 && (lenient || pl.Model.InRangeStay(o, zone, arrival, dur))
+		canExit := dur >= 1 && (lenient || bands.InRange(zone, arrival, dur))
 		// Will the current stay still be stealthy through slot t?
-		maxStay, covered := pl.Model.MaxStay(o, zone, arrival)
+		maxStay, covered := bands.MaxStayAt(zone, arrival)
 		mustMove := !(lenient || (covered && dur+1 <= maxStay)) || !allowed(t, zone)
 		if canExit && (t >= commitUntil || mustMove) {
 			// Re-choose: the highest-paying zone whose arrival is covered.
@@ -421,7 +470,7 @@ func (pl *Planner) greedyDay(p *Plan, d, o int, zones []home.ZoneID, cost solver
 				if z == zone || !allowed(t, z) {
 					continue
 				}
-				ms, ok := pl.Model.MaxStay(o, z, t)
+				ms, ok := bands.MaxStayAt(z, t)
 				if !ok || ms < 1 {
 					continue
 				}
@@ -442,7 +491,7 @@ func (pl *Planner) greedyDay(p *Plan, d, o int, zones []home.ZoneID, cost solver
 			// No stealthy option: fall back to reporting the truth.
 			zone = pl.Trace.Days[d].Zone[o][t]
 			arrival = actualArrival(pl.Trace, d, o, t)
-			_, cov := pl.Model.MaxStay(o, zone, arrival)
+			_, cov := bands.MaxStayAt(zone, arrival)
 			lenient = !cov
 			commitUntil = t
 		}
@@ -460,26 +509,39 @@ func (pl *Planner) PlanBIoTA() (*Plan, error) {
 	p := newPlan(pl.Trace, "BIoTA")
 	house := pl.Trace.House
 	zones := zonesOf(house)
-	// Hoist the per-slot loop invariants: zone capacities, per-occupant cost
-	// surrogates (rebuilt per day), and a zone-indexed occupancy counter in
-	// place of a per-slot map.
+	// Hoist the loop invariants: zone capacities once, and per worker a
+	// zone-indexed occupancy counter plus per-occupant cost surrogates
+	// (rebuilt per day) in place of per-slot maps. Days are independent
+	// cells — the capacity rule couples occupants within a slot, so the
+	// fan-out is per day, not per occupant-day.
 	maxOcc := make([]int, len(house.Zones))
 	for _, z := range zones {
 		maxOcc[z] = house.Zone(z).MaxOccupancy
 	}
-	counts := make([]int, len(house.Zones))
-	costs := make([]solver.CostFn, len(house.Occupants))
-	ctbls := make([][]float64, len(house.Occupants))
-	for d := 0; d < pl.Trace.NumDays(); d++ {
-		for o := range costs {
-			costs[o] = pl.surfaceFor(d, o, &ctbls[o])
+	type biotaScratch struct {
+		counts []int
+		costs  []solver.CostFn
+		ctbls  [][]float64
+	}
+	days := pl.Trace.NumDays()
+	scratch := make([]biotaScratch, pool.Width(pl.Workers, days))
+	err := pool.RunIndexed(pl.Workers, days, func(worker, d int) error {
+		st := &scratch[worker]
+		if st.counts == nil {
+			st.counts = make([]int, len(house.Zones))
+			st.costs = make([]solver.CostFn, len(house.Occupants))
+			st.ctbls = make([][]float64, len(house.Occupants))
+		}
+		for o := range st.costs {
+			st.costs[o] = pl.surfaceFor(d, o, &st.ctbls[o])
 		}
 		for t := 0; t < aras.SlotsPerDay; t++ {
+			counts := st.counts
 			for z := range counts {
 				counts[z] = 0
 			}
 			for o := range house.Occupants {
-				cost := costs[o]
+				cost := st.costs[o]
 				actual := pl.Trace.Days[d].Zone[o][t]
 				bestZone, bestCost := actual, cost(t, actual)
 				for _, z := range zones {
@@ -498,6 +560,10 @@ func (pl *Planner) PlanBIoTA() (*Plan, error) {
 				p.setReport(pl.Trace, d, o, t, bestZone)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return p, nil
 }

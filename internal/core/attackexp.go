@@ -109,36 +109,17 @@ func (s *Suite) TableV() ([]TableVRow, error) {
 	results := make([]measurement, len(cells))
 	err := s.runCells(len(cells), func(i int) error {
 		c := cells[i]
-		defender, err := s.trainADM(c.house, c.alg, false)
-		if err != nil {
-			return err
+		spec := campaignSpec{
+			House:    c.house,
+			Strategy: c.framework,
+			Cap:      attack.Full(s.trace(c.house).House),
 		}
-		var (
-			plan *attack.Plan
-			opts attack.EvalOptions
-		)
-		switch c.framework {
-		case "BIoTA":
-			pl := s.planner(c.house, nil, attack.Full(s.trace(c.house).House))
-			plan, err = pl.PlanBIoTA()
-		default:
-			var attacker *adm.Model
-			attacker, err = s.trainADM(c.house, c.alg, c.partial)
-			if err != nil {
-				return err
-			}
-			pl := s.planner(c.house, attacker, attack.Full(s.trace(c.house).House))
-			if c.framework == "Greedy" {
-				plan, err = pl.PlanGreedy()
-			} else {
-				plan, err = pl.PlanSHATTER()
-			}
-			opts.AbortDetectedDays = true
+		abort := false
+		if c.framework != "BIoTA" {
+			spec.Alg, spec.Partial = c.alg, c.partial
+			abort = true // a flagged vector's impact does not materialise
 		}
-		if err != nil {
-			return err
-		}
-		imp, err := s.evaluateImpact(c.house, plan, defender, opts)
+		imp, err := s.impactFor(spec, c.alg, false, abort)
 		if err != nil {
 			return err
 		}
@@ -191,24 +172,17 @@ func (s *Suite) Fig10() ([]Fig10Result, error) {
 }
 
 // triggerImpact measures the triggering stage's contribution under a
-// capability. The SHATTER plan is built fresh per call (it is mutated by the
-// triggering stage); the attacker model and benign leg come from the cache.
-func (s *Suite) triggerImpact(house string, cap attack.Capability) (*Fig10Result, error) {
-	attacker, err := s.trainADM(house, adm.DBSCAN, false)
+// capability. Both legs — the SHATTER plan without triggering and the
+// triggered copy — are memoized campaigns evaluated through the impact
+// cache against the same DBSCAN attacker-as-defender.
+func (s *Suite) triggerImpact(house string, capability attack.Capability) (*Fig10Result, error) {
+	spec := campaignSpec{House: house, Strategy: "SHATTER", Alg: adm.DBSCAN, Cap: capability}
+	noTrig, err := s.impactFor(spec, adm.DBSCAN, false, false)
 	if err != nil {
 		return nil, err
 	}
-	pl := s.planner(house, attacker, cap)
-	plan, err := pl.PlanSHATTER()
-	if err != nil {
-		return nil, err
-	}
-	noTrig, err := s.evaluateImpact(house, plan, attacker, attack.EvalOptions{})
-	if err != nil {
-		return nil, err
-	}
-	attack.TriggerAppliances(s.trace(house), plan, attacker, cap)
-	withTrig, err := s.evaluateImpact(house, plan, attacker, attack.EvalOptions{})
+	spec.Trigger = true
+	withTrig, err := s.impactFor(spec, adm.DBSCAN, false, false)
 	if err != nil {
 		return nil, err
 	}

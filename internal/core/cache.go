@@ -33,13 +33,15 @@ type artifactCache struct {
 
 // artifactKey identifies one artifact. kind discriminates the artifact
 // family; house (a scenario ID), alg, and n cover every family's parameters
-// (n holds training days, occupant index, or a boolean flag as 0/1
-// depending on kind).
+// (n holds training days, occupant index, or boolean flags packed as bits
+// depending on kind); extra carries the open-ended component of plan and
+// impact keys (strategy plus capability signature) and is empty elsewhere.
 type artifactKey struct {
 	kind  artifactKind
 	house string
 	alg   adm.Algorithm
 	n     int
+	extra string
 }
 
 type artifactKind uint8
@@ -51,6 +53,8 @@ const (
 	artifactTruth                             // (house) → *attack.Plan
 	artifactEpisodes                          // (house, n=occupant<<1|partial) → []adm.LabeledEpisode
 	artifactCostTable                         // (house, n=occupant<<16|day) → []float64
+	artifactPlan                              // (house, alg, n=flags, extra=strategy|capSig) → *campaign
+	artifactImpact                            // (house, alg=defender, n=flags, extra=campaign sig) → attack.Impact
 )
 
 type cacheEntry struct {
@@ -245,11 +249,11 @@ func (s *Suite) buildLabeledEpisodes(house string, occupant int, partial bool) (
 	for _, e := range test.Episodes(occupant) {
 		labeled = append(labeled, adm.LabeledEpisode{Episode: e})
 	}
-	cap := attack.Full(test.House)
+	capability := attack.Full(test.House)
 	if partial {
-		cap.SlotAllowed = func(slot int) bool { return (slot/60)%2 == 0 }
+		capability.SlotAllowed = func(slot int) bool { return (slot/60)%2 == 0 }
 	}
-	pl := s.planner(house, nil, cap)
+	pl := s.planner(house, nil, capability)
 	pl.Trace = test // the surface provider detects the sub-trace and opts out
 	plan, err := pl.PlanBIoTA()
 	if err != nil {

@@ -61,15 +61,17 @@ func (s *Suite) CaseStudy() (*CaseStudyResult, error) {
 	}
 	tr := s.trace(house)
 	pl := s.planner(house, model, attack.Full(tr.House))
-	greedy, err := pl.PlanGreedy()
+	spec := campaignSpec{House: house, Strategy: "Greedy", Alg: adm.KMeans, Cap: attack.Full(tr.House)}
+	greedyCamp, err := s.campaignFor(spec)
 	if err != nil {
 		return nil, fmt.Errorf("core: case study greedy: %w", err)
 	}
-	shatter, err := pl.PlanSHATTER()
+	spec.Strategy, spec.Trigger = "SHATTER", true
+	shatterCamp, err := s.campaignFor(spec)
 	if err != nil {
 		return nil, fmt.Errorf("core: case study shatter: %w", err)
 	}
-	attack.TriggerAppliances(tr, shatter, model, attack.Full(tr.House))
+	greedy, shatter := greedyCamp.plan, shatterCamp.plan
 
 	occ := len(tr.House.Occupants)
 	res := &CaseStudyResult{Day: day, StartSlot: start}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/acyd-lab/shatter/internal/adm"
+	"github.com/acyd-lab/shatter/internal/attack"
 )
 
 // TestParallelMatchesSequential asserts the engine's central guarantee:
@@ -131,5 +132,92 @@ func TestRunCellsErrorPropagation(t *testing.T) {
 	s.Config.Workers = 0
 	if err := s.runCells(8, func(int) error { return nil }); err != nil {
 		t.Errorf("all-ok run returned %v", err)
+	}
+}
+
+// TestCampaignCacheReuse asserts the plan-level memoization contract:
+// grid cells that share (scenario, strategy, knowledge, capability) share
+// one planned campaign; the triggered variant is a distinct cached entry
+// built from the untriggered plan's reported streams without re-planning;
+// impact evaluations are cached; and slot-restricted (unkeyable)
+// capabilities bypass the cache entirely.
+func TestCampaignCacheReuse(t *testing.T) {
+	s := testSuite(t)
+	spec := campaignSpec{
+		House:    "A",
+		Strategy: "SHATTER",
+		Alg:      adm.DBSCAN,
+		Cap:      attack.Full(s.Trace("A").House),
+	}
+	c1, err := s.campaignFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.campaignFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("same spec returned distinct campaigns (cache miss)")
+	}
+	trig := spec
+	trig.Trigger = true
+	ct, err := s.campaignFor(trig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct == c1 {
+		t.Error("triggered spec must be a distinct campaign")
+	}
+	if &ct.plan.RepZone[0][0][0] != &c1.plan.RepZone[0][0][0] {
+		t.Error("triggered campaign should share the untriggered reported streams (clone, not re-plan)")
+	}
+	if c1.plan.TriggeredSlots() != 0 {
+		t.Error("untriggered cache entry was mutated by the triggering stage")
+	}
+	if ct.triggered == 0 || ct.plan.TriggeredSlots() != ct.triggered {
+		t.Errorf("triggered campaign bookkeeping: %d marked vs %d counted",
+			ct.plan.TriggeredSlots(), ct.triggered)
+	}
+
+	entries := s.CacheStats().Entries
+	imp1, err := s.impactFor(spec, adm.DBSCAN, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grew := s.CacheStats().Entries
+	if grew <= entries {
+		t.Error("first impact evaluation should add a cache entry")
+	}
+	imp2, err := s.impactFor(spec, adm.DBSCAN, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheStats().Entries != grew {
+		t.Error("repeated impact evaluation grew the cache")
+	}
+	if !reflect.DeepEqual(imp1, imp2) {
+		t.Error("cached impact diverges from the first evaluation")
+	}
+
+	// Slot-restricted capabilities carry a func and cannot be keyed: the
+	// campaign is planned fresh each call and never cached.
+	restricted := spec
+	restricted.Cap = attack.Full(s.Trace("A").House)
+	restricted.Cap.SlotAllowed = func(slot int) bool { return slot >= 600 }
+	entries = s.CacheStats().Entries
+	r1, err := s.campaignFor(restricted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.campaignFor(restricted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Error("unkeyable capability should plan fresh campaigns")
+	}
+	if s.CacheStats().Entries != entries {
+		t.Error("unkeyable campaign leaked into the cache")
 	}
 }

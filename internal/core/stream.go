@@ -102,14 +102,21 @@ func (s *Suite) openStream(sp scenario.Spec, days int, opts StreamOptions) (stre
 			cfg.Defender = defender
 		}
 		if opts.Attack {
-			cap := attack.Full(cfg.House)
-			pl := s.planner(sp.ID, defender, cap)
-			plan, err := pl.PlanSHATTER()
+			// The triggered SHATTER campaign comes from the suite cache —
+			// the same entry the scenario sweep evaluates — so a fleet
+			// that streams a previously analysed world injects its cached
+			// campaign instead of re-planning it.
+			camp, err := s.campaignFor(campaignSpec{
+				House:    sp.ID,
+				Strategy: "SHATTER",
+				Alg:      adm.DBSCAN,
+				Trigger:  true,
+				Cap:      attack.Full(cfg.House),
+			})
 			if err != nil {
 				return nil, nil, err
 			}
-			attack.TriggerAppliances(s.trace(sp.ID), plan, defender, cap)
-			inj, err := stream.NewInjector(cfg.House, plan)
+			inj, err := stream.NewInjector(cfg.House, camp.plan)
 			if err != nil {
 				return nil, nil, err
 			}

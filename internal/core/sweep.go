@@ -103,23 +103,26 @@ func (s *Suite) ScenarioSweep(specs []scenario.Spec) ([]SweepPoint, error) {
 	return points, nil
 }
 
-// sweepScenario measures one loaded scenario end to end.
+// sweepScenario measures one loaded scenario end to end. The triggered
+// SHATTER campaign and its impact come from the suite cache, so re-sweeping
+// a scenario (or sharing its campaign with the streaming fleet) reuses the
+// planned attack instead of re-planning it.
 func (s *Suite) sweepScenario(id string) (SweepPoint, error) {
 	started := time.Now()
 	tr := s.trace(id)
 	house := tr.House
-	defender, err := s.trainADM(id, adm.DBSCAN, false)
+	spec := campaignSpec{
+		House:    id,
+		Strategy: "SHATTER",
+		Alg:      adm.DBSCAN,
+		Trigger:  true,
+		Cap:      attack.Full(house),
+	}
+	camp, err := s.campaignFor(spec)
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	cap := attack.Full(house)
-	pl := s.planner(id, defender, cap)
-	plan, err := pl.PlanSHATTER()
-	if err != nil {
-		return SweepPoint{}, err
-	}
-	triggered := attack.TriggerAppliances(tr, plan, defender, cap)
-	imp, err := s.evaluateImpact(id, plan, defender, attack.EvalOptions{})
+	imp, err := s.impactFor(spec, adm.DBSCAN, false, false)
 	if err != nil {
 		return SweepPoint{}, err
 	}
@@ -132,9 +135,9 @@ func (s *Suite) sweepScenario(id string) (SweepPoint, error) {
 		AttackedUSD:       imp.Attacked.TotalCostUSD,
 		ExtraUSD:          imp.ExtraCostUSD,
 		DetectionRate:     imp.DetectionRate,
-		InjectedSlots:     plan.InjectedSlots(tr),
-		TriggeredSlots:    triggered,
-		InfeasibleWindows: plan.InfeasibleWindows,
+		InjectedSlots:     camp.plan.InjectedSlots(tr),
+		TriggeredSlots:    camp.triggered,
+		InfeasibleWindows: camp.plan.InfeasibleWindows,
 		Elapsed:           time.Since(started),
 	}, nil
 }

@@ -58,6 +58,10 @@ type Sim struct {
 	slot    int // slot-of-day, 0..SlotsPerDay-1
 	peakKWh float64
 	view    stepView
+	// curIn stages the in-flight StepInput for the controller view; pointing
+	// the view at this field instead of the Step parameter keeps the
+	// parameter on the stack (zero allocations per slot).
+	curIn StepInput
 }
 
 // NewSim validates the parameters and returns a simulator positioned at
@@ -126,7 +130,8 @@ func (s *Sim) Step(in StepInput) SlotReport {
 		OutdoorCO2PPM: in.OutdoorCO2PPM,
 		ZoneCO2PPM:    s.zoneCO2,
 	}
-	s.view.in = &in
+	s.curIn = in
+	s.view.in = &s.curIn
 	demands := s.ctrl.Plan(s.house, &s.view, d, t, cond)
 	s.view.in = nil
 	// Energy: coil on the fresh/return mix (Eq 3) plus fan power.

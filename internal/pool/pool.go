@@ -1,8 +1,9 @@
-// Package pool is the bounded worker pool the experiment engine and the
-// streaming fleet share: Run executes independent cells across a fixed
-// number of goroutines with first-error-wins semantics. Keeping one
-// implementation keeps the subtle cancellation/first-error bookkeeping
-// identical everywhere it is relied on for determinism.
+// Package pool is the bounded worker pool the experiment engine, the
+// attack planner, and the streaming fleet share: Run executes independent
+// cells across a fixed number of goroutines with first-error-wins
+// semantics. Keeping one implementation keeps the subtle
+// cancellation/first-error bookkeeping identical everywhere it is relied
+// on for determinism.
 package pool
 
 import (
@@ -10,6 +11,23 @@ import (
 	"sync"
 	"sync/atomic"
 )
+
+// Width resolves the effective worker count Run and RunIndexed use for a
+// w-wide pool over n cells: w <= 0 selects one worker per available CPU,
+// and the result is clamped to [1, max(n, 1)]. Callers that allocate
+// per-worker scratch size it with Width so the scratch matches the pool.
+func Width(w, n int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // Run executes fn(i) for every index in [0, n) across at most w workers.
 // w <= 0 selects one worker per available CPU; the width is then clamped
@@ -23,15 +41,19 @@ import (
 // fails, no new cells start, and the error reported is the one from the
 // lowest-indexed failed cell that ran.
 func Run(w, n int, fn func(i int) error) error {
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
+	return RunIndexed(w, n, func(_, i int) error { return fn(i) })
+}
+
+// RunIndexed is Run with the worker index (in [0, Width(w, n))) passed to
+// fn, so cells can address per-worker scratch — reusable buffers each
+// goroutine owns for its whole run — without synchronisation. The
+// determinism contract is unchanged: scratch must only carry state that
+// does not alter cell results (workspaces, grow-on-demand tables).
+func RunIndexed(w, n int, fn func(worker, i int) error) error {
+	w = Width(w, n)
+	if w <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -47,14 +69,14 @@ func Run(w, n int, fn func(i int) error) error {
 	)
 	for g := 0; g < w; g++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					mu.Lock()
 					if i < errIdx {
 						errIdx, firstErr = i, err
@@ -63,7 +85,7 @@ func Run(w, n int, fn func(i int) error) error {
 					failed.Store(true)
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	return firstErr

@@ -1,0 +1,51 @@
+// Package profiling is the tiny pprof harness the CLI front-ends share:
+// one call wires the -cpuprofile/-memprofile flags so perf work on any
+// command starts from a profile, not a guess.
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile (after
+// a final GC) to memPath (when non-empty). Either path may be empty; the
+// stop function is always non-nil and safe to defer. Profile-write
+// failures are reported on stderr rather than failing the command — the
+// run's real output is the product, the profile a diagnostic.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				os.Stderr.WriteString("profiling: cpu profile: " + err.Error() + "\n")
+			}
+		}
+		if memPath == "" {
+			return
+		}
+		memFile, err := os.Create(memPath)
+		if err != nil {
+			os.Stderr.WriteString("profiling: heap profile: " + err.Error() + "\n")
+			return
+		}
+		defer memFile.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			os.Stderr.WriteString("profiling: heap profile: " + err.Error() + "\n")
+		}
+	}, nil
+}

@@ -7,7 +7,10 @@
 // Two engines solve the same window problem:
 //
 //   - OptimizeWindow: an exact dynamic program over (slot, zone, arrival)
-//     states — polynomial, used for the month-scale evaluations.
+//     states — polynomial, used for the month-scale evaluations. It runs
+//     either against the general Oracle interface or, on the attack
+//     planner's hot path, directly against a tabulated StayBands oracle
+//     (OptimizeWindowBands) with no per-query dispatch.
 //   - BranchAndBound: an exhaustive joint search with optional bound
 //     pruning — exponential in the horizon, mirroring the paper's SMT
 //     solving profile; it powers the Fig 11 scalability study and
@@ -68,7 +71,11 @@ type Window struct {
 
 // Schedule is a solved window.
 type Schedule struct {
-	// Zones[i] is the reported zone during slot StartSlot+i.
+	// Zones[i] is the reported zone during slot StartSlot+i. When the
+	// window was solved through a caller-supplied Workspace, the slice is
+	// backed by that workspace and valid only until its next
+	// OptimizeWindowWS/OptimizeWindowBands call — chained solvers consume
+	// it before solving the next window.
 	Zones []home.ZoneID
 	// EndZone and EndArrival carry the stay state into the next window.
 	EndZone    home.ZoneID
@@ -99,32 +106,189 @@ func (w Window) validate() error {
 
 // Workspace holds the DP state tables for OptimizeWindow so chained window
 // optimisations (the attack planner solves ~144 windows per occupant-day)
-// reuse one allocation instead of rebuilding the tables per call. A zero
-// Workspace is ready to use; it grows to the largest window seen. Not safe
-// for concurrent use — give each goroutine its own.
+// reuse one allocation instead of rebuilding the tables per call. Cells are
+// epoch-stamped: starting a window bumps the epoch instead of refilling the
+// value table with -inf, so a solve touches only the states it actually
+// reaches. A zero Workspace is ready to use; it grows to the largest window
+// seen. Not safe for concurrent use — give each goroutine its own.
 type Workspace struct {
-	value  []float64
-	choice []int32
+	value    []float64
+	choice   []int32
+	stamp    []uint32
+	epoch    uint32
+	zones    []home.ZoneID
+	zoneBase []int
 }
 
-// ensure sizes the flattened (t, z, a) tables and resets them.
+// ensure sizes the flattened (t, z, a) tables and opens a new epoch; every
+// cell whose stamp predates the epoch reads as unset (-inf).
 func (ws *Workspace) ensure(cells int) {
 	if cap(ws.value) < cells {
 		ws.value = make([]float64, cells)
 		ws.choice = make([]int32, cells)
+		ws.stamp = make([]uint32, cells)
+		ws.epoch = 0
 	}
 	ws.value = ws.value[:cells]
 	ws.choice = ws.choice[:cells]
-	negInf := math.Inf(-1)
-	for i := range ws.value {
-		ws.value[i] = negInf
-		ws.choice[i] = -1
+	ws.stamp = ws.stamp[:cells]
+	ws.epoch++
+	if ws.epoch == 0 {
+		// Stamp wrap-around (once per 2³² windows): old stamps could alias
+		// the restarted epoch, so clear them and start over.
+		s := ws.stamp[:cap(ws.stamp)]
+		for i := range s {
+			s[i] = 0
+		}
+		ws.epoch = 1
 	}
+}
+
+// zonesBuf returns the reusable Schedule.Zones backing array.
+func (ws *Workspace) zonesBuf(n int) []home.ZoneID {
+	if cap(ws.zones) < n {
+		ws.zones = make([]home.ZoneID, n)
+	}
+	return ws.zones[:n]
+}
+
+// zoneBaseBuf returns the reusable per-window zone→table-row scratch used
+// by the tabulated-oracle pass.
+func (ws *Workspace) zoneBaseBuf(n int) []int {
+	if cap(ws.zoneBase) < n {
+		ws.zoneBase = make([]int, n)
+	}
+	return ws.zoneBase[:n]
+}
+
+// set records an improved value for cell i under the current epoch.
+func (ws *Workspace) set(i int, v float64, c int32) {
+	ws.value[i] = v
+	ws.choice[i] = c
+	ws.stamp[i] = ws.epoch
+}
+
+// live reports whether cell i holds a value for the current window.
+func (ws *Workspace) live(i int) bool { return ws.stamp[i] == ws.epoch }
+
+// dp carries one window solve's indexing state, shared between the two
+// forward-pass variants (interface oracle and tabulated bands) and the
+// common terminal selection/reconstruction.
+type dp struct {
+	ws      *Workspace
+	w       Window
+	nZ, nA  int
+	startZI int
+}
+
+const (
+	actStay = 0
+	actMove = 1
+)
+
+// start validates the window, opens a workspace epoch, and seeds the start
+// state.
+func (d *dp) start(ws *Workspace, w Window) error {
+	if err := w.validate(); err != nil {
+		return err
+	}
+	d.ws, d.w = ws, w
+	d.nA = w.Length + 1
+	d.nZ = len(w.Zones)
+	d.startZI = -1
+	for i, z := range w.Zones {
+		if z == w.StartZone {
+			d.startZI = i
+			break
+		}
+	}
+	if d.startZI < 0 {
+		return errors.New("solver: StartZone not in Zones")
+	}
+	// value[(t*nZ+z)*nA+a]: best cost over slots [0, t) ending in state
+	// (z, a) before slot t; choice encodes the predecessor (z, a) and action.
+	ws.ensure((w.Length + 1) * d.nZ * d.nA)
+	ws.set(d.idx(0, d.startZI, 0), 0, -1)
+	return nil
+}
+
+// arrivalSlot maps arrival index 0 to StartArrival and 1+i to arrival at
+// StartSlot+i.
+func (d *dp) arrivalSlot(aIdx int) int {
+	if aIdx == 0 {
+		return d.w.StartArrival
+	}
+	return d.w.StartSlot + aIdx - 1
+}
+
+func (d *dp) idx(t, z, a int) int { return (t*d.nZ+z)*d.nA + a }
+
+func (d *dp) encode(z, a, action int) int32 { return int32(action*d.nZ*d.nA + z*d.nA + a) }
+
+func (d *dp) decode(c int32) (z, a int) {
+	rem := int(c) % (d.nZ * d.nA)
+	return rem / d.nA, rem % d.nA
+}
+
+// finish picks the best terminal state (scored with the lookahead bonus,
+// which is excluded from the reported Value) and reconstructs the schedule
+// into the workspace's zones buffer.
+func (d *dp) finish(st Stats) (Schedule, Stats, error) {
+	w, ws := d.w, d.ws
+	negInf := math.Inf(-1)
+	bestV, bestScore, bestZ, bestA := negInf, negInf, -1, -1
+	for z := 0; z < d.nZ; z++ {
+		for a := 0; a < d.nA; a++ {
+			i := d.idx(w.Length, z, a)
+			if !ws.live(i) {
+				continue
+			}
+			tv := ws.value[i]
+			if w.TerminalOK != nil && !w.TerminalOK(w.Zones[z], d.arrivalSlot(a)) {
+				continue
+			}
+			score := tv
+			if w.TerminalBonus != nil {
+				score += w.TerminalBonus(w.Zones[z], d.arrivalSlot(a))
+			}
+			if score > bestScore {
+				bestScore = score
+				bestV, bestZ, bestA = tv, z, a
+			}
+		}
+	}
+	zones := ws.zonesBuf(w.Length)
+	if bestZ < 0 {
+		// No feasible schedule: hold the start zone (flagged infeasible).
+		for i := range zones {
+			zones[i] = w.StartZone
+		}
+		return Schedule{
+			Zones:      zones,
+			EndZone:    w.StartZone,
+			EndArrival: w.StartArrival,
+			Feasible:   false,
+		}, st, nil
+	}
+	// Reconstruct.
+	z, a := bestZ, bestA
+	for t := w.Length; t > 0; t-- {
+		zones[t-1] = w.Zones[z]
+		z, a = d.decode(ws.choice[d.idx(t, z, a)])
+	}
+	return Schedule{
+		Zones:      zones,
+		EndZone:    w.Zones[bestZ],
+		EndArrival: d.arrivalSlot(bestA),
+		Value:      bestV,
+		Feasible:   true,
+	}, st, nil
 }
 
 // OptimizeWindow solves the window with an exact dynamic program, allocating
 // fresh DP state. Hot paths that solve many windows should use
-// OptimizeWindowWS with a reused Workspace.
+// OptimizeWindowWS with a reused Workspace (or OptimizeWindowBands against a
+// tabulated oracle).
 func OptimizeWindow(w Window, oracle Oracle, cost CostFn, allowed AllowedFn) (Schedule, Stats, error) {
 	var ws Workspace
 	return OptimizeWindowWS(&ws, w, oracle, cost, allowed)
@@ -138,37 +302,11 @@ func OptimizeWindow(w Window, oracle Oracle, cost CostFn, allowed AllowedFn) (Sc
 // InRangeStay(a, t−a)) into a zone z' that is allowed at t and has cluster
 // coverage at arrival t.
 func OptimizeWindowWS(ws *Workspace, w Window, oracle Oracle, cost CostFn, allowed AllowedFn) (Schedule, Stats, error) {
-	if err := w.validate(); err != nil {
+	var d dp
+	if err := d.start(ws, w); err != nil {
 		return Schedule{}, Stats{}, err
 	}
 	var st Stats
-	// Arrival index 0 = StartArrival; 1+i = arrival at StartSlot+i.
-	arrivalSlot := func(aIdx int) int {
-		if aIdx == 0 {
-			return w.StartArrival
-		}
-		return w.StartSlot + aIdx - 1
-	}
-	nA := w.Length + 1
-	nZ := len(w.Zones)
-	startZI := -1
-	for i, z := range w.Zones {
-		if z == w.StartZone {
-			startZI = i
-			break
-		}
-	}
-	if startZI < 0 {
-		return Schedule{}, st, errors.New("solver: StartZone not in Zones")
-	}
-
-	negInf := math.Inf(-1)
-	// value[(t*nZ+z)*nA+a]: best cost over slots [0, t) ending in state
-	// (z, a) before slot t; choice encodes the predecessor (z, a) and action.
-	ws.ensure((w.Length + 1) * nZ * nA)
-	value, choice := ws.value, ws.choice
-	idx := func(t, z, a int) int { return (t*nZ+z)*nA + a }
-	value[idx(0, startZI, 0)] = 0
 
 	// startLenient: the inherited stay may itself lack cluster coverage
 	// (real behaviour can be anomalous). The attacker then reports truth
@@ -176,28 +314,18 @@ func OptimizeWindowWS(ws *Workspace, w Window, oracle Oracle, cost CostFn, allow
 	// and exit from an uncovered start state.
 	_, startCovered := oracle.MaxStay(w.Occupant, w.StartZone, w.StartArrival)
 
-	encode := func(z, a, action int) int32 { return int32(action*nZ*nA + z*nA + a) }
-	decode := func(c int32) (z, a, action int) {
-		action = int(c) / (nZ * nA)
-		rem := int(c) % (nZ * nA)
-		return rem / nA, rem % nA, action
-	}
-	const (
-		actStay = 0
-		actMove = 1
-	)
-
 	for t := 0; t < w.Length; t++ {
 		abs := w.StartSlot + t
-		for z := 0; z < nZ; z++ {
-			for a := 0; a < nA; a++ {
-				v := value[idx(t, z, a)]
-				if v == negInf {
+		for z := 0; z < d.nZ; z++ {
+			for a := 0; a < d.nA; a++ {
+				i := d.idx(t, z, a)
+				if !ws.live(i) {
 					continue
 				}
+				v := ws.value[i]
 				st.NodesExpanded++
 				zone := w.Zones[z]
-				arr := arrivalSlot(a)
+				arr := d.arrivalSlot(a)
 				dur := abs - arr // completed stay so far
 				// Action 1: stay for slot t (new duration dur+1).
 				maxStay, covered := oracle.MaxStay(w.Occupant, zone, arr)
@@ -205,25 +333,24 @@ func OptimizeWindowWS(ws *Workspace, w Window, oracle Oracle, cost CostFn, allow
 				switch {
 				case covered:
 					canStay = dur+1 <= maxStay
-				case z == startZI && a == 0 && !startCovered:
+				case z == d.startZI && a == 0 && !startCovered:
 					canStay = true // lenient inherited stay
 				}
 				if canStay && allowed(abs, zone) {
 					nv := v + cost(abs, zone)
-					if ni := idx(t+1, z, a); nv > value[ni] {
-						value[ni] = nv
-						choice[ni] = encode(z, a, actStay)
+					if ni := d.idx(t+1, z, a); !ws.live(ni) || nv > ws.value[ni] {
+						ws.set(ni, nv, d.encode(z, a, actStay))
 					}
 				}
 				// Action 2: exit now (stay = dur) and occupy z' for slot t.
 				exitOK := oracle.InRangeStay(w.Occupant, zone, arr, dur)
-				if z == startZI && a == 0 && !startCovered {
+				if z == d.startZI && a == 0 && !startCovered {
 					exitOK = true
 				}
 				if !exitOK || dur < 1 {
 					continue
 				}
-				for z2 := 0; z2 < nZ; z2++ {
+				for z2 := 0; z2 < d.nZ; z2++ {
 					if z2 == z {
 						continue
 					}
@@ -238,63 +365,12 @@ func OptimizeWindowWS(ws *Workspace, w Window, oracle Oracle, cost CostFn, allow
 					}
 					nv := v + cost(abs, zone2)
 					aIdx := t + 1 // arrival at abs
-					if ni := idx(t+1, z2, aIdx); nv > value[ni] {
-						value[ni] = nv
-						choice[ni] = encode(z, a, actMove)
+					if ni := d.idx(t+1, z2, aIdx); !ws.live(ni) || nv > ws.value[ni] {
+						ws.set(ni, nv, d.encode(z, a, actMove))
 					}
 				}
 			}
 		}
 	}
-
-	// Pick the best terminal state (scored with the lookahead bonus, which
-	// is excluded from the reported Value).
-	bestV, bestScore, bestZ, bestA := negInf, negInf, -1, -1
-	for z := 0; z < nZ; z++ {
-		for a := 0; a < nA; a++ {
-			tv := value[idx(w.Length, z, a)]
-			if tv == negInf {
-				continue
-			}
-			if w.TerminalOK != nil && !w.TerminalOK(w.Zones[z], arrivalSlot(a)) {
-				continue
-			}
-			score := tv
-			if w.TerminalBonus != nil {
-				score += w.TerminalBonus(w.Zones[z], arrivalSlot(a))
-			}
-			if score > bestScore {
-				bestScore = score
-				bestV, bestZ, bestA = tv, z, a
-			}
-		}
-	}
-	if bestZ < 0 {
-		// No feasible schedule: hold the start zone (flagged infeasible).
-		zones := make([]home.ZoneID, w.Length)
-		for i := range zones {
-			zones[i] = w.StartZone
-		}
-		return Schedule{
-			Zones:      zones,
-			EndZone:    w.StartZone,
-			EndArrival: w.StartArrival,
-			Feasible:   false,
-		}, st, nil
-	}
-	// Reconstruct.
-	zones := make([]home.ZoneID, w.Length)
-	z, a := bestZ, bestA
-	for t := w.Length; t > 0; t-- {
-		zones[t-1] = w.Zones[z]
-		pz, pa, _ := decode(choice[idx(t, z, a)])
-		z, a = pz, pa
-	}
-	return Schedule{
-		Zones:      zones,
-		EndZone:    w.Zones[bestZ],
-		EndArrival: arrivalSlot(bestA),
-		Value:      bestV,
-		Feasible:   true,
-	}, st, nil
+	return d.finish(st)
 }

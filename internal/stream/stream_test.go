@@ -396,3 +396,48 @@ func TestInjectionLedgerIsPerOccupant(t *testing.T) {
 			h.res.Injected, h.res.Flagged, h.res.DetectedDays, h.res)
 	}
 }
+
+// TestStreamSlotZeroAllocsSteadyState is the allocation-regression gate for
+// the per-slot streaming path: once a benign home's pipeline is warm, a
+// TraceSource frame pull plus its Ingest (injector-less, detector-less)
+// allocates nothing, and attaching the online detector stays within a small
+// per-slot budget (episode closes allocate their verdict bookkeeping).
+func TestStreamSlotZeroAllocsSteadyState(t *testing.T) {
+	const days = 3
+	tr, model := testWorld(t, "A", days, 2)
+	params := hvac.DefaultParams()
+	pricing := hvac.DefaultPricing()
+
+	measure := func(defender *adm.Model) float64 {
+		h, err := NewHome(HomeConfig{ID: "A", House: tr.House, Params: params, Pricing: pricing, Defender: defender})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := NewTraceSource("A", tr)
+		var s Slot
+		// Warm one full day so the frame buffers, controller scratch, and
+		// detector state reach steady state.
+		for i := 0; i < aras.SlotsPerDay; i++ {
+			if err := src.Next(&s); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.Ingest(&s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(1000, func() {
+			if err := src.Next(&s); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.Ingest(&s); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if allocs := measure(nil); allocs != 0 {
+		t.Errorf("benign slot path: %.2f allocs/slot after warm-up, want 0", allocs)
+	}
+	if allocs := measure(model); allocs > 1 {
+		t.Errorf("defended slot path: %.2f allocs/slot after warm-up, budget 1", allocs)
+	}
+}
