@@ -3,9 +3,12 @@
 // stats, cache effectiveness) for tracking the performance trajectory
 // across PRs. Alongside the per-table experiments it measures a
 // scenario_sweep series (the full pipeline over registry archetypes and
-// procedural homes up to 12 zones / 4 occupants) and a stream_fleet
+// procedural homes up to 12 zones / 4 occupants), a stream_fleet
 // series: the incremental streaming runtime driving a procedurally
-// generated fleet concurrently, reporting homes/sec and events/sec.
+// generated fleet concurrently, reporting homes/sec and events/sec — and a
+// stream_fleet_chaos series, the same fleet under the supervised
+// fault-injection path (seeded chaos, checkpointed retries), which prices
+// the resilience layer against the clean run.
 //
 // Usage:
 //
@@ -61,12 +64,17 @@ type Report struct {
 	Experiments  []Measurement `json:"experiments"`
 	// StreamFleet is the stream_fleet series' aggregate: homes/sec and
 	// events/sec for FleetHomes homes streaming FleetDays days each.
-	FleetHomes   int                `json:"fleet_homes"`
-	FleetDays    int                `json:"fleet_days"`
-	StreamFleet  *stream.FleetStats `json:"stream_fleet,omitempty"`
-	ADMTrainings int64              `json:"adm_trainings"`
-	CacheEntries int                `json:"cache_entries"`
-	TotalNS      int64              `json:"total_ns"`
+	FleetHomes  int                `json:"fleet_homes"`
+	FleetDays   int                `json:"fleet_days"`
+	StreamFleet *stream.FleetStats `json:"stream_fleet,omitempty"`
+	// StreamFleetChaos is the stream_fleet_chaos series' aggregate: the
+	// same fleet under the supervised fault-injection path (seeded chaos,
+	// checkpointed retries), reporting the resilience counters alongside
+	// throughput.
+	StreamFleetChaos *stream.FleetStats `json:"stream_fleet_chaos,omitempty"`
+	ADMTrainings     int64              `json:"adm_trainings"`
+	CacheEntries     int                `json:"cache_entries"`
+	TotalNS          int64              `json:"total_ns"`
 }
 
 func main() {
@@ -148,6 +156,33 @@ func run(args []string) error {
 			report.FleetHomes = *fleetHomes
 			report.FleetDays = *fleetDays
 			report.StreamFleet = &res.Stats
+			return nil
+		}},
+		{"stream_fleet_chaos", func() error {
+			// The same fleet under the supervised fault path: a seeded chaos
+			// schedule perturbs every home's transport, failed homes retry
+			// from day-boundary checkpoints, and the stats record how much
+			// resilience work (retries, restores) the faults induced. The
+			// delta against stream_fleet prices the supervision layer.
+			dir, err := os.MkdirTemp("", "shatter-bench-ckpt-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			res, err := s.Stream(scenario.SynthFleet(*fleetHomes, cfg.Seed), core.StreamOptions{
+				Days:          *fleetDays,
+				Recover:       true,
+				CheckpointDir: dir,
+				Chaos: &stream.FaultConfig{
+					Seed: cfg.Seed, Drop: 0.0002, Duplicate: 0.0004, Delay: 0.0003,
+					Corrupt: 0.0001, Truncate: 0.0001, Disconnect: 0.00005,
+					MaxDelay: 100 * time.Microsecond,
+				},
+			})
+			if err != nil {
+				return err
+			}
+			report.StreamFleetChaos = &res.Stats
 			return nil
 		}},
 	}

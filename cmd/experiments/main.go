@@ -7,6 +7,8 @@
 //	            [-only fig3,tableV,...] [-suite A,B,...] [-scenarios list]
 //	            [-stream list|N] [-stream-days N] [-stream-mqtt]
 //	            [-stream-defend] [-stream-attack]
+//	            [-stream-chaos spec] [-stream-checkpoint-dir D]
+//	            [-stream-retries N] [-stream-failfast]
 //	            [-cpuprofile F] [-memprofile F]
 //
 // -quick runs a reduced 12-day configuration for a fast smoke pass.
@@ -26,6 +28,15 @@
 // live SHATTER campaign, and -stream-mqtt routes every home's frames
 // through an in-process MQTT broker with a fleet-wide home/+/sensor
 // monitor.
+// -stream-chaos turns on the fault-tolerant supervisor and injects a
+// deterministic fault schedule into every home's transport. The spec is a
+// comma-separated k=v list: drop, dup, delay, corrupt, trunc and disc set
+// per-frame fault probabilities; seed picks the schedule; maxdelay bounds
+// injected latency (duration syntax); clean is the first fault-free
+// attempt (e.g. "drop=0.001,dup=0.002,seed=7,maxdelay=1ms"). Failed homes
+// retry from their last checkpoint (-stream-checkpoint-dir persists the
+// checkpoints) up to -stream-retries attempts before quarantine;
+// -stream-failfast aborts the fleet on the first quarantine instead.
 // -cpuprofile / -memprofile write pprof profiles of the selected
 // experiments, so performance work on the suite starts from a profile.
 package main
@@ -42,6 +53,7 @@ import (
 	"github.com/acyd-lab/shatter/internal/mqtt"
 	"github.com/acyd-lab/shatter/internal/profiling"
 	"github.com/acyd-lab/shatter/internal/scenario"
+	"github.com/acyd-lab/shatter/internal/stream"
 )
 
 func main() {
@@ -66,6 +78,10 @@ func run(args []string) error {
 	streamMQTT := fs.Bool("stream-mqtt", false, "route fleet frames through an in-process MQTT broker")
 	streamDefend := fs.Bool("stream-defend", false, "attach the online ADM detector to every fleet home")
 	streamAttack := fs.Bool("stream-attack", false, "inject a live SHATTER campaign into every fleet home")
+	streamChaos := fs.String("stream-chaos", "", "supervised fleet under injected faults: k=v list (drop,dup,delay,corrupt,trunc,disc,seed,maxdelay,clean)")
+	streamCkptDir := fs.String("stream-checkpoint-dir", "", "persist per-home day-boundary checkpoints in this directory")
+	streamRetries := fs.Int("stream-retries", 0, "retry budget per failed home (0 = default, negative = no retries)")
+	streamFailFast := fs.Bool("stream-failfast", false, "abort the fleet on the first quarantined home")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	if err := fs.Parse(args); err != nil {
@@ -183,7 +199,21 @@ func run(args []string) error {
 		}
 	}
 	if len(streamSpecs) > 0 && sel("stream") {
-		opts := core.StreamOptions{Days: *streamDays, Defend: *streamDefend, Attack: *streamAttack}
+		opts := core.StreamOptions{
+			Days: *streamDays, Defend: *streamDefend, Attack: *streamAttack,
+			MaxRetries: *streamRetries, FailFast: *streamFailFast,
+			CheckpointDir: *streamCkptDir,
+		}
+		if *streamChaos != "" {
+			cfg, err := parseChaos(*streamChaos)
+			if err != nil {
+				return err
+			}
+			opts.Chaos, opts.Recover = cfg, true
+		}
+		if opts.CheckpointDir != "" || opts.MaxRetries != 0 {
+			opts.Recover = true
+		}
 		if err := printStream(s, streamSpecs, opts, *streamMQTT); err != nil {
 			return err
 		}
@@ -229,6 +259,51 @@ func parseSweepSpecs(list string, seed uint64) ([]scenario.Spec, error) {
 		specs = append(specs, sp)
 	}
 	return specs, nil
+}
+
+// parseChaos resolves the -stream-chaos spec, a comma-separated k=v list
+// of fault probabilities and schedule knobs.
+func parseChaos(spec string) (*stream.FaultConfig, error) {
+	cfg := &stream.FaultConfig{}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -stream-chaos entry %q (want k=v)", entry)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "drop":
+			cfg.Drop, err = strconv.ParseFloat(val, 64)
+		case "dup", "duplicate":
+			cfg.Duplicate, err = strconv.ParseFloat(val, 64)
+		case "delay":
+			cfg.Delay, err = strconv.ParseFloat(val, 64)
+		case "corrupt":
+			cfg.Corrupt, err = strconv.ParseFloat(val, 64)
+		case "trunc", "truncate":
+			cfg.Truncate, err = strconv.ParseFloat(val, 64)
+		case "disc", "disconnect":
+			cfg.Disconnect, err = strconv.ParseFloat(val, 64)
+		case "maxdelay":
+			cfg.MaxDelay, err = time.ParseDuration(val)
+		case "clean":
+			cfg.CleanAttempt, err = strconv.Atoi(val)
+		default:
+			return nil, fmt.Errorf("unknown -stream-chaos key %q (known: seed, drop, dup, delay, corrupt, trunc, disc, maxdelay, clean)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bad -stream-chaos value %q: %v", entry, err)
+		}
+	}
+	return cfg, nil
 }
 
 // parseStreamSpecs resolves the -stream argument: a bare integer N fans out
@@ -286,6 +361,15 @@ func printStream(s *core.Suite, specs []scenario.Spec, opts core.StreamOptions, 
 		fmt.Printf("; bus: %d frames through the broker", st.BusFrames)
 	}
 	fmt.Println()
+	if st.Retries > 0 || st.Restores > 0 || st.Quarantined > 0 {
+		fmt.Printf("resilience: %d retries, %d checkpoint restores, %d homes quarantined\n",
+			st.Retries, st.Restores, st.Quarantined)
+		for _, o := range res.Outcomes {
+			if o.Status == stream.OutcomeQuarantined {
+				fmt.Printf("  quarantined %s after %d attempts: %s\n", o.ID, o.Attempts, o.Err)
+			}
+		}
+	}
 	fmt.Println()
 	return nil
 }

@@ -1,0 +1,83 @@
+package adm
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// StayState is the serializable form of one occupant's open episode.
+type StayState struct {
+	Open     bool                    `json:"open"`
+	Day      int                     `json:"day"`
+	Zone     home.ZoneID             `json:"zone"`
+	Start    int                     `json:"start"`
+	Last     int                     `json:"last"`
+	ActCount map[home.ActivityID]int `json:"act_count,omitempty"`
+}
+
+// EpisodizerState is the serializable snapshot of an Episodizer: each
+// occupant's in-flight stay, so a restored stream resumes segmentation
+// exactly where the interrupted one left off.
+type EpisodizerState struct {
+	Stays []StayState `json:"stays"`
+}
+
+// ErrEpisodizerRestore is returned when a snapshot cannot be applied.
+var ErrEpisodizerRestore = errors.New("adm: snapshot does not fit episodizer")
+
+// Snapshot captures the episodizer's open stays.
+func (ez *Episodizer) Snapshot() EpisodizerState {
+	st := EpisodizerState{Stays: make([]StayState, len(ez.cur))}
+	for o, s := range ez.cur {
+		ss := StayState{Open: s.open, Day: s.day, Zone: s.zone, Start: s.start, Last: s.last}
+		if s.open {
+			ss.ActCount = make(map[home.ActivityID]int, len(s.actCount))
+			for a, c := range s.actCount {
+				ss.ActCount[a] = c
+			}
+		}
+		st.Stays[o] = ss
+	}
+	return st
+}
+
+// Restore applies a snapshot to an episodizer tracking the same occupant
+// count. Open stays must carry a coherent slot window so a corrupted
+// snapshot errors instead of seeding garbage episodes.
+func (ez *Episodizer) Restore(st EpisodizerState) error {
+	if len(st.Stays) != len(ez.cur) {
+		return fmt.Errorf("%w: %d stays for %d occupants", ErrEpisodizerRestore, len(st.Stays), len(ez.cur))
+	}
+	cur := make([]stay, len(ez.cur))
+	for o, ss := range st.Stays {
+		if !ss.Open {
+			continue
+		}
+		if ss.Start < 0 || ss.Last < ss.Start || ss.Last >= aras.SlotsPerDay || ss.Day < 0 {
+			return fmt.Errorf("%w: occupant %d stay day %d slots [%d,%d]", ErrEpisodizerRestore, o, ss.Day, ss.Start, ss.Last)
+		}
+		acts := make(map[home.ActivityID]int, len(ss.ActCount))
+		for a, c := range ss.ActCount {
+			if c <= 0 {
+				return fmt.Errorf("%w: occupant %d activity %d count %d", ErrEpisodizerRestore, o, a, c)
+			}
+			acts[a] = c
+		}
+		if len(acts) == 0 {
+			return fmt.Errorf("%w: occupant %d open stay without activity counts", ErrEpisodizerRestore, o)
+		}
+		cur[o] = stay{open: true, day: ss.Day, zone: ss.Zone, start: ss.Start, last: ss.Last, actCount: acts}
+	}
+	ez.cur = cur
+	return nil
+}
+
+// Snapshot captures the detector's segmentation state (the trained model is
+// configuration, not state — a restored detector wraps the same model).
+func (d *Detector) Snapshot() EpisodizerState { return d.ez.Snapshot() }
+
+// Restore applies a segmentation snapshot; see Episodizer.Restore.
+func (d *Detector) Restore(st EpisodizerState) error { return d.ez.Restore(st) }

@@ -28,6 +28,22 @@ type StreamOptions struct {
 	// Broker, when non-empty, routes every home's frames through the MQTT
 	// broker at this address (per-home topics, fleet-wide monitor).
 	Broker string
+	// Recover enables the fault-tolerant supervisor: failed homes retry
+	// from their last checkpoint up to MaxRetries, then quarantine with a
+	// recorded error instead of aborting the fleet.
+	Recover bool
+	// MaxRetries bounds retry attempts per home; 0 takes the stream-layer
+	// default, negative disables retries.
+	MaxRetries int
+	// FailFast aborts the whole fleet on the first quarantined home even
+	// when Recover is set.
+	FailFast bool
+	// CheckpointDir persists per-home day-boundary checkpoints so retries
+	// (and later runs) resume instead of replaying from day zero.
+	CheckpointDir string
+	// Chaos injects a deterministic fault schedule into every home's
+	// transport — the resilience test harness.
+	Chaos *stream.FaultConfig
 }
 
 // Stream drives the scenario worlds as a concurrent streaming fleet: each
@@ -68,7 +84,15 @@ func (s *Suite) Stream(specs []scenario.Spec, opts StreamOptions) (stream.FleetR
 			return src, h, nil
 		}}
 	}
-	return stream.RunFleet(jobs, stream.FleetOptions{Workers: s.Config.Workers, Broker: opts.Broker})
+	return stream.RunFleet(jobs, stream.FleetOptions{
+		Workers:       s.Config.Workers,
+		Broker:        opts.Broker,
+		Recover:       opts.Recover,
+		MaxRetries:    opts.MaxRetries,
+		FailFast:      opts.FailFast,
+		CheckpointDir: opts.CheckpointDir,
+		Chaos:         opts.Chaos,
+	})
 }
 
 // openStream assembles one home's streaming pipeline on the worker that

@@ -117,6 +117,42 @@ func TestStreamDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestStreamChaosSupervisedMatchesClean drives a defended, attacked suite
+// fleet through the supervised fault path and requires the per-home results
+// to be byte-identical to the clean run — the resilience layer must change
+// the retry counters and nothing else, all the way up at the suite level.
+func TestStreamChaosSupervisedMatchesClean(t *testing.T) {
+	s, err := NewSuite(SuiteConfig{Days: 6, TrainDays: 4, Seed: 321, WindowLen: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := suiteSpecs(t, s)
+	clean, err := s.Stream(specs, StreamOptions{Defend: true, Attack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Stream(specs, StreamOptions{
+		Defend: true, Attack: true,
+		Recover:       true,
+		CheckpointDir: t.TempDir(),
+		Chaos:         &stream.FaultConfig{Seed: 17, Drop: 0.002, Duplicate: 0.002, Corrupt: 0.001},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Quarantined != 0 {
+		t.Fatalf("recoverable chaos quarantined %d homes: %+v", got.Stats.Quarantined, got.Outcomes)
+	}
+	if got.Stats.Retries == 0 {
+		t.Fatal("chaos caused no retries — faults not reaching the suite's fleet")
+	}
+	for i := range clean.Homes {
+		if !reflect.DeepEqual(got.Homes[i], clean.Homes[i]) {
+			t.Errorf("home %s diverges under chaos:\n%+v\nvs\n%+v", clean.Homes[i].ID, got.Homes[i], clean.Homes[i])
+		}
+	}
+}
+
 // TestStreamUnboundedWorldsStayUnmaterialized checks a benign fleet over
 // scenarios the suite never loaded leaves no world behind — the streaming
 // path must not materialize traces it does not need.

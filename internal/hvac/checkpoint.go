@@ -1,0 +1,70 @@
+package hvac
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SimState is the serializable day-boundary snapshot of an incremental Sim:
+// the day cursor, the plant's carried per-zone CO2 state, and the
+// accounting so far. Together with the house, controller, params, and
+// pricing a Sim was built from (which the snapshot deliberately does not
+// carry — they are reconstructed from configuration), a restored Sim steps
+// bit-identically to one that ran uninterrupted.
+type SimState struct {
+	// Day is the index of the next day the restored Sim steps.
+	Day int `json:"day"`
+	// ZoneCO2 is the carried per-zone CO2 state (ppm, indexed by ZoneID).
+	ZoneCO2 []float64 `json:"zone_co2"`
+	// Result is the accounting through the last completed day.
+	Result Result `json:"result"`
+}
+
+// ErrMidDay is returned when a snapshot is requested between day
+// boundaries; the checkpoint granularity is whole completed days.
+var ErrMidDay = errors.New("hvac: snapshot only at a day boundary")
+
+// ErrSimRestore is returned when a snapshot cannot be applied to a Sim.
+var ErrSimRestore = errors.New("hvac: snapshot does not fit simulator")
+
+// Snapshot captures the simulator's state at a day boundary. It fails
+// between boundaries (the per-slot plant state and in-flight daily
+// accumulators are deliberately not serialized).
+func (s *Sim) Snapshot() (SimState, error) {
+	if s.slot != 0 {
+		return SimState{}, fmt.Errorf("%w (day %d slot %d)", ErrMidDay, s.day, s.slot)
+	}
+	st := SimState{Day: s.day, ZoneCO2: append([]float64(nil), s.zoneCO2...)}
+	st.Result = s.res
+	st.Result.DailyCostUSD = append([]float64(nil), s.res.DailyCostUSD...)
+	st.Result.DailyKWh = append([]float64(nil), s.res.DailyKWh...)
+	st.Result.ZoneCoilKWh = append([]float64(nil), s.res.ZoneCoilKWh...)
+	return st, nil
+}
+
+// Restore positions a freshly constructed Sim at the snapshot. The target
+// must be unstepped and structurally compatible (same zone count and
+// controller); the snapshot's day cursor must agree with its per-day
+// series, so a corrupted snapshot fails instead of restoring garbage.
+func (s *Sim) Restore(st SimState) error {
+	if s.day != 0 || s.slot != 0 || len(s.res.DailyKWh) != 0 {
+		return fmt.Errorf("%w: target already stepped (day %d slot %d)", ErrSimRestore, s.day, s.slot)
+	}
+	if st.Day < 0 || len(st.Result.DailyCostUSD) != st.Day || len(st.Result.DailyKWh) != st.Day {
+		return fmt.Errorf("%w: day cursor %d with %d/%d daily entries", ErrSimRestore,
+			st.Day, len(st.Result.DailyCostUSD), len(st.Result.DailyKWh))
+	}
+	if len(st.ZoneCO2) != len(s.zoneCO2) || len(st.Result.ZoneCoilKWh) != len(s.res.ZoneCoilKWh) {
+		return fmt.Errorf("%w: %d zones in snapshot, simulator has %d", ErrSimRestore, len(st.ZoneCO2), len(s.zoneCO2))
+	}
+	if st.Result.Controller != s.res.Controller {
+		return fmt.Errorf("%w: snapshot controller %q, simulator runs %q", ErrSimRestore, st.Result.Controller, s.res.Controller)
+	}
+	s.day = st.Day
+	copy(s.zoneCO2, st.ZoneCO2)
+	s.res = st.Result
+	s.res.DailyCostUSD = append([]float64(nil), st.Result.DailyCostUSD...)
+	s.res.DailyKWh = append([]float64(nil), st.Result.DailyKWh...)
+	s.res.ZoneCoilKWh = append([]float64(nil), st.Result.ZoneCoilKWh...)
+	return nil
+}

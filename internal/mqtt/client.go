@@ -7,11 +7,56 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
+
+// Backoff is an exponential retry schedule: Delay(0) == Base and each
+// further attempt doubles it up to Max. The zero value uses the package
+// defaults (50ms base, 2s cap).
+type Backoff struct {
+	Base time.Duration
+	Max  time.Duration
+}
+
+// Delay returns the wait before retry number attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// DialOptions configures connection establishment and per-frame deadlines.
+// The zero value matches the historical Dial behaviour plus a 10s dial
+// deadline (a dead broker address fails instead of hanging in the kernel).
+type DialOptions struct {
+	// Timeout bounds each TCP connection attempt; 0 defaults to 10s.
+	Timeout time.Duration
+	// Attempts is the number of dial attempts before giving up, with
+	// exponential backoff between them; 0 defaults to 1 (no retry).
+	Attempts int
+	// Backoff schedules the delay between dial attempts.
+	Backoff Backoff
+	// WriteTimeout bounds each control-frame write (publish/subscribe) on
+	// the resulting client; 0 leaves writes unbounded.
+	WriteTimeout time.Duration
+}
 
 // Client is a broker connection that can publish and subscribe.
 type Client struct {
-	conn net.Conn
+	conn         net.Conn
+	writeTimeout time.Duration
 
 	wmu sync.Mutex
 	w   *bufio.Writer
@@ -24,17 +69,45 @@ type Client struct {
 	wg   sync.WaitGroup
 }
 
-// Dial connects to a broker (or a MITM proxy posing as one).
+// Dial connects to a broker (or a MITM proxy posing as one) with default
+// options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWithOptions(addr, DialOptions{})
+}
+
+// DialWithOptions connects to a broker with bounded dial attempts: each
+// attempt gets o.Timeout, and failed attempts back off exponentially
+// before redialing — the reconnect schedule a fleet client rides through a
+// broker restart.
+func DialWithOptions(addr string, o DialOptions) (*Client, error) {
+	timeout := o.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	attempts := o.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var conn net.Conn
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(o.Backoff.Delay(i - 1))
+		}
+		conn, err = net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			break
+		}
+	}
 	if err != nil {
-		return nil, fmt.Errorf("mqtt: dial: %w", err)
+		return nil, fmt.Errorf("mqtt: dial (%d attempts): %w", attempts, err)
 	}
 	c := &Client{
-		conn: conn,
-		w:    bufio.NewWriter(conn),
-		subs: make(map[string][]chan Message),
-		done: make(chan struct{}),
+		conn:         conn,
+		writeTimeout: o.WriteTimeout,
+		w:            bufio.NewWriter(conn),
+		subs:         make(map[string][]chan Message),
+		done:         make(chan struct{}),
 	}
 	c.wg.Add(1)
 	go c.readLoop()
@@ -43,18 +116,24 @@ func Dial(addr string) (*Client, error) {
 
 func (c *Client) readLoop() {
 	defer c.wg.Done()
+	// Close every subscription channel on the way out — on the read-error
+	// path AND the done path (Close racing a blocked dispatch below). A
+	// channel left open here strands its consumer until its own receive
+	// timeout instead of failing fast with a closed-connection signal.
+	defer func() {
+		c.mu.Lock()
+		for _, chans := range c.subs {
+			for _, ch := range chans {
+				close(ch)
+			}
+		}
+		c.subs = make(map[string][]chan Message)
+		c.mu.Unlock()
+	}()
 	r := bufio.NewReader(c.conn)
 	for {
 		m, err := readFrame(r)
 		if err != nil {
-			c.mu.Lock()
-			for _, chans := range c.subs {
-				for _, ch := range chans {
-					close(ch)
-				}
-			}
-			c.subs = make(map[string][]chan Message)
-			c.mu.Unlock()
 			return
 		}
 		// Dispatch to every subscription whose filter matches the topic;
@@ -88,6 +167,11 @@ func (c *Client) sendControl(ctl control) error {
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.writeTimeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return err
+		}
+	}
 	if err := writeFrame(c.w, Message{Topic: "$ctl", Payload: payload}); err != nil {
 		return err
 	}

@@ -1,0 +1,314 @@
+package stream
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/acyd-lab/shatter/internal/adm"
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/hvac"
+)
+
+// Checkpoint is one home's serialized progress at a day boundary: the
+// stream cursor (Days completed; the next frame is (Days, 0)), the
+// incremental HVAC plant state, the online detector's and the truth
+// episodizer's open stays, and the injection-labelling ledger. A home
+// restored from a checkpoint and driven to end-of-stream produces results
+// byte-identical to one that ran uninterrupted — the resilience layer's
+// equivalence lock.
+type Checkpoint struct {
+	Version int    `json:"version"`
+	Home    string `json:"home"`
+	// Days counts completed days; the restored stream resumes at (Days, 0).
+	Days int           `json:"days"`
+	Sim  hvac.SimState `json:"sim"`
+	// Detector and Natural carry the reported- and truth-stream episodizer
+	// states; both are nil for undefended homes.
+	Detector *adm.EpisodizerState `json:"detector,omitempty"`
+	Natural  *adm.EpisodizerState `json:"natural,omitempty"`
+	// Verdicts and NaturalLedger are the unresolved per-day injection
+	// labelling ledger (days whose episodes have not all closed yet).
+	Verdicts      map[int][]adm.Verdict `json:"verdicts,omitempty"`
+	NaturalLedger map[int][][4]int      `json:"natural_ledger,omitempty"`
+	// Result is the accounting through the last completed day (its Sim
+	// field stays zero until Close).
+	Result HomeResult `json:"result"`
+}
+
+// checkpointVersion is bumped when the serialized layout changes; readers
+// reject other versions instead of guessing.
+const checkpointVersion = 1
+
+// checkpointMagic prefixes every serialized checkpoint.
+var checkpointMagic = [8]byte{'S', 'H', 'C', 'K', 'P', 'T', '0' + checkpointVersion, '\n'}
+
+// maxCheckpoint bounds a checkpoint payload so a corrupted length header
+// cannot force a huge allocation.
+const maxCheckpoint = 64 << 20
+
+// ErrBadCheckpoint is returned when a checkpoint fails structural
+// validation: bad magic, truncation, checksum mismatch, or inconsistent
+// cursors. Corrupted files must error cleanly, never restore garbage.
+var ErrBadCheckpoint = errors.New("stream: corrupt checkpoint")
+
+// ErrCheckpointMidDay is returned when a checkpoint is requested between
+// day boundaries.
+var ErrCheckpointMidDay = errors.New("stream: checkpoint only at a day boundary")
+
+// Checkpoint captures the home's progress. It is only valid at a day
+// boundary — after ingesting the last slot of a day and before the first
+// slot of the next — which is where the fleet supervisor snapshots.
+func (h *Home) Checkpoint() (*Checkpoint, error) {
+	if h.closed {
+		return nil, errors.New("stream: checkpoint after Close")
+	}
+	sim, err := h.sim.Snapshot()
+	if err != nil {
+		if errors.Is(err, hvac.ErrMidDay) {
+			return nil, fmt.Errorf("%w (home %s, day %d slot %d)", ErrCheckpointMidDay, h.cfg.ID, h.sim.Day(), h.sim.SlotOfDay())
+		}
+		return nil, err
+	}
+	ck := &Checkpoint{
+		Version: checkpointVersion,
+		Home:    h.cfg.ID,
+		Days:    sim.Day,
+		Sim:     sim,
+		Result:  h.res,
+	}
+	ck.Result.Sim = hvac.Result{}
+	if h.det != nil {
+		st := h.det.Snapshot()
+		ck.Detector = &st
+	}
+	if h.nat != nil {
+		st := h.nat.Snapshot()
+		ck.Natural = &st
+		ck.Verdicts = make(map[int][]adm.Verdict, len(h.verdicts))
+		for d, vs := range h.verdicts {
+			ck.Verdicts[d] = append([]adm.Verdict(nil), vs...)
+		}
+		ck.NaturalLedger = make(map[int][][4]int, len(h.natural))
+		for d, set := range h.natural {
+			keys := make([][4]int, 0, len(set))
+			for k := range set {
+				keys = append(keys, k)
+			}
+			// Deterministic order keeps checkpoint files byte-stable across
+			// runs (map iteration would shuffle them).
+			sort.Slice(keys, func(i, j int) bool {
+				for x := 0; x < 4; x++ {
+					if keys[i][x] != keys[j][x] {
+						return keys[i][x] < keys[j][x]
+					}
+				}
+				return false
+			})
+			ck.NaturalLedger[d] = keys
+		}
+	}
+	return ck, nil
+}
+
+// Restore applies a checkpoint to a freshly constructed Home with the same
+// configuration (house, controller, defender, injector). The target must
+// not have ingested any frames; structural mismatches error without
+// leaving the home half-restored.
+func (h *Home) Restore(ck *Checkpoint) error {
+	if ck == nil {
+		return errors.New("stream: nil checkpoint")
+	}
+	if h.closed || h.res.Slots != 0 || h.sim.Day() != 0 || h.sim.SlotOfDay() != 0 {
+		return errors.New("stream: restore target already streamed")
+	}
+	if err := validateCheckpoint(ck); err != nil {
+		return err
+	}
+	if ck.Home != h.cfg.ID {
+		return fmt.Errorf("%w: checkpoint for home %q applied to %q", ErrBadCheckpoint, ck.Home, h.cfg.ID)
+	}
+	if (ck.Detector != nil) != (h.det != nil) || (ck.Natural != nil) != (h.nat != nil) {
+		return fmt.Errorf("%w: defender/ledger configuration mismatch for home %q", ErrBadCheckpoint, h.cfg.ID)
+	}
+	// Each component validates its piece fully before mutating, but a
+	// failure partway leaves earlier components restored — callers must
+	// discard the home on error (the fleet supervisor reopens the job).
+	if err := h.sim.Restore(ck.Sim); err != nil {
+		return fmt.Errorf("stream: restore %s plant: %w", h.cfg.ID, err)
+	}
+	if h.det != nil {
+		if err := h.det.Restore(*ck.Detector); err != nil {
+			return fmt.Errorf("stream: restore %s detector: %w", h.cfg.ID, err)
+		}
+	}
+	if h.nat != nil {
+		if err := h.nat.Restore(*ck.Natural); err != nil {
+			return fmt.Errorf("stream: restore %s truth episodizer: %w", h.cfg.ID, err)
+		}
+		h.verdicts = make(map[int][]adm.Verdict, len(ck.Verdicts))
+		for d, vs := range ck.Verdicts {
+			h.verdicts[d] = append([]adm.Verdict(nil), vs...)
+		}
+		h.natural = make(map[int]map[[4]int]bool, len(ck.NaturalLedger))
+		for d, keys := range ck.NaturalLedger {
+			set := make(map[[4]int]bool, len(keys))
+			for _, k := range keys {
+				set[k] = true
+			}
+			h.natural[d] = set
+		}
+	}
+	h.res = ck.Result
+	h.res.ID = h.cfg.ID
+	h.res.Sim = hvac.Result{}
+	return nil
+}
+
+// validateCheckpoint checks the internal consistency a decoded checkpoint
+// must have before any of it is applied.
+func validateCheckpoint(ck *Checkpoint) error {
+	if ck.Version != checkpointVersion {
+		return fmt.Errorf("%w: version %d, want %d", ErrBadCheckpoint, ck.Version, checkpointVersion)
+	}
+	if ck.Days < 0 || ck.Sim.Day != ck.Days {
+		return fmt.Errorf("%w: day cursor %d vs plant day %d", ErrBadCheckpoint, ck.Days, ck.Sim.Day)
+	}
+	if ck.Result.Days != ck.Days || ck.Result.Slots != int64(ck.Days)*int64(aras.SlotsPerDay) {
+		return fmt.Errorf("%w: result covers %d days / %d slots, cursor says %d days", ErrBadCheckpoint, ck.Result.Days, ck.Result.Slots, ck.Days)
+	}
+	return nil
+}
+
+// WriteCheckpoint serializes a checkpoint: magic, payload length, CRC-32,
+// then the JSON payload. The trailer-free fixed header lets a reader
+// reject truncated or corrupted files before decoding anything.
+func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("stream: encode checkpoint: %w", err)
+	}
+	if len(payload) > maxCheckpoint {
+		return fmt.Errorf("stream: checkpoint payload %d bytes exceeds limit", len(payload))
+	}
+	var hdr [16]byte
+	copy(hdr[:8], checkpointMagic[:])
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadCheckpoint decodes a serialized checkpoint, rejecting bad magic,
+// truncation, oversized payloads, checksum mismatches, malformed JSON, and
+// structurally inconsistent state with ErrBadCheckpoint-wrapped errors. It
+// never panics and never returns a checkpoint that fails validation.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadCheckpoint, err)
+	}
+	if [8]byte(hdr[:8]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadCheckpoint, hdr[:8])
+	}
+	n := binary.BigEndian.Uint32(hdr[8:12])
+	if n > maxCheckpoint {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadCheckpoint, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrBadCheckpoint, err)
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(hdr[12:16]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadCheckpoint)
+	}
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(payload, ck); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrBadCheckpoint, err)
+	}
+	if err := validateCheckpoint(ck); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// CheckpointPath names a home's checkpoint file inside dir; home IDs are
+// percent-escaped so procedural IDs ("synth:12x4@55") stay filesystem-safe.
+func CheckpointPath(dir, homeID string) string {
+	return filepath.Join(dir, url.PathEscape(homeID)+".ckpt")
+}
+
+// SaveCheckpoint atomically writes a home's checkpoint under dir (write to
+// a temp file, fsync-free rename), so a crash mid-write leaves the previous
+// checkpoint intact instead of a torn file.
+func SaveCheckpoint(dir string, ck *Checkpoint) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := CheckpointPath(dir, ck.Home)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := WriteCheckpoint(tmp, ck); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCheckpoint reads a home's checkpoint from dir. A missing file is not
+// an error — it returns (nil, nil), the "start from scratch" signal — while
+// a present-but-corrupt file returns ErrBadCheckpoint.
+func LoadCheckpoint(dir, homeID string) (*Checkpoint, error) {
+	f, err := os.Open(CheckpointPath(dir, homeID))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ck, err := ReadCheckpoint(f)
+	if err != nil {
+		return nil, err
+	}
+	if ck.Home != homeID {
+		return nil, fmt.Errorf("%w: file for %q holds checkpoint of %q", ErrBadCheckpoint, homeID, ck.Home)
+	}
+	return ck, nil
+}
+
+// RemoveCheckpoint deletes a home's checkpoint; missing files are fine.
+func RemoveCheckpoint(dir, homeID string) error {
+	err := os.Remove(CheckpointPath(dir, homeID))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// DaySeeker is implemented by sources that can reposition to the start of
+// a day — the restore path's way of fast-forwarding a freshly opened
+// source to a checkpoint's cursor. Deterministic sources (the generator
+// replays and discards the skipped days, evolving its RNG streams exactly
+// as an uninterrupted run would; traces jump in O(1)) make the resumed
+// stream byte-identical to the uninterrupted one.
+type DaySeeker interface {
+	SeekDay(day int) error
+}

@@ -1,0 +1,228 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/acyd-lab/shatter/internal/rng"
+)
+
+// FaultClass enumerates the transport fault classes the chaos layer
+// injects. Drop, Duplicate, Delay, and Disconnect are recoverable — the
+// fleet either absorbs them in the transport (duplicates, delays) or
+// retries the home from its last checkpoint (drops, disconnects) and still
+// produces byte-identical results. Corrupt and Truncate are recoverable
+// only while the retry budget lasts; past it the home is quarantined.
+type FaultClass int
+
+const (
+	FaultNone FaultClass = iota
+	// FaultDrop silently loses a frame; the receiver sees a gap in the
+	// (day, slot) sequence and the home retries from its checkpoint.
+	FaultDrop
+	// FaultDuplicate delivers a frame twice; the pipe's dedup absorbs it.
+	FaultDuplicate
+	// FaultDelay stalls a frame briefly; ordering is preserved so only
+	// latency changes.
+	FaultDelay
+	// FaultCorrupt mangles the frame's payload: on the direct path the
+	// read errors outright, on the bus the frame arrives flagged as
+	// failing its integrity check and errors at the receiver.
+	FaultCorrupt
+	// FaultTruncate cuts the frame's reading vectors short; the frame
+	// decodes but fails the home's structural check.
+	FaultTruncate
+	// FaultDisconnect force-closes the publishing connection mid-stream.
+	FaultDisconnect
+)
+
+// String names the class for error messages and logs.
+func (c FaultClass) String() string {
+	switch c {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultDelay:
+		return "delay"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultTruncate:
+		return "truncate"
+	case FaultDisconnect:
+		return "disconnect"
+	}
+	return fmt.Sprintf("FaultClass(%d)", int(c))
+}
+
+// FaultConfig is the seeded chaos schedule for a fleet: per-frame fault
+// probabilities applied to every home's transport. The schedule is
+// deterministic per (home, attempt) and independent of worker count and
+// wall-clock timing, so a chaos run is exactly reproducible from its seed.
+type FaultConfig struct {
+	// Seed roots every home's fault schedule.
+	Seed uint64
+	// Per-frame probabilities of each fault class (evaluated in this
+	// order from a single uniform draw; their sum should stay <= 1).
+	Drop       float64
+	Duplicate  float64
+	Delay      float64
+	Corrupt    float64
+	Truncate   float64
+	Disconnect float64
+	// MaxDelay bounds a delayed frame's stall; 0 defaults to 2ms.
+	MaxDelay time.Duration
+	// CleanAttempt is the retry attempt index from which a home's
+	// transport runs fault-free, guaranteeing a bounded chaos run
+	// eventually completes: attempts 0..CleanAttempt-1 are faulty. 0
+	// defaults to 2 (two faulty attempts, then clean); negative means
+	// every attempt is faulty (quarantine testing).
+	CleanAttempt int
+}
+
+// ErrInjectedFault tags every failure the chaos layer manufactures, so
+// tests and quarantine records can tell injected faults from real bugs.
+var ErrInjectedFault = errors.New("stream: injected fault")
+
+// Plan derives the deterministic fault schedule for one home's transport
+// attempt, or nil when the attempt runs clean (nil receivers — chaos
+// disabled — always run clean).
+func (c *FaultConfig) Plan(homeID string, attempt int) *FaultPlan {
+	if c == nil {
+		return nil
+	}
+	clean := c.CleanAttempt
+	if clean == 0 {
+		clean = 2
+	}
+	if clean > 0 && attempt >= clean {
+		return nil
+	}
+	h := fnv.New64a()
+	h.Write([]byte(homeID))
+	seed := c.Seed ^ h.Sum64() ^ (uint64(attempt+1) * 0x9e3779b97f4a7c15)
+	return &FaultPlan{cfg: c, rng: rng.New(seed)}
+}
+
+// FaultPlan is one transport attempt's seeded fault stream: Roll is
+// consulted once per published frame, in stream order, so the fault
+// sequence depends only on (config, home, attempt).
+type FaultPlan struct {
+	cfg *FaultConfig
+	rng *rng.Source
+}
+
+// Roll draws the fault for the next frame.
+func (p *FaultPlan) Roll() FaultClass {
+	u := p.rng.Float64()
+	cum := 0.0
+	for _, t := range [...]struct {
+		prob  float64
+		class FaultClass
+	}{
+		{p.cfg.Drop, FaultDrop},
+		{p.cfg.Duplicate, FaultDuplicate},
+		{p.cfg.Delay, FaultDelay},
+		{p.cfg.Corrupt, FaultCorrupt},
+		{p.cfg.Truncate, FaultTruncate},
+		{p.cfg.Disconnect, FaultDisconnect},
+	} {
+		cum += t.prob
+		if u < cum {
+			return t.class
+		}
+	}
+	return FaultNone
+}
+
+// DelayFor draws a delayed frame's stall duration.
+func (p *FaultPlan) DelayFor() time.Duration {
+	max := p.cfg.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Millisecond
+	}
+	return time.Duration(p.rng.Float64() * float64(max))
+}
+
+// faultSource wraps a Source with the chaos schedule for the direct
+// (brokerless) path, manufacturing the same observable failures the MQTT
+// transport would: dropped frames surface as sequence gaps, corruption as
+// decode errors, disconnects as a dead stream. Duplicates re-deliver the
+// previous frame (the direct path has no dedup layer, so the home's
+// ordering check trips and the supervisor retries).
+type faultSource struct {
+	src  Source
+	plan *FaultPlan
+
+	dup  bool // re-deliver prev on the next call
+	prev Slot
+	dead bool
+}
+
+func newFaultSource(src Source, plan *FaultPlan) *faultSource {
+	return &faultSource{src: src, plan: plan}
+}
+
+// Next implements Source under the fault schedule.
+func (f *faultSource) Next(dst *Slot) error {
+	if f.dead {
+		return fmt.Errorf("%w: connection force-closed", ErrInjectedFault)
+	}
+	if f.dup {
+		f.dup = false
+		copySlot(dst, &f.prev)
+		return nil
+	}
+	for {
+		if err := f.src.Next(dst); err != nil {
+			return err
+		}
+		switch f.plan.Roll() {
+		case FaultDrop:
+			continue // lose the frame: the consumer sees a gap
+		case FaultDuplicate:
+			copySlot(&f.prev, dst)
+			f.dup = true
+		case FaultDelay:
+			time.Sleep(f.plan.DelayFor())
+		case FaultCorrupt:
+			return fmt.Errorf("%w: corrupted frame (%d,%d)", ErrInjectedFault, dst.Day, dst.Index)
+		case FaultTruncate:
+			if len(dst.Reported) > 0 {
+				dst.Reported = dst.Reported[:len(dst.Reported)-1]
+			} else {
+				dst.True = dst.True[:0]
+			}
+		case FaultDisconnect:
+			f.dead = true
+			return fmt.Errorf("%w: connection force-closed at frame (%d,%d)", ErrInjectedFault, dst.Day, dst.Index)
+		}
+		return nil
+	}
+}
+
+// SeekDay forwards to the wrapped source so a faulty attempt can still
+// resume from a checkpoint.
+func (f *faultSource) SeekDay(day int) error {
+	if s, ok := f.src.(DaySeeker); ok {
+		return s.SeekDay(day)
+	}
+	return fmt.Errorf("stream: wrapped source cannot seek")
+}
+
+// copySlot deep-copies a frame into dst, reusing dst's backing storage.
+func copySlot(dst, src *Slot) {
+	dst.ensure(len(src.True), len(src.TrueAppliance))
+	dst.Home, dst.Day, dst.Index = src.Home, src.Day, src.Index
+	dst.OutdoorTempF, dst.OutdoorCO2PPM = src.OutdoorTempF, src.OutdoorCO2PPM
+	copy(dst.True, src.True)
+	copy(dst.TrueAppliance, src.TrueAppliance)
+	dst.Reported = dst.Reported[:len(src.Reported)]
+	copy(dst.Reported, src.Reported)
+	dst.ReportedAppliance = dst.ReportedAppliance[:len(src.ReportedAppliance)]
+	copy(dst.ReportedAppliance, src.ReportedAppliance)
+}

@@ -1,0 +1,190 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// traceSrc builds a small deterministic source for fault-layer tests.
+func traceSrc(t *testing.T, days int) *TraceSource {
+	t.Helper()
+	house := home.MustHouse("A")
+	tr, err := aras.Generate(house, aras.GeneratorConfig{Days: days, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTraceSource("A", tr)
+}
+
+// TestFaultPlanDeterminism: the fault schedule is a pure function of
+// (config, home, attempt) — two plans for the same coordinates roll the
+// same sequence, and different homes or attempts diverge.
+func TestFaultPlanDeterminism(t *testing.T) {
+	cfg := &FaultConfig{Seed: 42, Drop: 0.1, Duplicate: 0.1, Delay: 0.1, Corrupt: 0.1}
+	roll := func(home string, attempt, n int) []FaultClass {
+		p := cfg.Plan(home, attempt)
+		if p == nil {
+			t.Fatalf("plan (%s,%d) unexpectedly clean", home, attempt)
+		}
+		out := make([]FaultClass, n)
+		for i := range out {
+			out[i] = p.Roll()
+		}
+		return out
+	}
+	a := roll("h1", 0, 500)
+	b := roll("h1", 0, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("roll %d diverges for identical coordinates", i)
+		}
+	}
+	diff := func(x, y []FaultClass) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return true
+			}
+		}
+		return false
+	}
+	if !diff(a, roll("h2", 0, 500)) {
+		t.Fatal("different homes share a schedule")
+	}
+	if !diff(a, roll("h1", 1, 500)) {
+		t.Fatal("different attempts share a schedule")
+	}
+}
+
+// TestFaultPlanCleanAttempt pins the retry-escape hatch: attempts past
+// CleanAttempt run fault-free, the default is two faulty attempts, and a
+// negative value keeps every attempt faulty.
+func TestFaultPlanCleanAttempt(t *testing.T) {
+	cfg := &FaultConfig{Seed: 1, Drop: 1}
+	if cfg.Plan("h", 0) == nil || cfg.Plan("h", 1) == nil {
+		t.Fatal("default faulty attempts missing")
+	}
+	if cfg.Plan("h", 2) != nil {
+		t.Fatal("default clean attempt still faulty")
+	}
+	cfg.CleanAttempt = 1
+	if cfg.Plan("h", 0) == nil || cfg.Plan("h", 1) != nil {
+		t.Fatal("CleanAttempt=1 schedule wrong")
+	}
+	cfg.CleanAttempt = -1
+	if cfg.Plan("h", 10) == nil {
+		t.Fatal("negative CleanAttempt produced a clean attempt")
+	}
+	var nilCfg *FaultConfig
+	if nilCfg.Plan("h", 0) != nil {
+		t.Fatal("nil config produced a plan")
+	}
+}
+
+// plan1 returns a plan whose every roll is the given class.
+func plan1(t *testing.T, set func(*FaultConfig)) *FaultPlan {
+	t.Helper()
+	cfg := &FaultConfig{Seed: 3, CleanAttempt: -1, MaxDelay: 100 * time.Microsecond}
+	set(cfg)
+	p := cfg.Plan("h", 0)
+	if p == nil {
+		t.Fatal("nil plan")
+	}
+	return p
+}
+
+// TestFaultSourceClasses drives each fault class through the direct-path
+// wrapper and checks the manufactured failure mode.
+func TestFaultSourceClasses(t *testing.T) {
+	t.Run("drop", func(t *testing.T) {
+		// Dropping every frame consumes the stream straight to EOF.
+		fs := newFaultSource(traceSrc(t, 1), plan1(t, func(c *FaultConfig) { c.Drop = 1 }))
+		var s Slot
+		if err := fs.Next(&s); err != io.EOF {
+			t.Fatalf("err = %v, want EOF", err)
+		}
+	})
+	t.Run("duplicate", func(t *testing.T) {
+		fs := newFaultSource(traceSrc(t, 1), plan1(t, func(c *FaultConfig) { c.Duplicate = 1 }))
+		var a, b, c Slot
+		if err := fs.Next(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Next(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Next(&c); err != nil {
+			t.Fatal(err)
+		}
+		if a.Index != 0 || b.Index != 0 || c.Index != 1 {
+			t.Fatalf("positions %d,%d,%d, want 0,0,1", a.Index, b.Index, c.Index)
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		fs := newFaultSource(traceSrc(t, 1), plan1(t, func(c *FaultConfig) { c.Corrupt = 1 }))
+		var s Slot
+		if err := fs.Next(&s); !errors.Is(err, ErrInjectedFault) {
+			t.Fatalf("err = %v, want injected fault", err)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		fs := newFaultSource(traceSrc(t, 1), plan1(t, func(c *FaultConfig) { c.Truncate = 1 }))
+		var s Slot
+		if err := fs.Next(&s); err != nil {
+			t.Fatal(err)
+		}
+		occ := len(home.MustHouse("A").Occupants)
+		if len(s.Reported) != occ-1 {
+			t.Fatalf("reported vector %d long, want %d", len(s.Reported), occ-1)
+		}
+	})
+	t.Run("disconnect", func(t *testing.T) {
+		fs := newFaultSource(traceSrc(t, 1), plan1(t, func(c *FaultConfig) { c.Disconnect = 1 }))
+		var s Slot
+		if err := fs.Next(&s); !errors.Is(err, ErrInjectedFault) {
+			t.Fatalf("err = %v, want injected fault", err)
+		}
+		// The connection stays dead.
+		if err := fs.Next(&s); !errors.Is(err, ErrInjectedFault) {
+			t.Fatalf("second read: %v, want injected fault", err)
+		}
+	})
+	t.Run("delay", func(t *testing.T) {
+		// Delays perturb latency only; the frame arrives intact and a home
+		// fed through a delay-only source finishes normally.
+		fs := newFaultSource(traceSrc(t, 1), plan1(t, func(c *FaultConfig) { c.Delay = 0.01 }))
+		var s Slot
+		n := 0
+		for {
+			if err := fs.Next(&s); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+		if n != aras.SlotsPerDay {
+			t.Fatalf("delivered %d frames, want %d", n, aras.SlotsPerDay)
+		}
+	})
+}
+
+// TestFaultSourceSeekDay: the wrapper forwards seeks so faulty retry
+// attempts can still resume from a checkpoint.
+func TestFaultSourceSeekDay(t *testing.T) {
+	fs := newFaultSource(traceSrc(t, 3), plan1(t, func(c *FaultConfig) { c.Delay = 0.001 }))
+	if err := fs.SeekDay(2); err != nil {
+		t.Fatal(err)
+	}
+	var s Slot
+	if err := fs.Next(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Day != 2 || s.Index != 0 {
+		t.Fatalf("post-seek frame at (%d,%d), want (2,0)", s.Day, s.Index)
+	}
+}

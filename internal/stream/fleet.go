@@ -7,19 +7,23 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/acyd-lab/shatter/internal/aras"
 	"github.com/acyd-lab/shatter/internal/mqtt"
 	"github.com/acyd-lab/shatter/internal/pool"
 )
 
 // Job is one home's entry in a fleet run. Open constructs the home's source
 // and runtime lazily on the worker that picks the job up, so a thousand-home
-// fleet does not hold a thousand idle pipelines.
+// fleet does not hold a thousand idle pipelines. Open may be called again
+// when the supervisor retries the home from a checkpoint.
 type Job struct {
 	ID   string
 	Open func() (Source, *Home, error)
 }
 
-// FleetOptions configures a fleet run.
+// FleetOptions configures a fleet run. The zero value reproduces the legacy
+// behaviour: no supervision (first error aborts the fleet), no checkpoints,
+// no chaos, and the historical transport timeouts.
 type FleetOptions struct {
 	// Workers bounds the pool. 0 uses one worker per CPU; 1 forces
 	// sequential execution. Per-home results are deterministic either way.
@@ -31,6 +35,106 @@ type FleetOptions struct {
 	// control. A fleet-wide monitor subscribed to home/+/sensor tallies the
 	// bus traffic.
 	Broker string
+
+	// Recover enables the supervisor: failed homes are retried (from their
+	// last checkpoint when CheckpointDir is set) up to MaxRetries, and homes
+	// that exhaust the budget are quarantined instead of failing the fleet
+	// (unless FailFast). Without Recover the first error aborts the run.
+	Recover bool
+	// MaxRetries is the retry budget per home; 0 defaults to 3, negative
+	// disables retries (a home's first failure quarantines it).
+	MaxRetries int
+	// FailFast makes a quarantined home abort the whole fleet; the default
+	// (false) records the quarantine and lets the rest of the fleet finish.
+	FailFast bool
+	// RetryBackoff schedules the pause before each retry attempt.
+	RetryBackoff mqtt.Backoff
+
+	// CheckpointDir, when non-empty, persists each home's progress at day
+	// boundaries so retries resume from the last completed day instead of
+	// replaying the whole stream. Checkpoints of completed homes are removed.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in days; 0 defaults to 1.
+	CheckpointEvery int
+
+	// Chaos, when non-nil, injects the seeded fault schedule into every
+	// home's transport (see FaultConfig).
+	Chaos *FaultConfig
+
+	// Dial configures every fleet broker connection (dial deadline, redial
+	// attempts with exponential backoff, per-frame write deadline).
+	Dial mqtt.DialOptions
+	// ProbeTimeout bounds each subscription-registration handshake; 0
+	// defaults to 5s.
+	ProbeTimeout time.Duration
+	// ReceiveTimeout bounds each consumer wait for the next frame; 0 waits
+	// forever, except that supervised broker runs default to 10s so a lost
+	// end-of-stream sentinel surfaces as a retryable error instead of a hang.
+	ReceiveTimeout time.Duration
+	// DrainTimeout bounds the monitor's wait for the fleet's end-of-stream
+	// sentinels; 0 defaults to 10s.
+	DrainTimeout time.Duration
+	// DrainPoll is the monitor's sentinel poll interval; 0 defaults to 5ms.
+	DrainPoll time.Duration
+	// QuiescePoll is the monitor's traffic-quiescence poll interval; 0
+	// defaults to 20ms. The quiescence loop is bounded by DrainTimeout.
+	QuiescePoll time.Duration
+}
+
+// withDefaults resolves the option defaults documented on FleetOptions.
+func (o FleetOptions) withDefaults() FleetOptions {
+	if o.Recover {
+		if o.MaxRetries == 0 {
+			o.MaxRetries = 3
+		}
+		if o.ReceiveTimeout == 0 && o.Broker != "" {
+			o.ReceiveTimeout = 10 * time.Second
+		}
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 5 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	if o.DrainPoll <= 0 {
+		o.DrainPoll = 5 * time.Millisecond
+	}
+	if o.QuiescePoll <= 0 {
+		o.QuiescePoll = 20 * time.Millisecond
+	}
+	return o
+}
+
+// OutcomeStatus classifies how a home's supervised run ended.
+type OutcomeStatus string
+
+const (
+	// OutcomeCompleted: the home reached end-of-stream on its first attempt.
+	OutcomeCompleted OutcomeStatus = "completed"
+	// OutcomeRetried: the home failed at least once but a retry completed it.
+	OutcomeRetried OutcomeStatus = "retried"
+	// OutcomeQuarantined: the home exhausted its retry budget; its result is
+	// excluded from the fleet aggregate and Err records the last failure.
+	OutcomeQuarantined OutcomeStatus = "quarantined"
+)
+
+// HomeOutcome is one home's supervision record.
+type HomeOutcome struct {
+	ID     string        `json:"id"`
+	Status OutcomeStatus `json:"status"`
+	// Attempts counts runs of the home's pipeline (1 for a clean first run).
+	Attempts int `json:"attempts"`
+	// Restores counts attempts that resumed from a checkpoint.
+	Restores int `json:"restores"`
+	// CheckpointDay is the highest day boundary persisted for the home.
+	CheckpointDay int `json:"checkpoint_day,omitempty"`
+	// Err is the final error of a quarantined home (or the last retried
+	// failure's message for a home that eventually completed).
+	Err string `json:"err,omitempty"`
 }
 
 // FleetStats aggregates a fleet run.
@@ -50,23 +154,36 @@ type FleetStats struct {
 	HomesPerSec  float64       `json:"homes_per_sec"`
 	EventsPerSec float64       `json:"events_per_sec"`
 	// BusFrames counts the frames the fleet-wide home/+/sensor monitor saw
-	// (zero without a broker).
+	// (zero without a broker). Under chaos this is an at-least-once tally:
+	// retried attempts republish their frames.
 	BusFrames int64 `json:"bus_frames"`
+	// Retries counts extra attempts across the fleet; Restores counts the
+	// attempts that resumed from a checkpoint; Quarantined counts homes
+	// that exhausted their retry budget.
+	Retries     int64 `json:"retries"`
+	Restores    int64 `json:"restores"`
+	Quarantined int64 `json:"quarantined"`
 }
 
-// FleetResult is a fleet run's outcome: per-home results in job order plus
-// the aggregate. Everything except Stats' wall-clock fields is
-// deterministic for a fixed job list, independent of Workers and transport.
+// FleetResult is a fleet run's outcome: per-home results and supervision
+// records in job order plus the aggregate. Quarantined homes contribute an
+// ID-only HomeResult and are excluded from the aggregate. Everything except
+// Stats' wall-clock fields (and, under chaos, BusFrames) is deterministic
+// for a fixed job list, independent of Workers and transport.
 type FleetResult struct {
-	Homes []HomeResult
-	Stats FleetStats
+	Homes    []HomeResult
+	Outcomes []HomeOutcome
+	Stats    FleetStats
 }
 
 // RunFleet drives every job's pipeline to end-of-stream across a bounded
 // worker pool. Each home's pipeline is sequential (pull-based, so the
-// source, injector, detector, and stepper stay in lockstep), homes run
-// concurrently, and errors propagate first-job-wins.
+// source, injector, detector, and stepper stay in lockstep) and homes run
+// concurrently. Without Recover, errors propagate first-job-wins; with it,
+// each home is supervised independently — retried from its checkpoint and
+// quarantined past the budget — so one bad home cannot sink the fleet.
 func RunFleet(jobs []Job, opts FleetOptions) (FleetResult, error) {
+	opts = opts.withDefaults()
 	started := time.Now()
 	seen := make(map[string]bool, len(jobs))
 	for _, j := range jobs {
@@ -80,7 +197,7 @@ func RunFleet(jobs []Job, opts FleetOptions) (FleetResult, error) {
 	}
 	var monitor *fleetMonitor
 	if opts.Broker != "" {
-		m, err := newFleetMonitor(opts.Broker)
+		m, err := newFleetMonitor(opts.Broker, opts)
 		if err != nil {
 			return FleetResult{}, fmt.Errorf("stream: fleet monitor: %w", err)
 		}
@@ -88,21 +205,25 @@ func RunFleet(jobs []Job, opts FleetOptions) (FleetResult, error) {
 		defer monitor.close()
 	}
 	results := make([]HomeResult, len(jobs))
+	outcomes := make([]HomeOutcome, len(jobs))
 	err := pool.Run(opts.Workers, len(jobs), func(i int) error {
-		res, err := runJob(jobs[i], opts.Broker)
-		if err != nil {
-			return fmt.Errorf("stream: home %s: %w", jobs[i].ID, err)
+		res, out, jerr := superviseJob(jobs[i], opts)
+		results[i], outcomes[i] = res, out
+		if jerr != nil && (!opts.Recover || opts.FailFast) {
+			return fmt.Errorf("stream: home %s: %w", jobs[i].ID, jerr)
 		}
-		results[i] = res
 		return nil
 	})
 	if err != nil {
 		return FleetResult{}, err
 	}
-	out := FleetResult{Homes: results}
+	out := FleetResult{Homes: results, Outcomes: outcomes}
 	st := &out.Stats
 	st.Homes = len(results)
 	for i := range results {
+		if outcomes[i].Status == OutcomeQuarantined {
+			continue
+		}
 		r := &results[i]
 		st.Days += int64(r.Days)
 		st.Slots += r.Slots
@@ -114,9 +235,19 @@ func RunFleet(jobs []Job, opts FleetOptions) (FleetResult, error) {
 		st.TotalKWh += r.Sim.TotalKWh
 		st.TotalCostUSD += r.Sim.TotalCostUSD
 	}
+	completed := 0
+	for i := range outcomes {
+		st.Retries += int64(outcomes[i].Attempts - 1)
+		st.Restores += int64(outcomes[i].Restores)
+		if outcomes[i].Status == OutcomeQuarantined {
+			st.Quarantined++
+		} else {
+			completed++
+		}
+	}
 	st.Events = st.SensorEvents + st.ActionEvents + st.Verdicts
 	if monitor != nil {
-		st.BusFrames = monitor.drain(len(jobs))
+		st.BusFrames = monitor.drain(completed, opts)
 	}
 	st.Elapsed = time.Since(started)
 	if secs := st.Elapsed.Seconds(); secs > 0 {
@@ -126,32 +257,153 @@ func RunFleet(jobs []Job, opts FleetOptions) (FleetResult, error) {
 	return out, nil
 }
 
-// runJob drives one home from open to close.
-func runJob(job Job, broker string) (HomeResult, error) {
+// superviseJob runs one home under the retry policy. It returns the home's
+// result, its supervision record, and — for a quarantined home — the final
+// error.
+func superviseJob(job Job, opts FleetOptions) (HomeResult, HomeOutcome, error) {
+	out := HomeOutcome{ID: job.ID}
+	retries := 0
+	if opts.Recover && opts.MaxRetries > 0 {
+		retries = opts.MaxRetries
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(opts.RetryBackoff.Delay(attempt - 1))
+		}
+		out.Attempts++
+		res, info, err := runAttempt(job, opts, attempt)
+		if info.restored {
+			out.Restores++
+		}
+		if info.checkpointDay > out.CheckpointDay {
+			out.CheckpointDay = info.checkpointDay
+		}
+		if err == nil {
+			out.Status = OutcomeCompleted
+			if attempt > 0 {
+				out.Status = OutcomeRetried
+			}
+			if opts.CheckpointDir != "" {
+				// The checkpoint served its purpose; a later fresh run must
+				// not resume from it.
+				if rerr := RemoveCheckpoint(opts.CheckpointDir, job.ID); rerr != nil {
+					out.Err = rerr.Error()
+				}
+			}
+			return res, out, nil
+		}
+		lastErr = err
+		out.Err = err.Error()
+	}
+	out.Status = OutcomeQuarantined
+	return HomeResult{ID: job.ID}, out, lastErr
+}
+
+// attemptInfo reports what one attempt did beyond its result.
+type attemptInfo struct {
+	restored      bool
+	checkpointDay int
+}
+
+// runAttempt drives one home from open to close, resuming from a persisted
+// checkpoint when one exists and the freshly opened source can seek to it.
+func runAttempt(job Job, opts FleetOptions, attempt int) (HomeResult, attemptInfo, error) {
+	var info attemptInfo
 	src, home, err := job.Open()
 	if err != nil {
-		return HomeResult{}, err
+		return HomeResult{}, info, err
 	}
-	if broker != "" {
-		pipe, err := OpenPipe(broker, SensorTopic(job.ID), src)
-		if err != nil {
-			return HomeResult{}, err
+	// The source may hold real resources (files, broker connections); every
+	// exit path must release them, including a failed OpenPipe below.
+	defer func() { closeSource(src) }()
+
+	if opts.CheckpointDir != "" {
+		ck, lerr := LoadCheckpoint(opts.CheckpointDir, job.ID)
+		if lerr == nil && ck != nil && ck.Days > 0 {
+			if rerr := restoreFrom(src, home, ck); rerr == nil {
+				info.restored = true
+				info.checkpointDay = ck.Days
+			} else {
+				// A checkpoint that does not fit the job (or a source that
+				// cannot seek) restarts the home from scratch on fresh
+				// components — a half-restored home must never stream.
+				closeSource(src)
+				if src, home, err = job.Open(); err != nil {
+					return HomeResult{}, info, err
+				}
+			}
+		}
+		// Load errors (corrupt file) also restart from scratch: the next
+		// save overwrites the bad file.
+	}
+
+	plan := opts.Chaos.Plan(job.ID, attempt)
+	var s Source = src
+	if opts.Broker != "" {
+		pipe, perr := OpenPipeOptions(opts.Broker, SensorTopic(job.ID), src, PipeOptions{
+			Dial:           opts.Dial,
+			ProbeTimeout:   opts.ProbeTimeout,
+			ReceiveTimeout: opts.ReceiveTimeout,
+			Faults:         plan,
+			Epoch:          attempt,
+		})
+		if perr != nil {
+			return HomeResult{}, info, perr
 		}
 		defer pipe.Close()
-		src = pipe
+		s = pipe
+	} else if plan != nil {
+		s = newFaultSource(src, plan)
 	}
+
 	var slot Slot
 	for {
-		if err := src.Next(&slot); err == io.EOF {
+		if err := s.Next(&slot); err == io.EOF {
 			break
 		} else if err != nil {
-			return HomeResult{}, err
+			return HomeResult{}, info, err
 		}
 		if _, err := home.Ingest(&slot); err != nil {
-			return HomeResult{}, err
+			return HomeResult{}, info, err
+		}
+		if opts.CheckpointDir != "" && slot.Index == aras.SlotsPerDay-1 {
+			if done := slot.Day + 1; done%opts.CheckpointEvery == 0 {
+				ck, cerr := home.Checkpoint()
+				if cerr != nil {
+					return HomeResult{}, info, cerr
+				}
+				if serr := SaveCheckpoint(opts.CheckpointDir, ck); serr != nil {
+					return HomeResult{}, info, serr
+				}
+				info.checkpointDay = done
+			}
 		}
 	}
-	return home.Close()
+	res, err := home.Close()
+	return res, info, err
+}
+
+// restoreFrom applies a checkpoint to a freshly opened (source, home) pair:
+// the home's state is rebuilt and the source fast-forwarded to the
+// checkpoint's day cursor.
+func restoreFrom(src Source, home *Home, ck *Checkpoint) error {
+	seeker, ok := src.(DaySeeker)
+	if !ok {
+		return fmt.Errorf("stream: source cannot seek to day %d", ck.Days)
+	}
+	if err := home.Restore(ck); err != nil {
+		return err
+	}
+	return seeker.SeekDay(ck.Days)
+}
+
+// closeSource releases a source's resources when it holds any; plain
+// in-memory sources pass through.
+func closeSource(src Source) {
+	if c, ok := src.(io.Closer); ok {
+		c.Close()
+	}
 }
 
 // SensorTopic names a home's sensor stream on the fleet bus; the fleet-wide
@@ -170,8 +422,8 @@ type fleetMonitor struct {
 	done   chan struct{}
 }
 
-func newFleetMonitor(broker string) (*fleetMonitor, error) {
-	c, err := mqtt.Dial(broker)
+func newFleetMonitor(broker string, opts FleetOptions) (*fleetMonitor, error) {
+	c, err := mqtt.DialWithOptions(broker, opts.Dial)
 	if err != nil {
 		return nil, err
 	}
@@ -194,6 +446,7 @@ func newFleetMonitor(broker string) (*fleetMonitor, error) {
 			}
 			switch err := json.Unmarshal(msg.Payload, &hdr); {
 			case err != nil:
+				// Malformed traffic carries no position to classify; skip it.
 			case hdr.Day >= 0:
 				m.frames.Add(1)
 			case hdr.Day == dayEOF:
@@ -210,33 +463,37 @@ func newFleetMonitor(broker string) (*fleetMonitor, error) {
 	}
 	select {
 	case <-m.seen:
-	case <-time.After(5 * time.Second):
+	case <-time.After(opts.ProbeTimeout):
 		c.Close()
 		return nil, fmt.Errorf("mqtt monitor probe lost")
 	}
 	return m, nil
 }
 
-// drain waits until every home's end-of-stream sentinel has reached the
-// monitor and returns the data-frame count. Each pipe publishes its data
-// frames and then its sentinel on one connection, and the broker processes
-// a connection's frames in order, so seeing a home's sentinel proves all
-// its data frames were counted. A quiescence fallback bounds the wait if a
-// sentinel was lost to a dead connection.
-func (m *fleetMonitor) drain(homes int) int64 {
-	deadline := time.Now().Add(10 * time.Second)
+// drain waits until every completed home's end-of-stream sentinel has
+// reached the monitor and returns the data-frame count. Each pipe publishes
+// its data frames and then its sentinel on one connection, and the broker
+// processes a connection's frames in order, so seeing a home's sentinel
+// proves all its data frames were counted. Sentinels can be lost (a
+// chaos-killed publisher, a quarantined home's aborted attempts), so a
+// bounded quiescence fallback closes the gap: once the expected-sentinel
+// wait times out, the count is taken after the bus stays still for one
+// poll interval, and the whole fallback is capped by the drain deadline.
+func (m *fleetMonitor) drain(homes int, opts FleetOptions) int64 {
+	deadline := time.Now().Add(opts.DrainTimeout)
 	for m.eofs.Load() < int64(homes) && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(opts.DrainPoll)
 	}
 	last := m.frames.Load()
-	for {
-		time.Sleep(20 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		time.Sleep(opts.QuiescePoll)
 		now := m.frames.Load()
 		if now == last {
 			return now
 		}
 		last = now
 	}
+	return m.frames.Load()
 }
 
 func (m *fleetMonitor) close() {

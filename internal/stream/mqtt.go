@@ -2,11 +2,13 @@ package stream
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 
+	"github.com/acyd-lab/shatter/internal/aras"
 	"github.com/acyd-lab/shatter/internal/mqtt"
 )
 
@@ -23,14 +25,73 @@ const (
 // subscription precedes any other publisher's traffic).
 func probeFrame() Slot { return Slot{Day: dayProbe} }
 
+// ErrReceiveTimeout is returned when a pipe waits longer than its
+// configured ReceiveTimeout for the next frame — the signal that the
+// publisher died without delivering its end-of-stream sentinel.
+var ErrReceiveTimeout = errors.New("stream: pipe receive timeout")
+
+// PipeOptions configures a pipe's transport behaviour. The zero value
+// reproduces the historical defaults: a 5s handshake deadline, unbounded
+// receive waits, default dial behaviour, and no injected faults.
+type PipeOptions struct {
+	// Dial configures the pipe's two broker connections (dial deadline,
+	// redial attempts with exponential backoff, per-frame write deadline).
+	Dial mqtt.DialOptions
+	// ProbeTimeout bounds the subscription-registration handshake; 0
+	// defaults to 5s.
+	ProbeTimeout time.Duration
+	// ReceiveTimeout bounds each wait for the next frame in Next; 0 waits
+	// forever. Supervised fleets set it so a lost end-of-stream sentinel
+	// surfaces as ErrReceiveTimeout instead of a hang.
+	ReceiveTimeout time.Duration
+	// Faults, when non-nil, applies the chaos schedule to the publishing
+	// side — the deterministic stand-in for a lossy network.
+	Faults *FaultPlan
+	// Epoch tags every published frame with the attempt number. A retry
+	// reuses its home's topic, and the broker may still be flushing the
+	// previous attempt's tail when the new subscription registers; the
+	// consumer discards frames from foreign epochs so a dead attempt can
+	// never poison its successor's stream (stale data advancing the dedup
+	// cursor, or a stale end-of-stream sentinel ending the new attempt).
+	Epoch int
+}
+
+// busFrame is the wire envelope: a Slot plus the publishing attempt's
+// epoch and an integrity flag. Decoding a plain Slot from it still works
+// (the extra keys are ignored), which keeps the fleet monitor and external
+// subscribers agnostic. Corrupt stands in for a failed payload checksum:
+// the frame is unusable, but it still names its epoch, so a stale corrupt
+// frame from a dead attempt can be discarded instead of failing the
+// current one.
+type busFrame struct {
+	Slot
+	Epoch   int  `json:"epoch"`
+	Corrupt bool `json:"corrupt,omitempty"`
+}
+
+// rxFrame decodes a bus frame in place into an existing Slot.
+type rxFrame struct {
+	*Slot
+	Epoch   int  `json:"epoch"`
+	Corrupt bool `json:"corrupt"`
+}
+
 // Pipe routes a source through an MQTT broker: a pump goroutine publishes
 // every frame on the topic, and Next re-receives them from a subscription —
 // the wiring a real deployment has between in-home sensor nodes and the
 // supervisory service. Backpressure is per home: the subscription buffer is
 // bounded and TCP flow control stalls the pump when the consumer lags.
+// Duplicate and stale frames on the bus (retransmissions, chaos-injected
+// duplicates) are absorbed by position tracking in Next, so the consumer
+// sees each (day, slot) at most once, in order.
 type Pipe struct {
 	pub, rcv *mqtt.Client
 	ch       <-chan mqtt.Message
+
+	recvTimeout time.Duration
+	timer       *time.Timer
+	epoch       int // attempt tag; frames from other epochs are discarded
+	last        int // highest delivered day*SlotsPerDay+slot; -1 before any
 
 	mu      sync.Mutex
 	pumpErr error
@@ -38,11 +99,22 @@ type Pipe struct {
 	wg sync.WaitGroup
 }
 
-// OpenPipe subscribes to topic on the broker, confirms registration with a
-// loopback probe, and starts pumping src. The returned Pipe is the
-// transport-side Source; callers must Close it.
+// OpenPipe subscribes to topic on the broker with default options; see
+// OpenPipeOptions.
 func OpenPipe(broker, topic string, src Source) (*Pipe, error) {
-	rcv, err := mqtt.Dial(broker)
+	return OpenPipeOptions(broker, topic, src, PipeOptions{})
+}
+
+// OpenPipeOptions subscribes to topic on the broker, confirms registration
+// with a loopback probe, and starts pumping src. The returned Pipe is the
+// transport-side Source; callers must Close it. Closing the pipe does not
+// close src itself.
+func OpenPipeOptions(broker, topic string, src Source, opts PipeOptions) (*Pipe, error) {
+	probeTimeout := opts.ProbeTimeout
+	if probeTimeout <= 0 {
+		probeTimeout = 5 * time.Second
+	}
+	rcv, err := mqtt.DialWithOptions(broker, opts.Dial)
 	if err != nil {
 		return nil, fmt.Errorf("stream: pipe dial: %w", err)
 	}
@@ -57,24 +129,27 @@ func OpenPipe(broker, topic string, src Source) (*Pipe, error) {
 	}
 	select {
 	case <-ch: // probe delivered: subscription is live
-	case <-time.After(5 * time.Second):
+	case <-time.After(probeTimeout):
 		rcv.Close()
 		return nil, fmt.Errorf("stream: pipe probe lost on %s", topic)
 	}
-	pub, err := mqtt.Dial(broker)
+	pub, err := mqtt.DialWithOptions(broker, opts.Dial)
 	if err != nil {
 		rcv.Close()
 		return nil, fmt.Errorf("stream: pipe dial: %w", err)
 	}
-	p := &Pipe{pub: pub, rcv: rcv, ch: ch}
+	p := &Pipe{pub: pub, rcv: rcv, ch: ch, recvTimeout: opts.ReceiveTimeout, epoch: opts.Epoch, last: -1}
 	p.wg.Add(1)
-	go p.pump(topic, src)
+	go p.pump(topic, src, opts.Faults)
 	return p, nil
 }
 
 // pump publishes src's frames until EOF or error, then an end-of-stream
-// sentinel either way.
-func (p *Pipe) pump(topic string, src Source) {
+// sentinel either way. A non-nil fault plan perturbs the published stream
+// the way a lossy network would; every manufactured failure eventually
+// surfaces to the consumer as a decode error, a sequence gap, or a dead
+// connection.
+func (p *Pipe) pump(topic string, src Source, faults *FaultPlan) {
 	defer p.wg.Done()
 	var s Slot
 	for {
@@ -86,16 +161,60 @@ func (p *Pipe) pump(topic string, src Source) {
 			p.setErr(err)
 			break
 		}
-		if err := p.pub.Publish(topic, &s); err != nil {
-			p.setErr(fmt.Errorf("stream: pipe publish: %w", err))
-			// The sentinel cannot be delivered on a dead publisher, so tear
-			// the receive side down instead — the closed subscription
-			// channel unblocks Next, which then surfaces the pump error.
-			p.rcv.Close()
+		fault := FaultNone
+		if faults != nil {
+			fault = faults.Roll()
+		}
+		switch fault {
+		case FaultDrop:
+			continue // the frame never reaches the bus
+		case FaultDelay:
+			time.Sleep(faults.DelayFor())
+		case FaultCorrupt:
+			// Publish the frame with its integrity flag set — the transport
+			// analogue of a payload that fails its checksum on receipt.
+			if err := p.pub.Publish(topic, &busFrame{Slot: Slot{Day: s.Day, Index: s.Index}, Epoch: p.epoch, Corrupt: true}); err != nil {
+				p.publishFailed(err)
+				return
+			}
+			continue
+		case FaultTruncate:
+			trunc := s
+			if len(trunc.Reported) > 0 {
+				trunc.Reported = trunc.Reported[:len(trunc.Reported)-1]
+			} else {
+				trunc.True = trunc.True[:0]
+			}
+			if err := p.pub.Publish(topic, &busFrame{Slot: trunc, Epoch: p.epoch}); err != nil {
+				p.publishFailed(err)
+				return
+			}
+			continue
+		case FaultDisconnect:
+			// Force-close the publishing connection; the publish below
+			// fails into the dead-publisher teardown.
+			p.pub.Close()
+		}
+		if err := p.pub.Publish(topic, &busFrame{Slot: s, Epoch: p.epoch}); err != nil {
+			p.publishFailed(err)
 			return
 		}
+		if fault == FaultDuplicate {
+			if err := p.pub.Publish(topic, &busFrame{Slot: s, Epoch: p.epoch}); err != nil {
+				p.publishFailed(err)
+				return
+			}
+		}
 	}
-	p.pub.Publish(topic, Slot{Day: dayEOF})
+	p.pub.Publish(topic, busFrame{Slot: Slot{Day: dayEOF}, Epoch: p.epoch})
+}
+
+// publishFailed records a dead publisher and tears the receive side down —
+// the sentinel cannot be delivered, so the closed subscription channel is
+// what unblocks Next, which then surfaces the pump error.
+func (p *Pipe) publishFailed(err error) {
+	p.setErr(fmt.Errorf("stream: pipe publish: %w", err))
+	p.rcv.Close()
 }
 
 func (p *Pipe) setErr(err error) {
@@ -112,28 +231,76 @@ func (p *Pipe) err() error {
 	return p.pumpErr
 }
 
+// receive waits for the next bus message, bounded by the configured
+// receive timeout.
+func (p *Pipe) receive() (mqtt.Message, bool, error) {
+	if p.recvTimeout <= 0 {
+		m, ok := <-p.ch
+		return m, ok, nil
+	}
+	if p.timer == nil {
+		p.timer = time.NewTimer(p.recvTimeout)
+	} else {
+		p.timer.Reset(p.recvTimeout)
+	}
+	select {
+	case m, ok := <-p.ch:
+		if !p.timer.Stop() {
+			select {
+			case <-p.timer.C:
+			default:
+			}
+		}
+		return m, ok, nil
+	case <-p.timer.C:
+		return mqtt.Message{}, false, fmt.Errorf("%w after %s", ErrReceiveTimeout, p.recvTimeout)
+	}
+}
+
 // Next implements Source: it decodes the next frame off the subscription.
 // The pump's end-of-stream sentinel yields io.EOF (or the pump's error).
+// Duplicate and stale frames are skipped so each position is delivered at
+// most once.
 func (p *Pipe) Next(dst *Slot) error {
 	for {
-		m, ok := <-p.ch
+		m, ok, err := p.receive()
+		if err != nil {
+			return err
+		}
 		if !ok {
 			if err := p.err(); err != nil {
 				return err
 			}
 			return fmt.Errorf("stream: pipe connection lost: %w", io.ErrUnexpectedEOF)
 		}
-		if err := json.Unmarshal(m.Payload, dst); err != nil {
+		rx := rxFrame{Slot: dst}
+		if err := json.Unmarshal(m.Payload, &rx); err != nil {
 			return fmt.Errorf("stream: pipe decode: %w", err)
 		}
 		switch dst.Day {
 		case dayProbe:
 			continue // stray handshake frame
+		}
+		if rx.Epoch != p.epoch {
+			// A dead attempt's tail (data, corrupt, or sentinel) still
+			// flushing out of the broker; it belongs to another epoch and
+			// must not advance the dedup cursor or end this stream.
+			continue
+		}
+		if rx.Corrupt {
+			return fmt.Errorf("stream: pipe frame (%d,%d) failed integrity check: %w", dst.Day, dst.Index, ErrInjectedFault)
+		}
+		switch dst.Day {
 		case dayEOF:
 			if err := p.err(); err != nil {
 				return err
 			}
 			return io.EOF
+		}
+		if key := dst.Day*aras.SlotsPerDay + dst.Index; key <= p.last {
+			continue // duplicate or stale retransmission
+		} else {
+			p.last = key
 		}
 		return nil
 	}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"fmt"
 	"io"
 
 	"github.com/acyd-lab/shatter/internal/aras"
@@ -49,6 +50,31 @@ func (s *GeneratorSource) Next(dst *Slot) error {
 	return nil
 }
 
+// SeekDay implements DaySeeker: it fast-forwards the stream to the start
+// of the given day by planning and discarding the skipped days, which
+// evolves the generator's RNG streams exactly as emitting them would — the
+// resumed stream is byte-identical to the uninterrupted one. Seeking
+// backward or into a partially emitted day is an error.
+func (s *GeneratorSource) SeekDay(day int) error {
+	cur := s.d
+	if s.slot == aras.SlotsPerDay {
+		cur = s.gen.DayIndex()
+	}
+	if day == cur && s.slot == 0 {
+		return nil // already positioned on the buffered day's first slot
+	}
+	if day < cur || (day == cur && s.slot != aras.SlotsPerDay) {
+		return fmt.Errorf("stream: source for %s cannot seek back to day %d (at day %d slot %d)", s.id, day, cur, s.slot%aras.SlotsPerDay)
+	}
+	for s.gen.DayIndex() < day {
+		if _, _, err := s.gen.NextDay(); err != nil {
+			return fmt.Errorf("stream: source for %s seeking day %d: %w", s.id, day, err)
+		}
+	}
+	s.slot, s.d = aras.SlotsPerDay, -1
+	return nil
+}
+
 // TraceSource replays a materialized trace as slot frames — the bridge that
 // lets recorded (or batch-generated) data drive the streaming runtime, and
 // the replay path the equivalence tests pin against the batch pipeline.
@@ -76,6 +102,16 @@ func (s *TraceSource) Next(dst *Slot) error {
 		s.slot = 0
 		s.d++
 	}
+	return nil
+}
+
+// SeekDay implements DaySeeker: trace cursors jump in O(1). Seeking past
+// the trace positions the source at end-of-stream.
+func (s *TraceSource) SeekDay(day int) error {
+	if day < 0 {
+		return fmt.Errorf("stream: source for %s cannot seek to day %d", s.id, day)
+	}
+	s.d, s.slot = day, 0
 	return nil
 }
 
