@@ -8,12 +8,16 @@
 // generated fleet concurrently, reporting homes/sec and events/sec — and a
 // stream_fleet_chaos series, the same fleet under the supervised
 // fault-injection path (seeded chaos, checkpointed retries), which prices
-// the resilience layer against the clean run.
+// the resilience layer against the clean run. A separate fleetd_scale
+// series (not gated) runs the sharded fleet service's multiplexed
+// scheduler over -fleetd-scale home counts, producing the scaling curve
+// committed as BENCH_PR7.json.
 //
 // Usage:
 //
 //	bench [-days N] [-train N] [-seed S] [-workers N] [-o BENCH.json]
-//	      [-fleet-homes N] [-fleet-days N] [-cpuprofile F] [-memprofile F]
+//	      [-fleet-homes N] [-fleet-days N] [-fleetd-scale N1,N2,...]
+//	      [-fleetd-days N] [-cpuprofile F] [-memprofile F]
 //	      [-baseline BENCH.json] [-max-regress R]
 //
 // The default configuration matches the benchmark harness's quick suite
@@ -36,9 +40,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/acyd-lab/shatter/internal/core"
+	"github.com/acyd-lab/shatter/internal/fleetd"
 	"github.com/acyd-lab/shatter/internal/profiling"
 	"github.com/acyd-lab/shatter/internal/scenario"
 	"github.com/acyd-lab/shatter/internal/stream"
@@ -72,9 +79,29 @@ type Report struct {
 	// checkpointed retries), reporting the resilience counters alongside
 	// throughput.
 	StreamFleetChaos *stream.FleetStats `json:"stream_fleet_chaos,omitempty"`
-	ADMTrainings     int64              `json:"adm_trainings"`
-	CacheEntries     int                `json:"cache_entries"`
-	TotalNS          int64              `json:"total_ns"`
+	// FleetdScale is the sharded fleet service's scaling curve: each point
+	// runs N synthetic homes through the multiplexed day-boundary scheduler
+	// (internal/fleetd) on this machine. It is informational, not gated —
+	// point counts vary between CI (small) and committed baselines (100k+).
+	FleetdScale  []FleetdPoint `json:"fleetd_scale,omitempty"`
+	ADMTrainings int64         `json:"adm_trainings"`
+	CacheEntries int           `json:"cache_entries"`
+	TotalNS      int64         `json:"total_ns"`
+}
+
+// FleetdPoint is one fleetd scaling measurement.
+type FleetdPoint struct {
+	Homes          int     `json:"homes"`
+	Days           int     `json:"days"`
+	Shards         int     `json:"shards"`
+	MaxResident    int     `json:"max_resident"`
+	ElapsedNS      int64   `json:"elapsed_ns"`
+	Slots          int64   `json:"slots"`
+	Events         int64   `json:"events"`
+	HomesPerSec    float64 `json:"homes_per_sec"`
+	DaysPerSec     float64 `json:"days_per_sec"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
 }
 
 func main() {
@@ -92,7 +119,9 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "experiment worker pool (0 = all CPUs)")
 	fleetHomes := fs.Int("fleet-homes", 100, "stream_fleet series: concurrent synth homes")
 	fleetDays := fs.Int("fleet-days", 2, "stream_fleet series: days per home")
-	out := fs.String("o", "BENCH_PR5.json", "output path (- for stdout)")
+	fleetdScale := fs.String("fleetd-scale", "1000", "fleetd scaling series: comma-separated home counts (empty disables)")
+	fleetdDays := fs.Int("fleetd-days", 1, "fleetd scaling series: days per home")
+	out := fs.String("o", "BENCH_PR7.json", "output path (- for stdout)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	baseline := fs.String("baseline", "", "committed baseline report to gate warm series against")
@@ -202,6 +231,25 @@ func run(args []string) error {
 			WarmNS: time.Since(warm).Nanoseconds(),
 		})
 	}
+	for _, field := range strings.Split(*fleetdScale, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		n, err := strconv.Atoi(field)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -fleetd-scale entry %q (want positive home counts)", field)
+		}
+		pt, err := runFleetdScale(s, n, *fleetdDays, cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("fleetd_scale %d: %w", n, err)
+		}
+		fmt.Fprintf(os.Stderr, "fleetd_scale: %d homes x %d days in %s (%.1f homes/s, %.0f events/s, heap %.1f MiB)\n",
+			pt.Homes, pt.Days, time.Duration(pt.ElapsedNS).Round(time.Millisecond),
+			pt.HomesPerSec, pt.EventsPerSec, float64(pt.HeapAllocBytes)/(1<<20))
+		report.FleetdScale = append(report.FleetdScale, pt)
+	}
+
 	stats := s.CacheStats()
 	report.ADMTrainings = stats.ADMTrainings
 	report.CacheEntries = stats.Entries
@@ -289,6 +337,55 @@ func gateAgainstBaseline(w io.Writer, report Report, path string, maxRegress flo
 	fmt.Fprintf(w, "perf gate passed against %s (max regress %.1fx + %s slack)\n",
 		path, maxRegress, time.Duration(regressSlackNS))
 	return nil
+}
+
+// runFleetdScale drives one fleetd scaling point: homes synthetic homes
+// admitted to a 4-shard service with a bounded admission window, run to
+// completion through the multiplexed scheduler. The elapsed clock covers
+// admission through fleet-idle; the heap figure is sampled at completion.
+func runFleetdScale(s *core.Suite, homes, days int, seed uint64) (FleetdPoint, error) {
+	jobs, err := s.FleetJobs(scenario.SynthFleet(homes, seed), core.StreamOptions{Days: days})
+	if err != nil {
+		return FleetdPoint{}, err
+	}
+	const shards = 4
+	svc, err := fleetd.NewService(fleetd.Config{
+		Shards: shards,
+		Shard:  fleetd.ShardOptions{MaxResident: 2048},
+	})
+	if err != nil {
+		return FleetdPoint{}, err
+	}
+	defer svc.Close(false)
+	began := time.Now()
+	if err := svc.Add(jobs); err != nil {
+		return FleetdPoint{}, err
+	}
+	svc.WaitIdle()
+	elapsed := time.Since(began)
+	snap := svc.Snapshot()
+	if snap.HomesFailed > 0 {
+		return FleetdPoint{}, fmt.Errorf("%d homes failed", snap.HomesFailed)
+	}
+	if snap.HomesCompleted != int64(homes) {
+		return FleetdPoint{}, fmt.Errorf("completed %d of %d homes", snap.HomesCompleted, homes)
+	}
+	pt := FleetdPoint{
+		Homes:          homes,
+		Days:           days,
+		Shards:         shards,
+		MaxResident:    2048,
+		ElapsedNS:      elapsed.Nanoseconds(),
+		Slots:          snap.Slots,
+		Events:         snap.SensorEvents + snap.ActionEvents + snap.Verdicts,
+		HeapAllocBytes: snap.HeapAllocBytes,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		pt.HomesPerSec = float64(homes) / secs
+		pt.DaysPerSec = float64(snap.Days) / secs
+		pt.EventsPerSec = float64(pt.Events) / secs
+	}
+	return pt, nil
 }
 
 // discard adapts an experiment method to a result-free runner.

@@ -104,7 +104,7 @@ func run(args []string) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	sweepSpecs, err := parseSweepSpecs(*sweep, *seed)
+	sweepSpecs, err := scenario.ParseList(*sweep, *seed)
 	if err != nil {
 		return err
 	}
@@ -222,45 +222,6 @@ func run(args []string) error {
 	return nil
 }
 
-// parseSweepSpecs resolves the -scenarios list: registry IDs and/or
-// "synth:ZxO[@SEED]" procedural shapes (seed defaults to the dataset seed).
-func parseSweepSpecs(list string, seed uint64) ([]scenario.Spec, error) {
-	var specs []scenario.Spec
-	for _, entry := range strings.Split(list, ",") {
-		entry = strings.TrimSpace(entry)
-		if entry == "" {
-			continue
-		}
-		if shape, ok := strings.CutPrefix(entry, "synth:"); ok {
-			synthSeed := seed
-			if shape0, seedStr, hasSeed := strings.Cut(shape, "@"); hasSeed {
-				v, err := strconv.ParseUint(seedStr, 10, 64)
-				if err != nil {
-					return nil, fmt.Errorf("bad synth seed in %q: %v", entry, err)
-				}
-				shape, synthSeed = shape0, v
-			}
-			zStr, oStr, ok := strings.Cut(shape, "x")
-			if !ok {
-				return nil, fmt.Errorf("bad synth shape %q (want synth:ZxO[@SEED])", entry)
-			}
-			zones, err1 := strconv.Atoi(zStr)
-			occ, err2 := strconv.Atoi(oStr)
-			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("bad synth shape %q (want synth:ZxO[@SEED])", entry)
-			}
-			specs = append(specs, scenario.Synth(zones, occ, synthSeed))
-			continue
-		}
-		sp, ok := scenario.Get(entry)
-		if !ok {
-			return nil, fmt.Errorf("unknown scenario %q (registered: %s)", entry, strings.Join(scenario.IDs(), ", "))
-		}
-		specs = append(specs, sp)
-	}
-	return specs, nil
-}
-
 // parseChaos resolves the -stream-chaos spec, a comma-separated k=v list
 // of fault probabilities and schedule knobs.
 func parseChaos(spec string) (*stream.FaultConfig, error) {
@@ -320,7 +281,7 @@ func parseStreamSpecs(arg string, seed uint64) ([]scenario.Spec, error) {
 		}
 		return scenario.SynthFleet(n, seed), nil
 	}
-	return parseSweepSpecs(arg, seed)
+	return scenario.ParseList(arg, seed)
 }
 
 func printStream(s *core.Suite, specs []scenario.Spec, opts core.StreamOptions, useMQTT bool) error {
@@ -333,6 +294,8 @@ func printStream(s *core.Suite, specs []scenario.Spec, opts core.StreamOptions, 
 		defer broker.Close()
 		opts.Broker = broker.Addr()
 		fmt.Printf("transport: MQTT broker %s (per-home topics, home/+/sensor monitor)\n", broker.Addr())
+	} else {
+		fmt.Println("transport: direct (in-process sources, no broker)")
 	}
 	res, err := s.Stream(specs, opts)
 	if err != nil {
@@ -361,13 +324,15 @@ func printStream(s *core.Suite, specs []scenario.Spec, opts core.StreamOptions, 
 		fmt.Printf("; bus: %d frames through the broker", st.BusFrames)
 	}
 	fmt.Println()
-	if st.Retries > 0 || st.Restores > 0 || st.Quarantined > 0 {
-		fmt.Printf("resilience: %d retries, %d checkpoint restores, %d homes quarantined\n",
-			st.Retries, st.Restores, st.Quarantined)
-		for _, o := range res.Outcomes {
-			if o.Status == stream.OutcomeQuarantined {
-				fmt.Printf("  quarantined %s after %d attempts: %s\n", o.ID, o.Attempts, o.Err)
-			}
+	fmt.Printf("resilience: %d retries, %d checkpoint restores, %d homes quarantined\n",
+		st.Retries, st.Restores, st.Quarantined)
+	for _, o := range res.Outcomes {
+		switch {
+		case o.Status == stream.OutcomeQuarantined:
+			fmt.Printf("  quarantined %s after %d attempts: %s\n", o.ID, o.Attempts, o.Err)
+		case o.Restores > 0:
+			fmt.Printf("  restored %s from its day-%d checkpoint (%d attempts, %d restores)\n",
+				o.ID, o.CheckpointDay, o.Attempts, o.Restores)
 		}
 	}
 	fmt.Println()

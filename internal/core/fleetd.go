@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/acyd-lab/shatter/internal/fleetd"
+	"github.com/acyd-lab/shatter/internal/scenario"
+	"github.com/acyd-lab/shatter/internal/stream"
+)
+
+// FleetJobFactory adapts the suite into the fleet service's control-plane
+// job resolver: an admin AddRequest names scenarios in the shared grammar
+// (registry IDs, synth:ZxO[@SEED], or a bulk synthetic fleet) and the
+// factory assembles the same lazily-opening jobs Stream runs. A request
+// Prefix renames the specs before job assembly, so repeated adds of the
+// same scenarios coexist — note a renamed spec derives a different
+// generator seed (seeds are keyed by ID), making each prefixed cohort a
+// distinct set of homes.
+func (s *Suite) FleetJobFactory() fleetd.JobFactory {
+	return func(req fleetd.AddRequest) ([]stream.Job, error) {
+		specs, err := s.resolveAddSpecs(req)
+		if err != nil {
+			return nil, err
+		}
+		return s.FleetJobs(specs, StreamOptions{
+			Days:   req.Days,
+			Defend: req.Defend,
+			Attack: req.Attack,
+		})
+	}
+}
+
+// resolveAddSpecs expands an AddRequest into scenario specs.
+func (s *Suite) resolveAddSpecs(req fleetd.AddRequest) ([]scenario.Spec, error) {
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.Config.Seed
+	}
+	var specs []scenario.Spec
+	for _, entry := range req.Scenarios {
+		sp, err := scenario.Parse(strings.TrimSpace(entry), seed)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sp)
+	}
+	if req.Synth > 0 {
+		specs = append(specs, scenario.SynthFleet(req.Synth, seed)...)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: add request names no homes (set scenarios or synth)")
+	}
+	if req.Prefix != "" {
+		for i := range specs {
+			specs[i].ID = req.Prefix + specs[i].ID
+		}
+	}
+	return specs, nil
+}
+
+// NewFleetService starts a fleet service wired to the suite: unset shard
+// workers default to the suite's pool width, and the control plane resolves
+// add requests through the suite's job factory.
+func NewFleetService(s *Suite, cfg fleetd.Config) (*fleetd.Service, error) {
+	if cfg.Shard.Workers == 0 {
+		cfg.Shard.Workers = s.Config.Workers
+	}
+	if cfg.Jobs == nil {
+		cfg.Jobs = s.FleetJobFactory()
+	}
+	return fleetd.NewService(cfg)
+}

@@ -59,6 +59,28 @@ type StreamOptions struct {
 // when Defend or Attack demands them; a plain benign fleet streams straight
 // from the generators without ever holding a full trace.
 func (s *Suite) Stream(specs []scenario.Spec, opts StreamOptions) (stream.FleetResult, error) {
+	jobs, err := s.FleetJobs(specs, opts)
+	if err != nil {
+		return stream.FleetResult{}, err
+	}
+	return stream.RunFleet(jobs, stream.FleetOptions{
+		Workers:       s.Config.Workers,
+		Broker:        opts.Broker,
+		Recover:       opts.Recover,
+		MaxRetries:    opts.MaxRetries,
+		FailFast:      opts.FailFast,
+		CheckpointDir: opts.CheckpointDir,
+		Chaos:         opts.Chaos,
+	})
+}
+
+// FleetJobs assembles one lazily-opening stream job per spec — the job
+// list both Stream and the fleetd service run, so a sharded service and a
+// one-shot RunFleet drive byte-identical pipelines. Worlds are materialized
+// (and defenders trained, campaigns planned) up front across the pool only
+// when Defend or Attack demands them; a benign fleet streams straight from
+// the generators without ever holding a full trace.
+func (s *Suite) FleetJobs(specs []scenario.Spec, opts StreamOptions) ([]stream.Job, error) {
 	days := opts.Days
 	if days <= 0 {
 		days = s.Config.Days
@@ -70,7 +92,7 @@ func (s *Suite) Stream(specs []scenario.Spec, opts StreamOptions) (stream.FleetR
 			_, err := s.ensureWorld(specs[i])
 			return err
 		}); err != nil {
-			return stream.FleetResult{}, err
+			return nil, err
 		}
 	}
 	jobs := make([]stream.Job, len(specs))
@@ -84,15 +106,7 @@ func (s *Suite) Stream(specs []scenario.Spec, opts StreamOptions) (stream.FleetR
 			return src, h, nil
 		}}
 	}
-	return stream.RunFleet(jobs, stream.FleetOptions{
-		Workers:       s.Config.Workers,
-		Broker:        opts.Broker,
-		Recover:       opts.Recover,
-		MaxRetries:    opts.MaxRetries,
-		FailFast:      opts.FailFast,
-		CheckpointDir: opts.CheckpointDir,
-		Chaos:         opts.Chaos,
-	})
+	return jobs, nil
 }
 
 // openStream assembles one home's streaming pipeline on the worker that

@@ -1,0 +1,168 @@
+package fleetd
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the service's live counter registry. Every shard worker bumps
+// the shared atomics as it drives homes, so a snapshot is cheap enough to
+// publish every few seconds without pausing the fleet. Counters are
+// monotonic over the service's lifetime; gauges (resident, paused, queue
+// depths) are read from the shards at snapshot time.
+type Metrics struct {
+	start time.Time
+
+	homesAdded     atomic.Int64
+	homesCompleted atomic.Int64
+	homesFailed    atomic.Int64
+	homesRemoved   atomic.Int64
+	days           atomic.Int64
+	slots          atomic.Int64
+	sensorEvents   atomic.Int64
+	actionEvents   atomic.Int64
+	verdicts       atomic.Int64
+	anomalies      atomic.Int64
+	retries        atomic.Int64
+	restores       atomic.Int64
+	checkpoints    atomic.Int64
+
+	// Detection latency: stream-time distance (in slots, i.e. minutes of
+	// simulated time) between an episode's last slot and the slot whose
+	// ingestion closed it and produced the verdict. Sum/count/max give the
+	// mean and worst case without storing a histogram.
+	latencySumSlots atomic.Int64
+	latencyCount    atomic.Int64
+	latencyMaxSlots atomic.Int64
+}
+
+// NewMetrics returns a registry with its rate epoch set to now.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// observeVerdict records a verdict and its stream-time detection latency.
+func (m *Metrics) observeVerdict(lagSlots int64, anomalous bool) {
+	m.verdicts.Add(1)
+	if anomalous {
+		m.anomalies.Add(1)
+	}
+	if lagSlots < 0 {
+		return // episode closed by end-of-stream flush: no meaningful lag
+	}
+	m.latencySumSlots.Add(lagSlots)
+	m.latencyCount.Add(1)
+	for {
+		cur := m.latencyMaxSlots.Load()
+		if lagSlots <= cur || m.latencyMaxSlots.CompareAndSwap(cur, lagSlots) {
+			return
+		}
+	}
+}
+
+// ShardStatus is one shard's gauge set at snapshot time.
+type ShardStatus struct {
+	Shard int `json:"shard"`
+	// Pending homes are admitted but not yet opened (the admission window
+	// is the fleet's backpressure valve); Resident homes hold live pipeline
+	// state; Ready homes sit on the run queue at a day boundary; Running
+	// homes are on a worker right now; Paused homes are parked.
+	Pending  int `json:"pending"`
+	Resident int `json:"resident"`
+	Ready    int `json:"ready"`
+	Running  int `json:"running"`
+	Paused   int `json:"paused"`
+	// Done and Failed count homes that finished on this shard.
+	Done   int `json:"done"`
+	Failed int `json:"failed"`
+	// Drained reports whether the shard is currently drained (state
+	// persisted to checkpoints, no live pipelines).
+	Drained bool `json:"drained"`
+	// ApproxHeapBytes is the service heap prorated by this shard's share of
+	// resident homes — an approximation (Go's heap is global), but it tracks
+	// which shard holds the live state.
+	ApproxHeapBytes uint64 `json:"approx_heap_bytes"`
+}
+
+// Snapshot is the metrics document published on the metrics topic and
+// printed by cmd/fleetd. All rates are computed over the service lifetime.
+type Snapshot struct {
+	UptimeNS       int64 `json:"uptime_ns"`
+	HomesAdded     int64 `json:"homes_added"`
+	HomesActive    int64 `json:"homes_active"` // added - completed - failed - removed
+	HomesCompleted int64 `json:"homes_completed"`
+	HomesFailed    int64 `json:"homes_failed"`
+	HomesRemoved   int64 `json:"homes_removed"`
+	Days           int64 `json:"days"`
+	Slots          int64 `json:"slots"`
+	SensorEvents   int64 `json:"sensor_events"`
+	ActionEvents   int64 `json:"action_events"`
+	Verdicts       int64 `json:"verdicts"`
+	Anomalies      int64 `json:"anomalies"`
+	Retries        int64 `json:"retries"`
+	Restores       int64 `json:"restores"`
+	Checkpoints    int64 `json:"checkpoints"`
+
+	HomesPerSec  float64 `json:"homes_per_sec"` // completed homes / uptime
+	DaysPerSec   float64 `json:"days_per_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	// DetectionLatencyMeanSlots / MaxSlots are stream-time (simulated
+	// minutes) between an episode ending and its verdict.
+	DetectionLatencyMeanSlots float64 `json:"detection_latency_mean_slots"`
+	DetectionLatencyMaxSlots  int64   `json:"detection_latency_max_slots"`
+
+	HeapAllocBytes uint64        `json:"heap_alloc_bytes"`
+	Goroutines     int           `json:"goroutines"`
+	Shards         []ShardStatus `json:"shards"`
+}
+
+// Snapshot assembles the current counter values plus the given per-shard
+// gauges into a publishable document.
+func (m *Metrics) Snapshot(shards []ShardStatus) Snapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	up := time.Since(m.start)
+	s := Snapshot{
+		UptimeNS:       up.Nanoseconds(),
+		HomesAdded:     m.homesAdded.Load(),
+		HomesCompleted: m.homesCompleted.Load(),
+		HomesFailed:    m.homesFailed.Load(),
+		HomesRemoved:   m.homesRemoved.Load(),
+		Days:           m.days.Load(),
+		Slots:          m.slots.Load(),
+		SensorEvents:   m.sensorEvents.Load(),
+		ActionEvents:   m.actionEvents.Load(),
+		Verdicts:       m.verdicts.Load(),
+		Anomalies:      m.anomalies.Load(),
+		Retries:        m.retries.Load(),
+		Restores:       m.restores.Load(),
+		Checkpoints:    m.checkpoints.Load(),
+		HeapAllocBytes: ms.HeapAlloc,
+		Goroutines:     runtime.NumGoroutine(),
+		Shards:         shards,
+	}
+	s.HomesActive = s.HomesAdded - s.HomesCompleted - s.HomesFailed - s.HomesRemoved
+	if secs := up.Seconds(); secs > 0 {
+		s.HomesPerSec = float64(s.HomesCompleted) / secs
+		s.DaysPerSec = float64(s.Days) / secs
+		s.EventsPerSec = float64(s.SensorEvents+s.ActionEvents+s.Verdicts) / secs
+	}
+	if n := m.latencyCount.Load(); n > 0 {
+		s.DetectionLatencyMeanSlots = float64(m.latencySumSlots.Load()) / float64(n)
+		s.DetectionLatencyMaxSlots = m.latencyMaxSlots.Load()
+	}
+	// Prorate the (global) heap across shards by resident share so the
+	// per-shard figure reflects who holds the live pipelines.
+	resident := 0
+	for i := range shards {
+		resident += shards[i].Resident
+	}
+	for i := range s.Shards {
+		if resident > 0 {
+			s.Shards[i].ApproxHeapBytes = uint64(float64(ms.HeapAlloc) * float64(s.Shards[i].Resident) / float64(resident))
+		}
+	}
+	return s
+}

@@ -1,0 +1,255 @@
+package fleetd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/acyd-lab/shatter/internal/mqtt"
+	"github.com/acyd-lab/shatter/internal/stream"
+)
+
+// JobFactory resolves an admin AddRequest into concrete stream jobs. The
+// service itself is scenario-agnostic; the factory (supplied by the core
+// layer) owns world materialization, ADM training, and job assembly.
+type JobFactory func(req AddRequest) ([]stream.Job, error)
+
+// Config assembles a fleet service. The zero value runs one shard with the
+// shard defaults, no control plane, and no metrics publishing.
+type Config struct {
+	// Shards is the horizontal partition count; 0 defaults to 1. Homes are
+	// assigned round-robin in add order.
+	Shards int
+	// Shard holds the per-shard scheduler and transport options (worker
+	// count, admission window, supervision, chaos, frame transport).
+	Shard ShardOptions
+
+	// Broker, when non-empty, attaches the control plane: the service
+	// subscribes to fleet/admin/+ for admin requests and publishes metrics
+	// snapshots on fleet/metrics every MetricsEvery (default 2s). This is
+	// the control-plane connection only; per-home frame transport is
+	// Shard.Broker.
+	Broker string
+	// MetricsEvery is the metrics publishing cadence; 0 defaults to 2s.
+	MetricsEvery time.Duration
+	// Dial configures the control-plane connections.
+	Dial mqtt.DialOptions
+
+	// Jobs resolves control-plane add requests; nil rejects them (homes can
+	// still be added programmatically via Add).
+	Jobs JobFactory
+}
+
+// Service is the long-running fleet runtime: a set of shards multiplexing
+// homes over worker pools, a shared metrics registry, and (optionally) an
+// MQTT control plane.
+type Service struct {
+	cfg    Config
+	met    *Metrics
+	shards []*Shard
+
+	mu    sync.Mutex
+	order []string       // home IDs in add order, for Result
+	where map[string]int // home ID -> shard
+	next  int            // round-robin cursor
+	ctl   *controlPlane
+	done  chan struct{}
+	stop  sync.Once
+}
+
+// NewService starts the shards (and the control plane when configured).
+func NewService(cfg Config) (*Service, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.MetricsEvery <= 0 {
+		cfg.MetricsEvery = 2 * time.Second
+	}
+	s := &Service{
+		cfg:   cfg,
+		met:   NewMetrics(),
+		where: make(map[string]int),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, newShard(i, cfg.Shard, s.met))
+	}
+	if cfg.Broker != "" {
+		ctl, err := newControlPlane(s, cfg.Broker, cfg.Dial, cfg.MetricsEvery)
+		if err != nil {
+			s.Close(false)
+			return nil, err
+		}
+		s.ctl = ctl
+	}
+	return s, nil
+}
+
+// Add admits jobs to the fleet, round-robin across shards in add order.
+// IDs must be unique fleet-wide (they key checkpoints and MQTT topics).
+func (s *Service) Add(jobs []stream.Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range jobs {
+		if j.ID == "" || j.Open == nil {
+			return fmt.Errorf("fleetd: job missing ID or Open")
+		}
+		if _, dup := s.where[j.ID]; dup {
+			return fmt.Errorf("fleetd: duplicate home ID %q", j.ID)
+		}
+	}
+	// Partition preserving add order within each shard.
+	batches := make([][]stream.Job, len(s.shards))
+	assign := make([]int, len(jobs))
+	cursor := s.next
+	for i, j := range jobs {
+		sh := cursor % len(s.shards)
+		assign[i] = sh
+		batches[sh] = append(batches[sh], j)
+		cursor++
+	}
+	for sh, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		if err := s.shards[sh].Add(batch); err != nil {
+			return err
+		}
+	}
+	for i, j := range jobs {
+		s.order = append(s.order, j.ID)
+		s.where[j.ID] = assign[i]
+	}
+	s.next = cursor
+	return nil
+}
+
+// shardOf locates a home's shard.
+func (s *Service) shardOf(homeID string) (*Shard, error) {
+	s.mu.Lock()
+	idx, ok := s.where[homeID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fleetd: unknown home %q", homeID)
+	}
+	return s.shards[idx], nil
+}
+
+// Pause / Resume / Remove forward to the home's shard.
+func (s *Service) Pause(homeID string) error {
+	sh, err := s.shardOf(homeID)
+	if err != nil {
+		return err
+	}
+	return sh.Pause(homeID)
+}
+
+func (s *Service) Resume(homeID string) error {
+	sh, err := s.shardOf(homeID)
+	if err != nil {
+		return err
+	}
+	return sh.Resume(homeID)
+}
+
+func (s *Service) Remove(homeID string) error {
+	sh, err := s.shardOf(homeID)
+	if err != nil {
+		return err
+	}
+	return sh.Remove(homeID)
+}
+
+// shard bounds-checks a shard index.
+func (s *Service) shard(i int) (*Shard, error) {
+	if i < 0 || i >= len(s.shards) {
+		return nil, fmt.Errorf("fleetd: shard %d out of range [0,%d)", i, len(s.shards))
+	}
+	return s.shards[i], nil
+}
+
+// DrainShard quiesces one shard and persists its homes to checkpoints.
+func (s *Service) DrainShard(i int) error {
+	sh, err := s.shard(i)
+	if err != nil {
+		return err
+	}
+	return sh.Drain()
+}
+
+// RehydrateShard readmits a drained shard's homes from their checkpoints.
+func (s *Service) RehydrateShard(i int) error {
+	sh, err := s.shard(i)
+	if err != nil {
+		return err
+	}
+	return sh.Rehydrate()
+}
+
+// WaitIdle blocks until every admitted home on every shard reached a
+// terminal state.
+func (s *Service) WaitIdle() {
+	for _, sh := range s.shards {
+		sh.WaitIdle()
+	}
+}
+
+// Snapshot assembles the live metrics document.
+func (s *Service) Snapshot() Snapshot {
+	statuses := make([]ShardStatus, len(s.shards))
+	for i, sh := range s.shards {
+		statuses[i] = sh.Status()
+	}
+	return s.met.Snapshot(statuses)
+}
+
+// Result assembles the fleet outcome in add order, mirroring
+// stream.RunFleet's FleetResult: per-home results in job order (ID-only
+// for homes that did not complete), supervision outcomes for every home,
+// and the shared aggregate. Call after WaitIdle for a settled fleet;
+// calling earlier reports in-flight homes as OutcomeActive.
+func (s *Service) Result() stream.FleetResult {
+	s.mu.Lock()
+	order := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	results := make([]stream.HomeResult, len(order))
+	outcomes := make([]stream.HomeOutcome, len(order))
+	for i, id := range order {
+		sh, err := s.shardOf(id)
+		if err != nil {
+			results[i] = stream.HomeResult{ID: id}
+			outcomes[i] = stream.HomeOutcome{ID: id}
+			continue
+		}
+		results[i], outcomes[i], _ = sh.Outcome(id)
+	}
+	return stream.AggregateFleet(results, outcomes)
+}
+
+// Outcomes returns the supervision records sorted by home ID — the shape
+// the control plane's status verb reports.
+func (s *Service) Outcomes() []stream.HomeOutcome {
+	fr := s.Result()
+	sort.Slice(fr.Outcomes, func(i, j int) bool { return fr.Outcomes[i].ID < fr.Outcomes[j].ID })
+	return fr.Outcomes
+}
+
+// Done is closed when the control plane receives a stop request (or Close
+// is called). Embedders select on it to run the service until an admin
+// shuts it down.
+func (s *Service) Done() <-chan struct{} { return s.done }
+
+// Close shuts the service down: the control plane detaches, then every
+// shard stops (persisting still-resident homes to checkpoints when persist
+// is set and a checkpoint dir is configured). Idempotent.
+func (s *Service) Close(persist bool) {
+	s.stop.Do(func() { close(s.done) })
+	if s.ctl != nil {
+		s.ctl.close()
+		s.ctl = nil
+	}
+	for _, sh := range s.shards {
+		sh.Stop(persist && s.cfg.Shard.CheckpointDir != "")
+	}
+}

@@ -1,0 +1,844 @@
+package fleetd
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/acyd-lab/shatter/internal/adm"
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/mqtt"
+	"github.com/acyd-lab/shatter/internal/stream"
+)
+
+// ShardOptions configures one shard's scheduler and transport. The zero
+// value multiplexes over one worker per CPU with a 4096-home admission
+// window, one-day quanta, direct (in-process) frame transport, and no
+// supervision.
+type ShardOptions struct {
+	// Workers is the shard's worker-goroutine count; 0 selects one per CPU.
+	// Homes vastly outnumber workers — the scheduler multiplexes them.
+	Workers int
+	// MaxResident bounds how many homes hold live pipeline state at once
+	// (the admission window); 0 defaults to 4096. Homes beyond the window
+	// wait unopened on the pending queue, which is what keeps a 100k-home
+	// shard's memory proportional to the window, not the fleet.
+	MaxResident int
+	// QuantumDays is how many days a home advances per scheduling turn
+	// before yielding its worker at a day boundary; 0 defaults to 1. Larger
+	// quanta amortize scheduling overhead; smaller ones tighten pause/drain
+	// latency.
+	QuantumDays int
+
+	// Recover enables supervised retries: a failed home reopens from its
+	// last day-boundary checkpoint up to MaxRetries times (0 defaults to 3,
+	// negative disables) before it is quarantined.
+	Recover bool
+	// MaxRetries is the retry budget per home (see Recover).
+	MaxRetries int
+	// RetryBackoff schedules the pause before each retry; retries wait on a
+	// timer, never on a worker.
+	RetryBackoff mqtt.Backoff
+	// CheckpointDir persists day-boundary checkpoints (cadence
+	// CheckpointEvery, default 1) so drains and retries survive the
+	// process; empty keeps checkpoints in memory, which still supports
+	// in-process drain/rehydrate and retry.
+	CheckpointDir   string
+	CheckpointEvery int
+	// Chaos injects the seeded fault schedule into every home's transport.
+	Chaos *stream.FaultConfig
+
+	// Broker, when non-empty, routes every home's frames through the MQTT
+	// broker at this address (per-home home/<id>/sensor topics), exactly
+	// like stream.RunFleet's MQTT mode.
+	Broker string
+	// Dial, ProbeTimeout, and ReceiveTimeout configure the broker
+	// connections (see stream.FleetOptions).
+	Dial           mqtt.DialOptions
+	ProbeTimeout   time.Duration
+	ReceiveTimeout time.Duration
+}
+
+// withDefaults resolves the documented option defaults.
+func (o ShardOptions) withDefaults() ShardOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxResident <= 0 {
+		o.MaxResident = 4096
+	}
+	if o.QuantumDays <= 0 {
+		o.QuantumDays = 1
+	}
+	if o.Recover && o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.Recover && o.ReceiveTimeout == 0 && o.Broker != "" {
+		o.ReceiveTimeout = 10 * time.Second
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
+	return o
+}
+
+// supervised reports whether the shard keeps day-boundary checkpoints as
+// it runs (for retries and/or persistence).
+func (o ShardOptions) supervised() bool { return o.Recover || o.CheckpointDir != "" }
+
+// homeState is a home's position in the shard lifecycle.
+type homeState uint8
+
+const (
+	// statePending: admitted to the shard but holding no pipeline state —
+	// freshly added, awaiting a retry timer, or waiting out the admission
+	// window.
+	statePending homeState = iota
+	// stateReady: resident at a day boundary, queued for a worker.
+	stateReady
+	// stateRunning: a worker is driving the home's quantum.
+	stateRunning
+	// stateParked: resident at a day boundary, held off the run queue by a
+	// drain in progress.
+	stateParked
+	// statePaused: resident (or pending) and explicitly paused.
+	statePaused
+	// stateDrained: progress persisted to a checkpoint, pipeline released;
+	// Rehydrate readmits the home.
+	stateDrained
+	// stateDone, stateFailed, stateRemoved are terminal.
+	stateDone
+	stateFailed
+	stateRemoved
+)
+
+// homeRun is one home's scheduling record. Pipeline fields (src, drive,
+// home, pos, days, …) are only touched by the worker currently driving the
+// home or, for parked/drained homes, under the shard lock with no worker
+// attached — a home is never on two workers at once.
+type homeRun struct {
+	job   stream.Job
+	state homeState
+
+	src   stream.Source // as returned by job.Open (owns real resources)
+	drive stream.Source // transport-wrapped source the scheduler pulls
+
+	home *stream.Home
+	pos  int // last ingested absolute slot, for verdict latency
+	days int // completed days
+
+	opens    int // pipeline openings (attempt epoch for the MQTT pipe)
+	failures int
+	restores int
+	lastCk   *stream.Checkpoint // newest day-boundary checkpoint
+	ckDay    int                // highest day boundary ever checkpointed
+
+	pauseReq  bool
+	removeReq bool
+	err       error
+	result    stream.HomeResult
+	elapsed   time.Duration
+}
+
+// Shard multiplexes many homes over a small worker pool: homes advance one
+// quantum (QuantumDays, ending at a day boundary) per scheduling turn and
+// then requeue, so thousands of homes share a handful of goroutines and
+// every resident home is always at a day boundary when it is not actively
+// running — the invariant that makes pause, drain, and checkpointing safe
+// at any moment. Backpressure is structural: the bounded admission window
+// caps live pipelines (injector→detector→controller state), and the ready
+// queue only ever holds admitted homes.
+type Shard struct {
+	id   int
+	opts ShardOptions
+	met  *Metrics
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	homes   map[string]*homeRun
+	pending []*homeRun
+	ready   []*homeRun
+	// resident counts homes holding pipeline state; running the homes on a
+	// worker right now; outstanding the homes not yet in a terminal state.
+	resident    int
+	running     int
+	outstanding int
+	done        int
+	failed      int
+	draining    bool
+	drained     bool
+	stopped     bool
+
+	wg sync.WaitGroup
+}
+
+// newShard starts the shard's worker pool.
+func newShard(id int, opts ShardOptions, met *Metrics) *Shard {
+	sh := &Shard{
+		id:    id,
+		opts:  opts.withDefaults(),
+		met:   met,
+		homes: make(map[string]*homeRun),
+	}
+	sh.cond = sync.NewCond(&sh.mu)
+	for w := 0; w < sh.opts.Workers; w++ {
+		sh.wg.Add(1)
+		go sh.worker()
+	}
+	return sh
+}
+
+// Add admits jobs to the shard's pending queue. Duplicate IDs (including
+// completed ones) are rejected — they would collide on checkpoint files
+// and MQTT topics.
+func (sh *Shard) Add(jobs []stream.Job) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.stopped {
+		return fmt.Errorf("fleetd: shard %d is stopped", sh.id)
+	}
+	for _, j := range jobs {
+		if _, dup := sh.homes[j.ID]; dup {
+			return fmt.Errorf("fleetd: duplicate home ID %q on shard %d", j.ID, sh.id)
+		}
+	}
+	for _, j := range jobs {
+		h := &homeRun{job: j, state: statePending}
+		sh.homes[j.ID] = h
+		sh.pending = append(sh.pending, h)
+		sh.outstanding++
+	}
+	sh.met.homesAdded.Add(int64(len(jobs)))
+	sh.cond.Broadcast()
+	return nil
+}
+
+// worker is one scheduling loop: claim the next runnable home, drive one
+// quantum, repeat. The slot buffer is reused across homes (sources size it
+// per home).
+func (sh *Shard) worker() {
+	defer sh.wg.Done()
+	var slot stream.Slot
+	for {
+		h := sh.next()
+		if h == nil {
+			return
+		}
+		sh.drive(h, &slot)
+	}
+}
+
+// next blocks until a home is runnable (ready first, then admission from
+// pending) or the shard stops.
+func (sh *Shard) next() *homeRun {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for {
+		if sh.stopped {
+			return nil
+		}
+		if !sh.draining {
+			if h := sh.claimLocked(); h != nil {
+				return h
+			}
+		}
+		sh.cond.Wait()
+	}
+}
+
+// claimLocked pops the next runnable home under the shard lock. Queue
+// entries whose state moved on since they were enqueued (removed, drained)
+// are stale and skipped.
+func (sh *Shard) claimLocked() *homeRun {
+	for len(sh.ready) > 0 {
+		h := sh.ready[0]
+		sh.ready = sh.ready[1:]
+		switch {
+		case h.state != stateReady:
+			// stale entry
+		case h.removeReq:
+			sh.discardLocked(h)
+		case h.pauseReq:
+			h.state = statePaused
+		default:
+			h.state = stateRunning
+			sh.running++
+			return h
+		}
+	}
+	for sh.resident < sh.opts.MaxResident && len(sh.pending) > 0 {
+		h := sh.pending[0]
+		sh.pending = sh.pending[1:]
+		switch {
+		case h.state != statePending:
+			// stale entry
+		case h.removeReq:
+			sh.discardLocked(h)
+		case h.pauseReq:
+			h.state = statePaused
+		default:
+			h.state = stateRunning
+			sh.resident++ // admission: the worker will open the pipeline
+			sh.running++
+			return h
+		}
+	}
+	return nil
+}
+
+// drive advances one home by one quantum (or to end-of-stream) and hands
+// it back to the scheduler.
+func (sh *Shard) drive(h *homeRun, slot *stream.Slot) {
+	began := time.Now()
+	defer func() { h.elapsed += time.Since(began) }()
+	if h.home == nil {
+		if err := sh.open(h); err != nil {
+			sh.fail(h, err)
+			return
+		}
+	}
+	var slots, sensor, action int64
+	flush := func() {
+		sh.met.slots.Add(slots)
+		sh.met.sensorEvents.Add(sensor)
+		sh.met.actionEvents.Add(action)
+	}
+	for d := 0; d < sh.opts.QuantumDays; {
+		err := h.drive.Next(slot)
+		if err == io.EOF {
+			flush()
+			res, cerr := h.home.Close()
+			if cerr != nil {
+				sh.fail(h, cerr)
+				return
+			}
+			h.result = res
+			sh.complete(h)
+			return
+		}
+		if err != nil {
+			flush()
+			sh.fail(h, err)
+			return
+		}
+		h.pos = slot.Day*aras.SlotsPerDay + slot.Index
+		act, err := h.home.Ingest(slot)
+		if err != nil {
+			flush()
+			sh.fail(h, err)
+			return
+		}
+		slots++
+		sensor += int64(slot.SensorEvents())
+		action += int64(len(act.Demands))
+		if slot.Index == aras.SlotsPerDay-1 {
+			h.days = slot.Day + 1
+			sh.met.days.Add(1)
+			d++
+			if sh.opts.supervised() && h.days%sh.opts.CheckpointEvery == 0 {
+				if err := sh.checkpoint(h); err != nil {
+					flush()
+					sh.fail(h, err)
+					return
+				}
+			}
+		}
+	}
+	flush()
+	sh.yield(h)
+}
+
+// open builds (or rebuilds) a home's pipeline on the claiming worker,
+// restoring from the newest checkpoint when one exists — the same
+// open/restore/transport sequence as stream.RunFleet's supervised attempt.
+func (sh *Shard) open(h *homeRun) error {
+	src, home, err := h.job.Open()
+	if err != nil {
+		return err
+	}
+	sh.wireVerdicts(h, home)
+	ck := h.lastCk
+	if sh.opts.CheckpointDir != "" {
+		if disk, lerr := stream.LoadCheckpoint(sh.opts.CheckpointDir, h.job.ID); lerr == nil && disk != nil {
+			ck = disk
+		}
+		// Load errors (corrupt file) fall back to the in-memory checkpoint
+		// or a fresh start; the next save overwrites the bad file.
+	}
+	if ck != nil && ck.Days > 0 {
+		if rerr := stream.RestoreFrom(src, home, ck); rerr == nil {
+			h.days = ck.Days
+			h.restores++
+			sh.met.restores.Add(1)
+		} else {
+			// A checkpoint that does not fit restarts the home from scratch
+			// on fresh components — a half-restored home must never stream.
+			closeSource(src)
+			if src, home, err = h.job.Open(); err != nil {
+				return err
+			}
+			sh.wireVerdicts(h, home)
+			h.days = 0
+		}
+	}
+	h.opens++
+	plan := sh.opts.Chaos.Plan(h.job.ID, h.opens-1)
+	var drive stream.Source = src
+	if sh.opts.Broker != "" {
+		pipe, perr := stream.OpenPipeOptions(sh.opts.Broker, stream.SensorTopic(h.job.ID), src, stream.PipeOptions{
+			Dial:           sh.opts.Dial,
+			ProbeTimeout:   sh.opts.ProbeTimeout,
+			ReceiveTimeout: sh.opts.ReceiveTimeout,
+			Faults:         plan,
+			Epoch:          h.opens - 1,
+		})
+		if perr != nil {
+			closeSource(src)
+			return perr
+		}
+		drive = pipe
+	} else {
+		drive = stream.NewFaultSource(src, plan)
+	}
+	h.src, h.drive, h.home = src, drive, home
+	return nil
+}
+
+// wireVerdicts points the home's verdict hook at the shard metrics. Must
+// run before any restore (the hook cannot be installed on a home that has
+// already streamed).
+func (sh *Shard) wireVerdicts(h *homeRun, home *stream.Home) {
+	_ = home.SetOnVerdict(func(v adm.Verdict) {
+		end := v.Episode.Day*aras.SlotsPerDay + v.Episode.ArrivalSlot + v.Episode.Duration - 1
+		sh.met.observeVerdict(int64(h.pos-end), v.Anomalous)
+	})
+}
+
+// checkpoint snapshots a home at its current day boundary: always into
+// memory (the retry path), and onto disk when a checkpoint dir is set.
+func (sh *Shard) checkpoint(h *homeRun) error {
+	ck, err := h.home.Checkpoint()
+	if err != nil {
+		return err
+	}
+	h.lastCk = ck
+	if ck.Days > h.ckDay {
+		h.ckDay = ck.Days
+	}
+	if sh.opts.CheckpointDir != "" {
+		if err := stream.SaveCheckpoint(sh.opts.CheckpointDir, ck); err != nil {
+			return err
+		}
+	}
+	sh.met.checkpoints.Add(1)
+	return nil
+}
+
+// teardown releases a home's pipeline state. Safe on partially opened
+// homes.
+func (h *homeRun) teardown() {
+	if h.drive != nil && h.drive != h.src {
+		closeSource(h.drive) // MQTT pipe: closes pump + subscriptions
+	}
+	closeSource(h.src)
+	h.src, h.drive, h.home = nil, nil, nil
+}
+
+// closeSource releases a source's resources when it holds any.
+func closeSource(src stream.Source) {
+	if c, ok := src.(io.Closer); ok {
+		c.Close()
+	}
+}
+
+// yield hands a home back to the scheduler at a day boundary.
+func (sh *Shard) yield(h *homeRun) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.running--
+	switch {
+	case h.removeReq:
+		sh.discardLocked(h)
+	case h.pauseReq:
+		h.state = statePaused
+	case sh.draining:
+		h.state = stateParked
+	default:
+		h.state = stateReady
+		sh.ready = append(sh.ready, h)
+	}
+	sh.cond.Broadcast()
+}
+
+// complete finishes a home successfully.
+func (sh *Shard) complete(h *homeRun) {
+	h.teardown()
+	if sh.opts.CheckpointDir != "" {
+		// The checkpoint served its purpose; a later fresh run must not
+		// resume from it.
+		if rerr := stream.RemoveCheckpoint(sh.opts.CheckpointDir, h.job.ID); rerr != nil && h.err == nil {
+			h.err = rerr
+		}
+	}
+	h.lastCk = nil
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.running--
+	sh.resident--
+	h.state = stateDone
+	sh.done++
+	sh.outstanding--
+	sh.met.homesCompleted.Add(1)
+	sh.cond.Broadcast()
+}
+
+// fail handles an attempt failure: tear the pipeline down, then either
+// schedule a retry (off-worker, on a backoff timer) or quarantine the home.
+func (sh *Shard) fail(h *homeRun, err error) {
+	h.teardown()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.running--
+	sh.resident--
+	h.failures++
+	h.err = err
+	retries := 0
+	if sh.opts.Recover && sh.opts.MaxRetries > 0 {
+		retries = sh.opts.MaxRetries
+	}
+	if h.failures <= retries && !sh.stopped && !h.removeReq {
+		sh.met.retries.Add(1)
+		h.state = statePending
+		delay := sh.opts.RetryBackoff.Delay(h.failures - 1)
+		// The retry waits on a timer, not a worker: the home re-enters the
+		// pending queue when the backoff elapses and reopens from its last
+		// checkpoint on whichever worker claims it.
+		time.AfterFunc(delay, func() { sh.requeue(h) })
+		sh.cond.Broadcast()
+		return
+	}
+	h.state = stateFailed
+	sh.failed++
+	sh.outstanding--
+	sh.met.homesFailed.Add(1)
+	sh.cond.Broadcast()
+}
+
+// requeue readmits a retry-scheduled home once its backoff elapses.
+func (sh *Shard) requeue(h *homeRun) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.stopped || h.state != statePending {
+		return
+	}
+	if h.removeReq {
+		sh.discardLocked(h)
+		sh.cond.Broadcast()
+		return
+	}
+	sh.pending = append(sh.pending, h)
+	sh.cond.Broadcast()
+}
+
+// discardLocked finalizes a removal. The home holds no pipeline state on
+// every path that reaches here (pending homes never opened; ready/parked
+// homes are torn down by the caller that observed removeReq… see Remove).
+func (sh *Shard) discardLocked(h *homeRun) {
+	if h.state == stateRemoved {
+		return
+	}
+	if h.home != nil {
+		h.teardown()
+		sh.resident--
+	}
+	h.state = stateRemoved
+	sh.outstanding--
+	sh.met.homesRemoved.Add(1)
+}
+
+// Pause parks a home at its next day boundary (immediately when it is not
+// running). Paused homes stay resident; Resume requeues them.
+func (sh *Shard) Pause(homeID string) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	h, ok := sh.homes[homeID]
+	if !ok {
+		return fmt.Errorf("fleetd: unknown home %q", homeID)
+	}
+	return sh.pauseLocked(h)
+}
+
+func (sh *Shard) pauseLocked(h *homeRun) error {
+	switch h.state {
+	case stateDone, stateFailed, stateRemoved, stateDrained:
+		return fmt.Errorf("fleetd: home %q cannot pause (terminal or drained)", h.job.ID)
+	}
+	h.pauseReq = true
+	// Ready/pending homes flip lazily when the dispatcher pops them;
+	// running homes park at the end of their quantum.
+	return nil
+}
+
+// Resume lifts a pause; the home requeues where it left off.
+func (sh *Shard) Resume(homeID string) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	h, ok := sh.homes[homeID]
+	if !ok {
+		return fmt.Errorf("fleetd: unknown home %q", homeID)
+	}
+	sh.resumeLocked(h)
+	return nil
+}
+
+func (sh *Shard) resumeLocked(h *homeRun) {
+	h.pauseReq = false
+	if h.state != statePaused {
+		return
+	}
+	switch {
+	case h.home != nil && sh.draining:
+		// Mid-drain a resumed resident home parks like every other one, so
+		// the drain finalizer checkpoints it instead of racing dispatch.
+		h.state = stateParked
+	case h.home != nil:
+		h.state = stateReady
+		sh.ready = append(sh.ready, h)
+	default:
+		h.state = statePending
+		sh.pending = append(sh.pending, h)
+	}
+	sh.cond.Broadcast()
+}
+
+// PauseAll / ResumeAll apply Pause/Resume to every non-terminal home.
+func (sh *Shard) PauseAll() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, h := range sh.homes {
+		_ = sh.pauseLocked(h)
+	}
+}
+
+func (sh *Shard) ResumeAll() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, h := range sh.homes {
+		sh.resumeLocked(h)
+	}
+}
+
+// Remove evicts a home from the shard: pending homes are dropped, resident
+// ones are torn down at their next safe point.
+func (sh *Shard) Remove(homeID string) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	h, ok := sh.homes[homeID]
+	if !ok {
+		return fmt.Errorf("fleetd: unknown home %q", homeID)
+	}
+	switch h.state {
+	case stateDone, stateFailed, stateRemoved:
+		return fmt.Errorf("fleetd: home %q already finished", homeID)
+	case stateRunning:
+		h.removeReq = true // the worker discards it at yield/fail
+	default:
+		h.removeReq = true
+		sh.discardLocked(h)
+		sh.cond.Broadcast()
+	}
+	return nil
+}
+
+// Drain quiesces the shard and persists it: dispatch stops, running quanta
+// finish at their day boundaries, and then every resident home is
+// checkpointed (to CheckpointDir when set, in memory otherwise) and its
+// pipeline released. A drained shard holds no live state; Rehydrate
+// rebuilds it byte-identically from the checkpoints. Homes that fail to
+// checkpoint are quarantined rather than silently lost.
+func (sh *Shard) Drain() error {
+	sh.mu.Lock()
+	if sh.stopped {
+		sh.mu.Unlock()
+		return fmt.Errorf("fleetd: shard %d is stopped", sh.id)
+	}
+	if sh.draining {
+		sh.mu.Unlock()
+		return fmt.Errorf("fleetd: shard %d already draining", sh.id)
+	}
+	sh.draining = true
+	sh.cond.Broadcast()
+	for sh.running > 0 {
+		sh.cond.Wait()
+	}
+	// All resident homes are now parked at day boundaries (ready-queue
+	// entries included — dispatch is off), so checkpointing them is safe.
+	// The lock is held across the finalize: the shard is quiesced anyway,
+	// and it keeps concurrent admin verbs from mutating a home mid-teardown.
+	for _, h := range sh.homes {
+		switch h.state {
+		case stateReady, stateParked, statePaused:
+		default:
+			continue
+		}
+		if h.home == nil {
+			continue
+		}
+		err := sh.checkpoint(h)
+		h.teardown()
+		sh.resident--
+		if err != nil {
+			h.err = fmt.Errorf("fleetd: drain checkpoint: %w", err)
+			h.state = stateFailed
+			sh.failed++
+			sh.outstanding--
+			sh.met.homesFailed.Add(1)
+		} else {
+			h.state = stateDrained
+		}
+	}
+	sh.ready = nil
+	sh.drained = true
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+	return nil
+}
+
+// Rehydrate readmits a drained shard's homes: each reopens on a worker and
+// restores from its drain checkpoint, resuming exactly where Drain stopped
+// it.
+func (sh *Shard) Rehydrate() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.stopped {
+		return fmt.Errorf("fleetd: shard %d is stopped", sh.id)
+	}
+	if !sh.drained {
+		return fmt.Errorf("fleetd: shard %d is not drained", sh.id)
+	}
+	for _, h := range sh.homes {
+		if h.state == stateDrained {
+			h.state = statePending
+			sh.pending = append(sh.pending, h)
+		}
+	}
+	sh.draining, sh.drained = false, false
+	sh.cond.Broadcast()
+	return nil
+}
+
+// WaitIdle blocks until every admitted home reached a terminal state (or
+// the shard stops). Paused and drained homes keep the shard busy — they
+// have not finished.
+func (sh *Shard) WaitIdle() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for sh.outstanding > 0 && !sh.stopped {
+		sh.cond.Wait()
+	}
+}
+
+// Stop shuts the shard down: workers finish their current quantum and
+// exit, then every still-resident home is checkpointed (when persist) and
+// torn down. Idempotent.
+func (sh *Shard) Stop(persist bool) {
+	sh.mu.Lock()
+	if sh.stopped {
+		sh.mu.Unlock()
+		sh.wg.Wait()
+		return
+	}
+	sh.stopped = true
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+	sh.wg.Wait()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, h := range sh.homes {
+		if h.home == nil {
+			continue
+		}
+		if persist {
+			if err := sh.checkpoint(h); err != nil && h.err == nil {
+				h.err = err
+			}
+		}
+		h.teardown()
+		sh.resident--
+	}
+}
+
+// Status reports the shard's gauges.
+func (sh *Shard) Status() ShardStatus {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := ShardStatus{
+		Shard:    sh.id,
+		Resident: sh.resident,
+		Running:  sh.running,
+		Done:     sh.done,
+		Failed:   sh.failed,
+		Drained:  sh.drained,
+	}
+	for _, h := range sh.homes {
+		switch h.state {
+		case statePending:
+			st.Pending++
+		case stateReady:
+			st.Ready++
+		case statePaused:
+			st.Paused++
+		}
+	}
+	return st
+}
+
+// Outcome reports one home's supervision record and result. The result is
+// only meaningful for completed homes.
+func (sh *Shard) Outcome(homeID string) (stream.HomeResult, stream.HomeOutcome, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	h, ok := sh.homes[homeID]
+	if !ok {
+		return stream.HomeResult{}, stream.HomeOutcome{}, false
+	}
+	out := stream.HomeOutcome{
+		ID:       h.job.ID,
+		Attempts: h.opens,
+		Restores: h.restores,
+		Days:     h.days,
+		Duration: h.elapsed,
+	}
+	out.CheckpointDay = h.ckDay
+	if h.err != nil {
+		out.Err = h.err.Error()
+	}
+	switch h.state {
+	case stateDone:
+		out.Status = stream.OutcomeCompleted
+		if h.failures > 0 {
+			out.Status = stream.OutcomeRetried
+		}
+	case stateFailed:
+		out.Status = stream.OutcomeQuarantined
+	case stateRemoved:
+		out.Status = OutcomeRemoved
+	default:
+		out.Status = OutcomeActive
+	}
+	res := h.result
+	if h.state != stateDone {
+		res = stream.HomeResult{ID: h.job.ID}
+	}
+	return res, out, true
+}
+
+// OutcomeRemoved and OutcomeActive extend the stream outcome vocabulary
+// for the long-running service: removed homes were evicted by an admin,
+// active ones have not finished yet.
+const (
+	OutcomeRemoved stream.OutcomeStatus = "removed"
+	OutcomeActive  stream.OutcomeStatus = "active"
+)

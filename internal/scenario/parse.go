@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseList resolves a comma-separated scenario list — the grammar shared
+// by the experiments CLI and the fleet service's admin protocol. Each entry
+// is a registry ID ("A", "studio", ...) or a procedural shape written as
+// "synth:ZxO[@SEED]" (seed defaults to the given dataset seed). Empty
+// entries are skipped; an empty list yields no specs.
+func ParseList(list string, seed uint64) ([]Spec, error) {
+	var specs []Spec
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		sp, err := Parse(entry, seed)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+// Parse resolves one scenario entry in the ParseList grammar.
+func Parse(entry string, seed uint64) (Spec, error) {
+	if shape, ok := strings.CutPrefix(entry, "synth:"); ok {
+		synthSeed := seed
+		if shape0, seedStr, hasSeed := strings.Cut(shape, "@"); hasSeed {
+			v, err := strconv.ParseUint(seedStr, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("scenario: bad synth seed in %q: %v", entry, err)
+			}
+			shape, synthSeed = shape0, v
+		}
+		zStr, oStr, ok := strings.Cut(shape, "x")
+		if !ok {
+			return Spec{}, fmt.Errorf("scenario: bad synth shape %q (want synth:ZxO[@SEED])", entry)
+		}
+		zones, err1 := strconv.Atoi(zStr)
+		occ, err2 := strconv.Atoi(oStr)
+		if err1 != nil || err2 != nil {
+			return Spec{}, fmt.Errorf("scenario: bad synth shape %q (want synth:ZxO[@SEED])", entry)
+		}
+		return Synth(zones, occ, synthSeed), nil
+	}
+	sp, ok := Get(entry)
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown scenario %q (registered: %s)", entry, strings.Join(IDs(), ", "))
+	}
+	return sp, nil
+}

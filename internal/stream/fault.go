@@ -163,6 +163,16 @@ type faultSource struct {
 	dead bool
 }
 
+// NewFaultSource wraps a source with a chaos schedule on the direct (no
+// broker) path — the constructor the fleet service shares with RunFleet's
+// internal wiring. A nil plan returns src unchanged.
+func NewFaultSource(src Source, plan *FaultPlan) Source {
+	if plan == nil {
+		return src
+	}
+	return newFaultSource(src, plan)
+}
+
 func newFaultSource(src Source, plan *FaultPlan) *faultSource {
 	return &faultSource{src: src, plan: plan}
 }

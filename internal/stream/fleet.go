@@ -132,6 +132,14 @@ type HomeOutcome struct {
 	Restores int `json:"restores"`
 	// CheckpointDay is the highest day boundary persisted for the home.
 	CheckpointDay int `json:"checkpoint_day,omitempty"`
+	// Days is the home's day progress when supervision ended: the streamed
+	// day count for a completed home, and the furthest full day any attempt
+	// reached for a quarantined one — so a quarantine record shows how far
+	// the home got without re-running it.
+	Days int `json:"days,omitempty"`
+	// Duration is the wall-clock time spent driving the home's pipeline
+	// across all attempts (retry backoff waits excluded).
+	Duration time.Duration `json:"duration_ns,omitempty"`
 	// Err is the final error of a quarantined home (or the last retried
 	// failure's message for a home that eventually completed).
 	Err string `json:"err,omitempty"`
@@ -168,8 +176,9 @@ type FleetStats struct {
 // FleetResult is a fleet run's outcome: per-home results and supervision
 // records in job order plus the aggregate. Quarantined homes contribute an
 // ID-only HomeResult and are excluded from the aggregate. Everything except
-// Stats' wall-clock fields (and, under chaos, BusFrames) is deterministic
-// for a fixed job list, independent of Workers and transport.
+// wall-clock fields (Stats' Elapsed/rates, each Outcome's Duration, and,
+// under chaos, BusFrames) is deterministic for a fixed job list,
+// independent of Workers and transport.
 type FleetResult struct {
 	Homes    []HomeResult
 	Outcomes []HomeOutcome
@@ -217,6 +226,26 @@ func RunFleet(jobs []Job, opts FleetOptions) (FleetResult, error) {
 	if err != nil {
 		return FleetResult{}, err
 	}
+	out := AggregateFleet(results, outcomes)
+	st := &out.Stats
+	if monitor != nil {
+		completed := len(outcomes) - int(st.Quarantined)
+		st.BusFrames = monitor.drain(completed, opts)
+	}
+	st.Elapsed = time.Since(started)
+	if secs := st.Elapsed.Seconds(); secs > 0 {
+		st.HomesPerSec = float64(st.Homes) / secs
+		st.EventsPerSec = float64(st.Events) / secs
+	}
+	return out, nil
+}
+
+// AggregateFleet assembles a FleetResult from index-aligned per-home
+// results and supervision records — the accounting shared by RunFleet and
+// the fleetd service, so both report an identical aggregate over the same
+// homes. Quarantined homes are excluded from the stats. Wall-clock fields
+// (Elapsed, rates, BusFrames) are left zero for the caller to fill.
+func AggregateFleet(results []HomeResult, outcomes []HomeOutcome) FleetResult {
 	out := FleetResult{Homes: results, Outcomes: outcomes}
 	st := &out.Stats
 	st.Homes = len(results)
@@ -235,26 +264,15 @@ func RunFleet(jobs []Job, opts FleetOptions) (FleetResult, error) {
 		st.TotalKWh += r.Sim.TotalKWh
 		st.TotalCostUSD += r.Sim.TotalCostUSD
 	}
-	completed := 0
 	for i := range outcomes {
 		st.Retries += int64(outcomes[i].Attempts - 1)
 		st.Restores += int64(outcomes[i].Restores)
 		if outcomes[i].Status == OutcomeQuarantined {
 			st.Quarantined++
-		} else {
-			completed++
 		}
 	}
 	st.Events = st.SensorEvents + st.ActionEvents + st.Verdicts
-	if monitor != nil {
-		st.BusFrames = monitor.drain(completed, opts)
-	}
-	st.Elapsed = time.Since(started)
-	if secs := st.Elapsed.Seconds(); secs > 0 {
-		st.HomesPerSec = float64(st.Homes) / secs
-		st.EventsPerSec = float64(st.Events) / secs
-	}
-	return out, nil
+	return out
 }
 
 // superviseJob runs one home under the retry policy. It returns the home's
@@ -272,12 +290,17 @@ func superviseJob(job Job, opts FleetOptions) (HomeResult, HomeOutcome, error) {
 			time.Sleep(opts.RetryBackoff.Delay(attempt - 1))
 		}
 		out.Attempts++
+		began := time.Now()
 		res, info, err := runAttempt(job, opts, attempt)
+		out.Duration += time.Since(began)
 		if info.restored {
 			out.Restores++
 		}
 		if info.checkpointDay > out.CheckpointDay {
 			out.CheckpointDay = info.checkpointDay
+		}
+		if info.days > out.Days {
+			out.Days = info.days
 		}
 		if err == nil {
 			out.Status = OutcomeCompleted
@@ -304,6 +327,10 @@ func superviseJob(job Job, opts FleetOptions) (HomeResult, HomeOutcome, error) {
 type attemptInfo struct {
 	restored      bool
 	checkpointDay int
+	// days counts the full days the attempt covered, including the days a
+	// restored checkpoint already carried — the attempt's day progress even
+	// when it fails mid-stream.
+	days int
 }
 
 // runAttempt drives one home from open to close, resuming from a persisted
@@ -321,9 +348,10 @@ func runAttempt(job Job, opts FleetOptions, attempt int) (HomeResult, attemptInf
 	if opts.CheckpointDir != "" {
 		ck, lerr := LoadCheckpoint(opts.CheckpointDir, job.ID)
 		if lerr == nil && ck != nil && ck.Days > 0 {
-			if rerr := restoreFrom(src, home, ck); rerr == nil {
+			if rerr := RestoreFrom(src, home, ck); rerr == nil {
 				info.restored = true
 				info.checkpointDay = ck.Days
+				info.days = ck.Days
 			} else {
 				// A checkpoint that does not fit the job (or a source that
 				// cannot seek) restarts the home from scratch on fresh
@@ -367,6 +395,9 @@ func runAttempt(job Job, opts FleetOptions, attempt int) (HomeResult, attemptInf
 		if _, err := home.Ingest(&slot); err != nil {
 			return HomeResult{}, info, err
 		}
+		if slot.Index == aras.SlotsPerDay-1 {
+			info.days = slot.Day + 1
+		}
 		if opts.CheckpointDir != "" && slot.Index == aras.SlotsPerDay-1 {
 			if done := slot.Day + 1; done%opts.CheckpointEvery == 0 {
 				ck, cerr := home.Checkpoint()
@@ -384,10 +415,11 @@ func runAttempt(job Job, opts FleetOptions, attempt int) (HomeResult, attemptInf
 	return res, info, err
 }
 
-// restoreFrom applies a checkpoint to a freshly opened (source, home) pair:
+// RestoreFrom applies a checkpoint to a freshly opened (source, home) pair:
 // the home's state is rebuilt and the source fast-forwarded to the
-// checkpoint's day cursor.
-func restoreFrom(src Source, home *Home, ck *Checkpoint) error {
+// checkpoint's day cursor. Shared by the fleet supervisor's retry path and
+// the fleet service's shard rehydration.
+func RestoreFrom(src Source, home *Home, ck *Checkpoint) error {
 	seeker, ok := src.(DaySeeker)
 	if !ok {
 		return fmt.Errorf("stream: source cannot seek to day %d", ck.Days)

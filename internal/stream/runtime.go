@@ -114,6 +114,18 @@ func NewHome(cfg HomeConfig) (*Home, error) {
 	return h, nil
 }
 
+// SetOnVerdict installs (or replaces) the verdict observer after
+// construction — the hook a fleet service uses to attach its metrics to a
+// home another layer assembled. It must be called before the first Ingest;
+// the callback runs synchronously from Ingest/Close like cfg.OnVerdict.
+func (h *Home) SetOnVerdict(fn func(adm.Verdict)) error {
+	if h.res.Slots != 0 || h.closed {
+		return errors.New("stream: SetOnVerdict after streaming began")
+	}
+	h.cfg.OnVerdict = fn
+	return nil
+}
+
 // Ingest advances the pipeline by one frame and returns the controller's
 // action event for the slot (its Demands slice is controller scratch, valid
 // until the next Ingest). Frames must arrive in stream order; the runtime

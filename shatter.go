@@ -14,7 +14,10 @@
 //   - the experiment suite that regenerates every table and figure of the
 //     paper's evaluation and sweeps the full pipeline over arbitrary
 //     scenarios, and
-//   - the scaled prototype testbed with its MQTT-style transport.
+//   - the scaled prototype testbed with its MQTT-style transport, and
+//   - the sharded fleet service: a long-running runtime that multiplexes
+//     very large home fleets over small worker pools, with an MQTT control
+//     plane, live metrics, and checkpointed drain/rehydrate.
 //
 // See examples/quickstart for a five-minute tour.
 package shatter
@@ -24,8 +27,10 @@ import (
 	"github.com/acyd-lab/shatter/internal/aras"
 	"github.com/acyd-lab/shatter/internal/attack"
 	"github.com/acyd-lab/shatter/internal/core"
+	"github.com/acyd-lab/shatter/internal/fleetd"
 	"github.com/acyd-lab/shatter/internal/home"
 	"github.com/acyd-lab/shatter/internal/hvac"
+	"github.com/acyd-lab/shatter/internal/mqtt"
 	"github.com/acyd-lab/shatter/internal/scenario"
 	"github.com/acyd-lab/shatter/internal/stream"
 	"github.com/acyd-lab/shatter/internal/testbed"
@@ -276,6 +281,41 @@ func NewOnlineDetector(m *ADM) *OnlineDetector { return adm.NewDetector(m) }
 // worker pool, optionally over an MQTT broker.
 func RunFleet(jobs []FleetJob, opts FleetOptions) (FleetResult, error) {
 	return stream.RunFleet(jobs, opts)
+}
+
+// Fleet service: the long-running sharded runtime. Where RunFleet is a
+// batch call that owns its goroutines for the duration, the fleet service
+// multiplexes thousands of homes over a small worker pool per shard,
+// admits and removes homes while running, pauses, drains, and rehydrates
+// shards from checkpoints, and speaks MQTT on its admin and metrics
+// topics. Shard results stay byte-identical to RunFleet over the same
+// jobs.
+type (
+	// FleetService is the running sharded fleet runtime.
+	FleetService = fleetd.Service
+	// FleetServiceConfig wires shards, the control-plane broker, and the
+	// metrics cadence.
+	FleetServiceConfig = fleetd.Config
+	// FleetShardOptions tunes one shard's scheduler (workers, admission
+	// window, quantum, supervision, frame transport).
+	FleetShardOptions = fleetd.ShardOptions
+	// FleetAdmin is an MQTT control-plane client for a running service.
+	FleetAdmin = fleetd.Admin
+	// FleetAddRequest names homes for admission in the scenario grammar.
+	FleetAddRequest = fleetd.AddRequest
+	// FleetSnapshot is one published metrics document.
+	FleetSnapshot = fleetd.Snapshot
+)
+
+// NewFleetService starts a fleet service wired to a suite: admin add
+// requests resolve through the suite's scenario grammar and dataset seeds.
+func NewFleetService(s *Suite, cfg FleetServiceConfig) (*FleetService, error) {
+	return core.NewFleetService(s, cfg)
+}
+
+// NewFleetAdmin dials a running fleet service's control plane.
+func NewFleetAdmin(broker string) (*FleetAdmin, error) {
+	return fleetd.NewAdmin(broker, mqtt.DialOptions{})
 }
 
 // Testbed.
