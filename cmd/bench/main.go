@@ -9,28 +9,31 @@
 // stream_fleet_chaos series, the same fleet under the supervised
 // fault-injection path (seeded chaos, checkpointed retries), which prices
 // the resilience layer against the clean run. A separate fleetd_scale
-// series (not gated) runs the sharded fleet service's multiplexed
-// scheduler over -fleetd-scale home counts, producing the scaling curve
-// committed as BENCH_PR7.json.
+// series runs the sharded fleet service's multiplexed scheduler over
+// -fleetd-scale home counts, producing the scaling curve committed as
+// BENCH_PR8.json.
 //
 // Usage:
 //
 //	bench [-days N] [-train N] [-seed S] [-workers N] [-o BENCH.json]
 //	      [-fleet-homes N] [-fleet-days N] [-fleetd-scale N1,N2,...]
 //	      [-fleetd-days N] [-cpuprofile F] [-memprofile F]
-//	      [-baseline BENCH.json] [-max-regress R]
+//	      [-baseline BENCH.json] [-max-regress R] [-compare BENCH.json]
 //
 // The default configuration matches the benchmark harness's quick suite
 // (12 days) so numbers are comparable with `go test -bench` and with the
 // BENCH_PR1.json baseline.
 //
 // -baseline turns the run into a perf gate: after measuring, every warm
-// series is compared against the named committed baseline and the command
-// exits non-zero when any series regresses by more than -max-regress
-// (default 2×, plus a small absolute slack so microsecond-scale series
-// don't flake on scheduler noise). -cpuprofile / -memprofile emit pprof
-// profiles of the whole run so perf work starts from a profile, not a
-// guess.
+// series — and every fleetd_scale point with a matching (homes, days)
+// shape in the baseline — is compared against the named committed baseline
+// and the command exits non-zero when any regresses by more than
+// -max-regress (default 2×, plus a small absolute slack so
+// microsecond-scale series don't flake on scheduler noise). -compare
+// prints a per-series delta table (warm times, fleetd points, speedup
+// factors) against a prior report without gating — the PR-to-PR
+// comparison view. -cpuprofile / -memprofile emit pprof profiles of the
+// whole run so perf work starts from a profile, not a guess.
 package main
 
 import (
@@ -81,8 +84,10 @@ type Report struct {
 	StreamFleetChaos *stream.FleetStats `json:"stream_fleet_chaos,omitempty"`
 	// FleetdScale is the sharded fleet service's scaling curve: each point
 	// runs N synthetic homes through the multiplexed day-boundary scheduler
-	// (internal/fleetd) on this machine. It is informational, not gated —
-	// point counts vary between CI (small) and committed baselines (100k+).
+	// (internal/fleetd) on this machine. Points whose (homes, days) shape
+	// exists in the gate baseline are gated on elapsed time; other point
+	// counts (CI runs small, committed baselines go to 100k+) are reported
+	// but never fail the gate.
 	FleetdScale  []FleetdPoint `json:"fleetd_scale,omitempty"`
 	ADMTrainings int64         `json:"adm_trainings"`
 	CacheEntries int           `json:"cache_entries"`
@@ -121,11 +126,12 @@ func run(args []string) error {
 	fleetDays := fs.Int("fleet-days", 2, "stream_fleet series: days per home")
 	fleetdScale := fs.String("fleetd-scale", "1000", "fleetd scaling series: comma-separated home counts (empty disables)")
 	fleetdDays := fs.Int("fleetd-days", 1, "fleetd scaling series: days per home")
-	out := fs.String("o", "BENCH_PR7.json", "output path (- for stdout)")
+	out := fs.String("o", "BENCH_PR8.json", "output path (- for stdout)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	baseline := fs.String("baseline", "", "committed baseline report to gate warm series against")
 	maxRegress := fs.Float64("max-regress", 2.0, "fail when a warm series exceeds this multiple of the baseline")
+	compare := fs.String("compare", "", "prior report to print a per-series delta table against (no gating)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -271,14 +277,90 @@ func run(args []string) error {
 		fmt.Printf("wrote %s (total %s, %d ADM trainings, %d cache entries)\n",
 			*out, time.Duration(report.TotalNS).Round(time.Millisecond), report.ADMTrainings, report.CacheEntries)
 	}
-	if *baseline != "" {
-		// With the report on stdout, keep the gate's chatter on stderr so
-		// JSON consumers see a clean document.
-		gateOut := io.Writer(os.Stdout)
-		if *out == "-" {
-			gateOut = os.Stderr
+	// With the report on stdout, keep the gate's and the comparison's
+	// chatter on stderr so JSON consumers see a clean document.
+	chatter := io.Writer(os.Stdout)
+	if *out == "-" {
+		chatter = os.Stderr
+	}
+	if *compare != "" {
+		if err := compareAgainstBaseline(chatter, report, *compare); err != nil {
+			return err
 		}
-		return gateAgainstBaseline(gateOut, report, *baseline, *maxRegress)
+	}
+	if *baseline != "" {
+		return gateAgainstBaseline(chatter, report, *baseline, *maxRegress)
+	}
+	return nil
+}
+
+// loadReport reads a committed bench report.
+func loadReport(path string) (Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return Report{}, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return base, nil
+}
+
+// fleetdPointName labels a scaling point by its shape — the key both the
+// gate and the comparison table match points across reports with.
+func fleetdPointName(pt FleetdPoint) string {
+	return fmt.Sprintf("fleetd_scale_%dx%dd", pt.Homes, pt.Days)
+}
+
+// compareAgainstBaseline prints the per-series delta table against a prior
+// report: warm wall time per experiment series and elapsed time per
+// matching fleetd scaling point, each with the speedup factor (old/new, so
+// >1 is faster). Purely informational — it never fails the run.
+func compareAgainstBaseline(w io.Writer, report Report, path string) error {
+	base, err := loadReport(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "compare: this run vs %s (speedup = baseline/current, >1 is faster)\n", path)
+	row := func(name string, baseNS, nowNS int64) {
+		speed := "      n/a"
+		if nowNS > 0 {
+			speed = fmt.Sprintf("%8.2fx", float64(baseNS)/float64(nowNS))
+		}
+		fmt.Fprintf(w, "compare: %-22s %14s -> %-14s %s\n",
+			name, time.Duration(baseNS).Round(time.Microsecond), time.Duration(nowNS).Round(time.Microsecond), speed)
+	}
+	baseWarm := make(map[string]int64, len(base.Experiments))
+	for _, m := range base.Experiments {
+		baseWarm[m.Name] = m.WarmNS
+	}
+	seen := make(map[string]bool, len(report.Experiments))
+	for _, m := range report.Experiments {
+		seen[m.Name] = true
+		if want, ok := baseWarm[m.Name]; ok {
+			row(m.Name, want, m.WarmNS)
+		} else {
+			fmt.Fprintf(w, "compare: %-22s new series (warm %s)\n", m.Name, time.Duration(m.WarmNS).Round(time.Microsecond))
+		}
+	}
+	for _, m := range base.Experiments {
+		if !seen[m.Name] {
+			fmt.Fprintf(w, "compare: %-22s only in baseline (warm %s)\n", m.Name, time.Duration(m.WarmNS).Round(time.Microsecond))
+		}
+	}
+	basePts := make(map[string]int64, len(base.FleetdScale))
+	for _, pt := range base.FleetdScale {
+		basePts[fleetdPointName(pt)] = pt.ElapsedNS
+	}
+	for _, pt := range report.FleetdScale {
+		name := fleetdPointName(pt)
+		if want, ok := basePts[name]; ok {
+			row(name, want, pt.ElapsedNS)
+		} else {
+			fmt.Fprintf(w, "compare: %-22s new point (%s, %.1f homes/s)\n",
+				name, time.Duration(pt.ElapsedNS).Round(time.Microsecond), pt.HomesPerSec)
+		}
 	}
 	return nil
 }
@@ -288,20 +370,18 @@ func run(args []string) error {
 // sit at scheduler-noise scale, where a bare 2× ratio would flake.
 const regressSlackNS = 10_000_000
 
-// gateAgainstBaseline fails the run when any warm series regresses by more
-// than maxRegress× its committed baseline (plus the absolute slack). Series
-// only present on one side are reported but never fail the gate, so the
-// baseline file does not have to move in lockstep with new experiments —
-// but both directions are surfaced, so a series silently dropped from the
-// bench still leaves a visible trace in the gate output.
+// gateAgainstBaseline fails the run when any warm series — or any fleetd
+// scaling point whose (homes, days) shape the baseline also measured —
+// regresses by more than maxRegress× its committed baseline (plus the
+// absolute slack). Series only present on one side are reported but never
+// fail the gate, so the baseline file does not have to move in lockstep
+// with new experiments — but both directions are surfaced, so a series
+// silently dropped from the bench still leaves a visible trace in the gate
+// output.
 func gateAgainstBaseline(w io.Writer, report Report, path string, maxRegress float64) error {
-	raw, err := os.ReadFile(path)
+	base, err := loadReport(path)
 	if err != nil {
-		return fmt.Errorf("baseline: %w", err)
-	}
-	var base Report
-	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("baseline %s: %w", path, err)
+		return err
 	}
 	baseWarm := make(map[string]int64, len(base.Experiments))
 	for _, m := range base.Experiments {
@@ -329,6 +409,26 @@ func gateAgainstBaseline(w io.Writer, report Report, path string, maxRegress flo
 		if !measured[m.Name] {
 			fmt.Fprintf(w, "gate: %-16s in baseline but not measured this run\n", m.Name)
 		}
+	}
+	basePts := make(map[string]int64, len(base.FleetdScale))
+	for _, pt := range base.FleetdScale {
+		basePts[fleetdPointName(pt)] = pt.ElapsedNS
+	}
+	for _, pt := range report.FleetdScale {
+		name := fleetdPointName(pt)
+		want, ok := basePts[name]
+		if !ok {
+			fmt.Fprintf(w, "gate: %-16s no baseline point, skipped\n", name)
+			continue
+		}
+		limit := int64(float64(want)*maxRegress) + regressSlackNS
+		status := "ok"
+		if pt.ElapsedNS > limit {
+			status = "FAIL"
+			failed = append(failed, name)
+		}
+		fmt.Fprintf(w, "gate: %-16s elapsed %10s vs baseline %12s (limit %12s) %s\n",
+			name, time.Duration(pt.ElapsedNS), time.Duration(want), time.Duration(limit), status)
 	}
 	if len(failed) > 0 {
 		return fmt.Errorf("perf gate: %d warm series regressed >%.1fx vs %s: %v",

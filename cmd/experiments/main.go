@@ -6,7 +6,7 @@
 //	experiments [-days N] [-train N] [-seed S] [-workers N] [-quick]
 //	            [-only fig3,tableV,...] [-suite A,B,...] [-scenarios list]
 //	            [-stream list|N] [-stream-days N] [-stream-mqtt]
-//	            [-stream-defend] [-stream-attack]
+//	            [-stream-defend] [-stream-attack] [-stream-legacy-json]
 //	            [-stream-chaos spec] [-stream-checkpoint-dir D]
 //	            [-stream-retries N] [-stream-failfast]
 //	            [-cpuprofile F] [-memprofile F]
@@ -82,6 +82,7 @@ func run(args []string) error {
 	streamCkptDir := fs.String("stream-checkpoint-dir", "", "persist per-home day-boundary checkpoints in this directory")
 	streamRetries := fs.Int("stream-retries", 0, "retry budget per failed home (0 = default, negative = no retries)")
 	streamFailFast := fs.Bool("stream-failfast", false, "abort the fleet on the first quarantined home")
+	streamLegacyJSON := fs.Bool("stream-legacy-json", false, "force per-slot JSON framing instead of binary day-block transport")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	if err := fs.Parse(args); err != nil {
@@ -202,7 +203,7 @@ func run(args []string) error {
 		opts := core.StreamOptions{
 			Days: *streamDays, Defend: *streamDefend, Attack: *streamAttack,
 			MaxRetries: *streamRetries, FailFast: *streamFailFast,
-			CheckpointDir: *streamCkptDir,
+			CheckpointDir: *streamCkptDir, LegacyJSON: *streamLegacyJSON,
 		}
 		if *streamChaos != "" {
 			cfg, err := parseChaos(*streamChaos)

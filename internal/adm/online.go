@@ -66,6 +66,76 @@ func (ez *Episodizer) Observe(day, slot, occupant int, zone home.ZoneID, act hom
 	return e, ok, nil
 }
 
+// ObserveDay feeds one occupant's whole-day occupancy columns (zones[t],
+// acts[t] for t = 0..aras.SlotsPerDay-1) and appends every episode the day
+// closes to dst, returning it. It is equivalent to aras.SlotsPerDay ordered
+// Observe calls — the same episodes in the same order — but segments the
+// contiguous columns directly: zone runs are scanned once, dominant
+// activities are counted in a flat per-activity array, and the per-slot
+// activity-count map is materialized only for the day's open tail stay (so
+// checkpoint snapshots and later per-slot Observe calls see identical
+// state). A day already partially observed via Observe cannot be re-fed
+// column-wise; that ordering violation errors exactly as Observe would.
+func (ez *Episodizer) ObserveDay(day, occupant int, zones []home.ZoneID, acts []home.ActivityID, dst []aras.Episode) ([]aras.Episode, error) {
+	if occupant < 0 || occupant >= len(ez.cur) {
+		return dst, fmt.Errorf("adm: occupant %d out of range", occupant)
+	}
+	if len(zones) != aras.SlotsPerDay || len(acts) != aras.SlotsPerDay {
+		return dst, fmt.Errorf("adm: day columns sized %d/%d, want %d", len(zones), len(acts), aras.SlotsPerDay)
+	}
+	st := &ez.cur[occupant]
+	if st.open {
+		if day <= st.day {
+			return dst, fmt.Errorf("adm: out-of-order observation day %d slot 0 after day %d slot %d",
+				day, st.day, st.last)
+		}
+		// Day boundary: the batch extractor splits stays at midnight.
+		dst = append(dst, ez.close(occupant, aras.SlotsPerDay))
+	}
+	var count [home.NumActivities]int
+	start := 0
+	for t := 0; t <= aras.SlotsPerDay; t++ {
+		if t < aras.SlotsPerDay && zones[t] == zones[start] {
+			count[acts[t]]++
+			continue
+		}
+		if t < aras.SlotsPerDay {
+			// Zone changed at t: close [start, t) with its dominant activity
+			// (maximum count, ties toward the smaller ActivityID — scanning
+			// ascending IDs resolves ties identically to close()).
+			dominant, best := home.Other, -1
+			for a := 0; a < home.NumActivities; a++ {
+				if count[a] > best {
+					dominant, best = home.ActivityID(a), count[a]
+				}
+				count[a] = 0
+			}
+			dst = append(dst, aras.Episode{
+				Day:         day,
+				Occupant:    occupant,
+				Zone:        zones[start],
+				ArrivalSlot: start,
+				Duration:    t - start,
+				Activity:    dominant,
+			})
+			start = t
+			count[acts[t]]++
+			continue
+		}
+		// End of the day's columns: the tail run stays open, carrying the
+		// same incremental state per-slot Observe calls would have built.
+		actCount := make(map[home.ActivityID]int)
+		for a := 0; a < home.NumActivities; a++ {
+			if count[a] > 0 {
+				actCount[home.ActivityID(a)] = count[a]
+			}
+		}
+		*st = stay{open: true, day: day, zone: zones[start], start: start,
+			last: aras.SlotsPerDay - 1, actCount: actCount}
+	}
+	return dst, nil
+}
+
 // Flush closes every occupant's open stay and returns the final episodes in
 // occupant order. For whole-day streams this matches the batch extractor's
 // end-of-day close; Flush also seals a stream that stops mid-day (the
@@ -121,6 +191,7 @@ type Verdict struct {
 type Detector struct {
 	model *Model
 	ez    *Episodizer
+	eps   []aras.Episode // ObserveDay scratch
 }
 
 // NewDetector wraps a trained model for online use.
@@ -140,6 +211,21 @@ func (d *Detector) Observe(day, slot, occupant int, zone home.ZoneID, act home.A
 		return Verdict{}, false, err
 	}
 	return Verdict{Episode: e, Anomalous: d.model.EpisodeAnomalous(e)}, true, nil
+}
+
+// ObserveDay feeds one occupant's whole-day occupancy columns and appends a
+// verdict for every episode the day closes to dst, returning it; see
+// Episodizer.ObserveDay for ordering requirements and equivalence.
+func (d *Detector) ObserveDay(day, occupant int, zones []home.ZoneID, acts []home.ActivityID, dst []Verdict) ([]Verdict, error) {
+	eps, err := d.ez.ObserveDay(day, occupant, zones, acts, d.eps[:0])
+	d.eps = eps[:0]
+	if err != nil {
+		return dst, err
+	}
+	for _, e := range eps {
+		dst = append(dst, Verdict{Episode: e, Anomalous: d.model.EpisodeAnomalous(e)})
+	}
+	return dst, nil
 }
 
 // Flush closes every occupant's open stay and returns the final verdicts in

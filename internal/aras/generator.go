@@ -182,10 +182,38 @@ func (g *Generator) DayIndex() int { return g.day }
 // NextDay plans, rasterizes, and returns one day of ground truth with its
 // weather. It returns io.EOF once the configured day count is exhausted.
 func (g *Generator) NextDay() (Day, Weather, error) {
-	if g.cfg.Days > 0 && g.day >= g.cfg.Days {
-		return Day{}, Weather{}, io.EOF
-	}
 	day := NewDay(len(g.house.Occupants), len(g.house.Appliances))
+	w := Weather{
+		TempF:  make([]float64, SlotsPerDay),
+		CO2PPM: make([]float64, SlotsPerDay),
+	}
+	if err := g.NextDayInto(&day, &w); err != nil {
+		return Day{}, Weather{}, err
+	}
+	return day, w, nil
+}
+
+// NextDayInto is NextDay writing into caller-owned buffers — the streaming
+// hot path reuses one Day/Weather pair per home instead of allocating ~23KB
+// per home-day. The buffers must have the house's occupant/appliance shape
+// (NewDay/make as in NextDay); contents are fully overwritten. The emitted
+// values are byte-identical to NextDay's: both consume the same RNG streams
+// in the same order.
+func (g *Generator) NextDayInto(day *Day, w *Weather) error {
+	if g.cfg.Days > 0 && g.day >= g.cfg.Days {
+		return io.EOF
+	}
+	if len(day.Zone) != len(g.house.Occupants) || len(day.Appliance) != len(g.house.Appliances) {
+		return fmt.Errorf("aras: NextDayInto: day shaped %d/%d, house has %d occupants / %d appliances",
+			len(day.Zone), len(day.Appliance), len(g.house.Occupants), len(g.house.Appliances))
+	}
+	// rasterize overwrites every Zone/Act slot but only ORs appliance runs in.
+	for a := range day.Appliance {
+		col := day.Appliance[a]
+		for t := range col {
+			col[t] = false
+		}
+	}
 	weekday := g.day%7 < 5
 	for o := range g.house.Occupants {
 		var rt ScheduleProfile
@@ -196,11 +224,11 @@ func (g *Generator) NextDay() (Day, Weather, error) {
 		}
 		irregular := g.occRngs[o].Bool(g.cfg.IrregularProb)
 		plan := planDay(rt, weekday, irregular, g.occRngs[o])
-		rasterize(g.house, plan, &day, o, g.occRngs[o])
+		rasterize(g.house, plan, day, o, g.occRngs[o])
 	}
-	w := genWeather(g.cfg.SummerMeanF, g.weatherRng)
+	genWeatherInto(g.cfg.SummerMeanF, g.weatherRng, w)
 	g.day++
-	return day, w, nil
+	return nil
 }
 
 // Generate produces a synthetic trace for the house by draining the
@@ -393,21 +421,36 @@ func rasterize(house *home.House, plan []block, day *Day, occupant int, r *rng.S
 	}
 }
 
-// genWeather produces a diurnal outdoor temperature curve (sinusoid peaking
-// mid-afternoon plus a random daily offset and minute noise) and a nearly
-// constant outdoor CO2 level around 420 ppm.
-func genWeather(meanF float64, r *rng.Source) Weather {
-	w := Weather{
-		TempF:  make([]float64, SlotsPerDay),
-		CO2PPM: make([]float64, SlotsPerDay),
-	}
-	dailyOffset := r.Norm(0, 2.5)
+// diurnalCos[t] is the 8°F-amplitude diurnal sinusoid term (peaking
+// mid-afternoon) of the outdoor temperature curve. The phase depends only on
+// the minute-of-day, so the table holds exactly the values the per-slot
+// 8*math.Cos(phase) expression produced.
+var diurnalCos = func() *[SlotsPerDay]float64 {
+	var tab [SlotsPerDay]float64
 	for t := 0; t < SlotsPerDay; t++ {
 		phase := 2 * math.Pi * float64(t-15*60) / SlotsPerDay
-		w.TempF[t] = meanF + dailyOffset + 8*math.Cos(phase) + r.Norm(0, 0.2)
+		tab[t] = 8 * math.Cos(phase)
+	}
+	return &tab
+}()
+
+// genWeatherInto produces a diurnal outdoor temperature curve (sinusoid
+// peaking mid-afternoon plus a random daily offset and minute noise) and a
+// nearly constant outdoor CO2 level around 420 ppm, into caller-owned
+// SlotsPerDay buffers (allocated if nil or mis-sized).
+func genWeatherInto(meanF float64, r *rng.Source, w *Weather) {
+	if len(w.TempF) != SlotsPerDay {
+		w.TempF = make([]float64, SlotsPerDay)
+	}
+	if len(w.CO2PPM) != SlotsPerDay {
+		w.CO2PPM = make([]float64, SlotsPerDay)
+	}
+	dailyOffset := r.Norm(0, 2.5)
+	base := meanF + dailyOffset
+	for t := 0; t < SlotsPerDay; t++ {
+		w.TempF[t] = base + diurnalCos[t] + r.Norm(0, 0.2)
 		w.CO2PPM[t] = 420 + r.Norm(0, 1.5)
 	}
-	return w
 }
 
 func minInt(a, b int) int {

@@ -1,0 +1,55 @@
+package aras
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// TestNextDayIntoMatchesNextDay pins the buffer-reusing day generator to the
+// allocating one: same RNG consumption, same days, same weather — including
+// correct clearing of appliance columns left over from the previous day.
+func TestNextDayIntoMatchesNextDay(t *testing.T) {
+	for _, name := range []string{"A", "B"} {
+		house := home.MustHouse(name)
+		cfg := GeneratorConfig{Days: 5, Seed: 4242}
+		ga, err := NewGenerator(house, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := NewGenerator(house, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		day := NewDay(len(house.Occupants), len(house.Appliances))
+		w := Weather{TempF: make([]float64, SlotsPerDay), CO2PPM: make([]float64, SlotsPerDay)}
+		for d := 0; d < cfg.Days; d++ {
+			wantDay, wantW, err := ga.NextDay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := gb.NextDayInto(&day, &w); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wantDay, day) {
+				t.Fatalf("house %s day %d: ground truth diverged", name, d)
+			}
+			if !reflect.DeepEqual(wantW, w) {
+				t.Fatalf("house %s day %d: weather diverged", name, d)
+			}
+		}
+		if err := gb.NextDayInto(&day, &w); err != io.EOF {
+			t.Fatalf("day stream past bound: %v, want io.EOF", err)
+		}
+		gc, err := NewGenerator(house, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := NewDay(len(house.Occupants)+1, len(house.Appliances))
+		if err := gc.NextDayInto(&bad, &w); err == nil {
+			t.Fatal("mis-shaped day buffer accepted")
+		}
+	}
+}

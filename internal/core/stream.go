@@ -44,6 +44,10 @@ type StreamOptions struct {
 	// Chaos injects a deterministic fault schedule into every home's
 	// transport — the resilience test harness.
 	Chaos *stream.FaultConfig
+	// LegacyJSON forces per-slot JSON framing instead of the default binary
+	// day-block transport on chaos-free runs (see
+	// stream.FleetOptions.LegacyJSON). Results are bit-identical either way.
+	LegacyJSON bool
 }
 
 // Stream drives the scenario worlds as a concurrent streaming fleet: each
@@ -71,6 +75,7 @@ func (s *Suite) Stream(specs []scenario.Spec, opts StreamOptions) (stream.FleetR
 		FailFast:      opts.FailFast,
 		CheckpointDir: opts.CheckpointDir,
 		Chaos:         opts.Chaos,
+		LegacyJSON:    opts.LegacyJSON,
 	})
 }
 

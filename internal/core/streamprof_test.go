@@ -1,0 +1,21 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/acyd-lab/shatter/internal/core"
+	"github.com/acyd-lab/shatter/internal/scenario"
+)
+
+func BenchmarkStreamFleetDirectProf(b *testing.B) {
+	s, err := core.NewSuite(core.SuiteConfig{Days: 12, TrainDays: 9, Seed: 20230427, WindowLen: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Stream(scenario.SynthFleet(100, 20230427), core.StreamOptions{Days: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -49,6 +49,10 @@ type ShardOptions struct {
 	CheckpointEvery int
 	// Chaos injects the seeded fault schedule into every home's transport.
 	Chaos *stream.FaultConfig
+	// LegacyJSON forces per-slot JSON framing even on clean runs; by default
+	// a chaos-free shard moves binary day-blocks (see
+	// stream.FleetOptions.LegacyJSON). Results are bit-identical either way.
+	LegacyJSON bool
 
 	// Broker, when non-empty, routes every home's frames through the MQTT
 	// broker at this address (per-home home/<id>/sensor topics), exactly
@@ -122,8 +126,9 @@ type homeRun struct {
 	job   stream.Job
 	state homeState
 
-	src   stream.Source // as returned by job.Open (owns real resources)
-	drive stream.Source // transport-wrapped source the scheduler pulls
+	src    stream.Source      // as returned by job.Open (owns real resources)
+	drive  stream.Source      // transport-wrapped source the scheduler pulls
+	bdrive stream.BlockSource // non-nil when the home moves day-blocks
 
 	home *stream.Home
 	pos  int // last ingested absolute slot, for verdict latency
@@ -221,12 +226,13 @@ func (sh *Shard) Add(jobs []stream.Job) error {
 func (sh *Shard) worker() {
 	defer sh.wg.Done()
 	var slot stream.Slot
+	var blk stream.DayBlock
 	for {
 		h := sh.next()
 		if h == nil {
 			return
 		}
-		sh.drive(h, &slot)
+		sh.drive(h, &slot, &blk)
 	}
 }
 
@@ -290,7 +296,7 @@ func (sh *Shard) claimLocked() *homeRun {
 
 // drive advances one home by one quantum (or to end-of-stream) and hands
 // it back to the scheduler.
-func (sh *Shard) drive(h *homeRun, slot *stream.Slot) {
+func (sh *Shard) drive(h *homeRun, slot *stream.Slot, blk *stream.DayBlock) {
 	began := time.Now()
 	defer func() { h.elapsed += time.Since(began) }()
 	if h.home == nil {
@@ -298,6 +304,10 @@ func (sh *Shard) drive(h *homeRun, slot *stream.Slot) {
 			sh.fail(h, err)
 			return
 		}
+	}
+	if h.bdrive != nil {
+		sh.driveBlocks(h, blk)
+		return
 	}
 	var slots, sensor, action int64
 	flush := func() {
@@ -350,6 +360,60 @@ func (sh *Shard) drive(h *homeRun, slot *stream.Slot) {
 	sh.yield(h)
 }
 
+// driveBlocks is the quantum loop at day-block granularity: one frame per
+// home-day, the same day-boundary checkpoint cadence, and event metrics
+// from IngestDay's accounting. The verdict-latency position advances to the
+// day's last slot before ingesting — a whole day arrives at once, so the
+// latency metric is day-granular on this path.
+func (sh *Shard) driveBlocks(h *homeRun, blk *stream.DayBlock) {
+	var slots, sensor, action int64
+	flush := func() {
+		sh.met.slots.Add(slots)
+		sh.met.sensorEvents.Add(sensor)
+		sh.met.actionEvents.Add(action)
+	}
+	for d := 0; d < sh.opts.QuantumDays; d++ {
+		err := h.bdrive.NextBlock(blk)
+		if err == io.EOF {
+			flush()
+			res, cerr := h.home.Close()
+			if cerr != nil {
+				sh.fail(h, cerr)
+				return
+			}
+			h.result = res
+			sh.complete(h)
+			return
+		}
+		if err != nil {
+			flush()
+			sh.fail(h, err)
+			return
+		}
+		h.pos = blk.Day*aras.SlotsPerDay + aras.SlotsPerDay - 1
+		st, err := h.home.IngestDay(blk)
+		if err != nil {
+			flush()
+			sh.fail(h, err)
+			return
+		}
+		slots += int64(aras.SlotsPerDay)
+		sensor += st.SensorEvents
+		action += st.ActionEvents
+		h.days = blk.Day + 1
+		sh.met.days.Add(1)
+		if sh.opts.supervised() && h.days%sh.opts.CheckpointEvery == 0 {
+			if err := sh.checkpoint(h); err != nil {
+				flush()
+				sh.fail(h, err)
+				return
+			}
+		}
+	}
+	flush()
+	sh.yield(h)
+}
+
 // open builds (or rebuilds) a home's pipeline on the claiming worker,
 // restoring from the newest checkpoint when one exists — the same
 // open/restore/transport sequence as stream.RunFleet's supervised attempt.
@@ -384,8 +448,13 @@ func (sh *Shard) open(h *homeRun) error {
 		}
 	}
 	h.opens++
+	// Same gating as stream.RunFleet: block transport only when the whole
+	// shard is chaos-free, so a chaos run's clean retries keep the per-slot
+	// bus accounting consistent.
+	useBlocks := !sh.opts.LegacyJSON && sh.opts.Chaos == nil
 	plan := sh.opts.Chaos.Plan(h.job.ID, h.opens-1)
 	var drive stream.Source = src
+	h.bdrive = nil
 	if sh.opts.Broker != "" {
 		pipe, perr := stream.OpenPipeOptions(sh.opts.Broker, stream.SensorTopic(h.job.ID), src, stream.PipeOptions{
 			Dial:           sh.opts.Dial,
@@ -393,14 +462,23 @@ func (sh *Shard) open(h *homeRun) error {
 			ReceiveTimeout: sh.opts.ReceiveTimeout,
 			Faults:         plan,
 			Epoch:          h.opens - 1,
+			Blocks:         useBlocks,
 		})
 		if perr != nil {
 			closeSource(src)
 			return perr
 		}
 		drive = pipe
+		if pipe.Blocks() {
+			h.bdrive = pipe
+		}
 	} else {
 		drive = stream.NewFaultSource(src, plan)
+		if useBlocks {
+			if bsrc, ok := drive.(stream.BlockSource); ok {
+				h.bdrive = bsrc
+			}
+		}
 	}
 	h.src, h.drive, h.home = src, drive, home
 	return nil
@@ -443,7 +521,7 @@ func (h *homeRun) teardown() {
 		closeSource(h.drive) // MQTT pipe: closes pump + subscriptions
 	}
 	closeSource(h.src)
-	h.src, h.drive, h.home = nil, nil, nil
+	h.src, h.drive, h.bdrive, h.home = nil, nil, nil, nil
 }
 
 // closeSource releases a source's resources when it holds any.

@@ -62,6 +62,8 @@ type Sim struct {
 	// the view at this field instead of the Step parameter keeps the
 	// parameter on the stack (zero allocations per slot).
 	curIn StepInput
+	// scratch is StepDay's reusable working state.
+	scratch dayScratch
 }
 
 // NewSim validates the parameters and returns a simulator positioned at

@@ -6,7 +6,13 @@
 // (the Polymorph/Scapy packet-crafting role).
 //
 // The wire protocol is deliberately small: a 4-byte big-endian frame length
-// followed by a JSON-encoded Message. It is not the MQTT 3.1.1 wire format,
+// followed by a frame body. Bodies come in two kinds, classified by their
+// first byte: '{' opens the JSON-encoded Message envelope (control frames,
+// ordinary publishes), and 0x01 opens the binary publish layout — kind byte,
+// 2-byte big-endian topic length, topic, then an opaque payload forwarded
+// verbatim. Binary publishes are routed without any JSON work on either the
+// broker or the client path, with pooled encode buffers; they carry the
+// streaming layer's day-block frames. It is not the MQTT 3.1.1 wire format,
 // but it preserves the properties the experiment needs — topic routing,
 // ordered delivery per connection, and rewritability in transit.
 package mqtt
@@ -22,56 +28,142 @@ import (
 	"sync"
 )
 
-// Message is one published datum.
+// Message is one published datum. Ordinary messages carry JSON payloads
+// through the JSON envelope; Binary marks a raw publish (PublishRaw) whose
+// Payload is opaque bytes framed in the binary wire layout.
 type Message struct {
 	Topic   string          `json:"topic"`
 	Payload json.RawMessage `json:"payload"`
+	// Binary selects the binary frame kind on the wire. It never appears in
+	// JSON — the kind is a framing property, not message content.
+	Binary bool `json:"-"`
 }
 
 // maxFrame bounds a frame to keep a malformed or malicious peer from
 // forcing huge allocations.
 const maxFrame = 1 << 20
 
+// binFrameKind is the first body byte of a binary publish frame. JSON
+// envelope bodies always start with '{', so one byte classifies a body.
+const binFrameKind = 0x01
+
+// maxTopicLen bounds a binary frame's topic (its length field is 16-bit).
+const maxTopicLen = 1<<16 - 1
+
 // ErrFrameTooBig is returned when a peer announces an oversized frame.
 var ErrFrameTooBig = errors.New("mqtt: frame exceeds limit")
 
-// writeFrame encodes and writes one message.
+// framePool recycles binary encode buffers across publishes — the broker
+// fan-out and client publish hot paths run without per-frame allocation.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// appendBinaryBody appends the binary frame body: kind byte, big-endian
+// topic length, topic bytes, then the payload verbatim.
+func appendBinaryBody(dst []byte, topic string, payload []byte) []byte {
+	dst = append(dst, binFrameKind)
+	var tl [2]byte
+	binary.BigEndian.PutUint16(tl[:], uint16(len(topic)))
+	dst = append(dst, tl[:]...)
+	dst = append(dst, topic...)
+	return append(dst, payload...)
+}
+
+// decodeBinaryBody splits a binary frame body into topic and payload. The
+// payload aliases body — callers that retain it must copy.
+func decodeBinaryBody(body []byte) (topic string, payload []byte, err error) {
+	if len(body) < 3 {
+		return "", nil, fmt.Errorf("mqtt: binary frame truncated (%d bytes)", len(body))
+	}
+	tl := int(binary.BigEndian.Uint16(body[1:3]))
+	if tl > len(body)-3 {
+		return "", nil, fmt.Errorf("mqtt: binary frame topic length %d exceeds body", tl)
+	}
+	return string(body[3 : 3+tl]), body[3+tl:], nil
+}
+
+// writeBody writes one length-prefixed frame body.
+func writeBody(w io.Writer, body []byte) error {
+	if len(body) > maxFrame {
+		return ErrFrameTooBig
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// writeFrame encodes and writes one message in its wire kind: the JSON
+// envelope for ordinary messages, the binary layout (assembled in a pooled
+// buffer) for Binary ones.
 func writeFrame(w io.Writer, m Message) error {
+	if m.Binary {
+		if len(m.Topic) > maxTopicLen {
+			return fmt.Errorf("mqtt: topic %d bytes exceeds binary frame limit", len(m.Topic))
+		}
+		bp := framePool.Get().(*[]byte)
+		body := appendBinaryBody((*bp)[:0], m.Topic, m.Payload)
+		err := writeBody(w, body)
+		*bp = body[:0]
+		framePool.Put(bp)
+		return err
+	}
 	data, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("mqtt: marshal: %w", err)
 	}
-	if len(data) > maxFrame {
-		return ErrFrameTooBig
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(data)
-	return err
+	return writeBody(w, data)
 }
 
-// readFrame reads one message.
-func readFrame(r io.Reader) (Message, error) {
+// readBody reads one frame body, reusing buf's storage when it is large
+// enough. The returned slice is only valid until the next call reusing the
+// same buffer.
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Message{}, err
+		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > maxFrame {
-		return Message{}, ErrFrameTooBig
+		return nil, ErrFrameTooBig
 	}
-	data := make([]byte, n)
-	if _, err := io.ReadFull(r, data); err != nil {
-		return Message{}, err
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// decodeBody classifies and decodes a frame body. Binary payloads are
+// copied out of the read buffer (they outlive it on a client's subscription
+// channels); the JSON decoder copies inherently.
+func decodeBody(body []byte) (Message, error) {
+	if len(body) > 0 && body[0] == binFrameKind {
+		topic, payload, err := decodeBinaryBody(body)
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{Topic: topic, Payload: append([]byte(nil), payload...), Binary: true}, nil
 	}
 	var m Message
-	if err := json.Unmarshal(data, &m); err != nil {
+	if err := json.Unmarshal(body, &m); err != nil {
 		return Message{}, fmt.Errorf("mqtt: unmarshal: %w", err)
 	}
 	return m, nil
+}
+
+// readFrame reads and decodes one message.
+func readFrame(r io.Reader) (Message, error) {
+	body, err := readBody(r, nil)
+	if err != nil {
+		return Message{}, err
+	}
+	return decodeBody(body)
 }
 
 // control frames clients send to the broker.
@@ -157,10 +249,29 @@ func (b *Broker) serve(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	sub := &subscriber{w: bufio.NewWriter(conn), c: conn}
+	// The read buffer is reused across frames: publish fan-out is synchronous
+	// (every subscriber write completes before the next read), and the JSON
+	// decoder copies what it keeps.
+	var buf []byte
 	for {
-		m, err := readFrame(r)
+		body, err := readBody(r, buf)
 		if err != nil {
 			return
+		}
+		buf = body
+		if len(body) > 0 && body[0] == binFrameKind {
+			// A binary body is an implicit publish: route it straight off the
+			// read buffer with zero JSON work and zero payload copies.
+			topic, payload, derr := decodeBinaryBody(body)
+			if derr != nil {
+				return // malformed frame: drop the client
+			}
+			b.publish(Message{Topic: topic, Payload: payload, Binary: true})
+			continue
+		}
+		var m Message
+		if err := json.Unmarshal(body, &m); err != nil {
+			return // malformed frame: drop the client
 		}
 		var ctl control
 		if err := json.Unmarshal(m.Payload, &ctl); err != nil {

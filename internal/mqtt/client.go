@@ -131,8 +131,16 @@ func (c *Client) readLoop() {
 		c.mu.Unlock()
 	}()
 	r := bufio.NewReader(c.conn)
+	// The read buffer is reused across frames; decodeBody copies whatever
+	// outlives it (JSON inherently, binary payloads explicitly).
+	var buf []byte
 	for {
-		m, err := readFrame(r)
+		body, rerr := readBody(r, buf)
+		if rerr != nil {
+			return
+		}
+		buf = body
+		m, err := decodeBody(body)
 		if err != nil {
 			return
 		}
@@ -185,6 +193,24 @@ func (c *Client) Publish(topic string, payload any) error {
 		return fmt.Errorf("mqtt: encode payload: %w", err)
 	}
 	return c.sendControl(control{Op: "pub", Msg: Message{Topic: topic, Payload: data}})
+}
+
+// PublishRaw sends an opaque binary payload on the topic through the binary
+// frame kind — no JSON encoding on the client, the broker, or the delivery
+// path, with pooled frame buffers throughout. The payload is written to the
+// wire before return, so callers may reuse its storage immediately.
+func (c *Client) PublishRaw(topic string, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.writeTimeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return err
+		}
+	}
+	if err := writeFrame(c.w, Message{Topic: topic, Payload: payload, Binary: true}); err != nil {
+		return err
+	}
+	return c.w.Flush()
 }
 
 // ErrBadFilter is returned for malformed subscription filters.
@@ -291,7 +317,7 @@ func (p *Proxy) bridge(client net.Conn) {
 	defer p.untrack(upstream)
 	defer upstream.Close()
 
-	// Downstream (broker → client): verbatim copy.
+	// Downstream (broker → client): verbatim body copy, no decoding at all.
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
@@ -299,12 +325,14 @@ func (p *Proxy) bridge(client net.Conn) {
 		defer upstream.Close()
 		r := bufio.NewReader(upstream)
 		w := bufio.NewWriter(client)
+		var buf []byte
 		for {
-			m, err := readFrame(r)
+			body, err := readBody(r, buf)
 			if err != nil {
 				return
 			}
-			if err := writeFrame(w, m); err != nil {
+			buf = body
+			if err := writeBody(w, body); err != nil {
 				return
 			}
 			if err := w.Flush(); err != nil {
@@ -313,12 +341,29 @@ func (p *Proxy) bridge(client net.Conn) {
 		}
 	}()
 
-	// Upstream (client → broker): rewrite published measurements.
+	// Upstream (client → broker): rewrite published measurements. Rewrite
+	// applies to the JSON publish envelope; binary bodies forward verbatim
+	// (the fleet's clean-path block frames are not this attacker's target).
 	r := bufio.NewReader(client)
 	w := bufio.NewWriter(upstream)
+	var buf []byte
 	for {
-		m, err := readFrame(r)
+		body, err := readBody(r, buf)
 		if err != nil {
+			return
+		}
+		buf = body
+		if len(body) > 0 && body[0] == binFrameKind {
+			if err := writeBody(w, body); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+			continue
+		}
+		var m Message
+		if err := json.Unmarshal(body, &m); err != nil {
 			return
 		}
 		var ctl control

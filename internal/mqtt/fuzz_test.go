@@ -30,6 +30,14 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(hdr)
 	// Seed: length-valid but non-JSON body.
 	f.Add([]byte{0, 0, 0, 3, 'x', 'y', 'z'})
+	// Seed: a valid binary-kind frame.
+	var bin bytes.Buffer
+	if err := writeFrame(&bin, Message{Topic: "home/1/sensor", Payload: []byte{0xDE, 0xAD, 0xBE}, Binary: true}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Bytes())
+	// Seed: binary kind with a topic length overrunning the body.
+	f.Add([]byte{0, 0, 0, 4, binFrameKind, 0xFF, 0xFF, 'a'})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := readFrame(bytes.NewReader(data))

@@ -329,3 +329,126 @@ func TestSubscriberChannelClosesOnDisconnect(t *testing.T) {
 	}
 	c.Close()
 }
+
+// TestBinaryFrameRoundTrip pins the binary frame kind's wire layout.
+func TestBinaryFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{0x00, 0x01, 'S', 'H', 0xFF, '{'}
+	want := Message{Topic: "home/7/sensor", Payload: payload, Binary: true}
+	if err := writeFrame(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Binary || got.Topic != want.Topic || !bytes.Equal(got.Payload, payload) {
+		t.Errorf("round trip: %+v", got)
+	}
+	// Malformed binary bodies error cleanly: truncated header, topic length
+	// past the body end.
+	if _, _, err := decodeBinaryBody([]byte{binFrameKind, 0}); err == nil {
+		t.Error("truncated binary body accepted")
+	}
+	if _, _, err := decodeBinaryBody([]byte{binFrameKind, 0xFF, 0xFF, 'a'}); err == nil {
+		t.Error("oversized topic length accepted")
+	}
+}
+
+// TestPublishRawThroughBroker routes a binary publish through the broker to
+// exact and wildcard subscribers, interleaved with JSON traffic on the same
+// connections — the two frame kinds must coexist on one stream.
+func TestPublishRawThroughBroker(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	sub, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	exact, err := sub.Subscribe("home/9/sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wild, err := sub.Subscribe("home/+/sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pub, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	time.Sleep(50 * time.Millisecond)
+
+	payload := append([]byte{0xDE, 0xAD}, bytes.Repeat([]byte{0x42}, 1024)...)
+	if err := pub.PublishRaw("home/9/sensor", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("home/9/sensor", map[string]int{"day": 3}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range []<-chan Message{exact, wild} {
+		bin := recvOrFail(t, ch, "binary frame")
+		if !bin.Binary || !bytes.Equal(bin.Payload, payload) {
+			t.Fatalf("binary delivery mangled: binary=%v len=%d", bin.Binary, len(bin.Payload))
+		}
+		jm := recvOrFail(t, ch, "json frame after binary")
+		if jm.Binary || string(jm.Payload) != `{"day":3}` {
+			t.Fatalf("json delivery after binary mangled: %+v", jm)
+		}
+	}
+}
+
+// TestProxyForwardsBinary checks the MITM proxy passes binary publishes
+// through verbatim (its Rewrite hook only sees JSON publish envelopes).
+func TestProxyForwardsBinary(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	rewrites := 0
+	proxy, err := NewProxy("127.0.0.1:0", b.Addr(), func(m Message) Message {
+		rewrites++
+		return m
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	sub, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	ch, err := sub.Subscribe("home/5/sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pub, err := Dial(proxy.Addr()) // dials the attacker thinking it is the broker
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	time.Sleep(50 * time.Millisecond)
+
+	payload := []byte{binFrameKind, 0x00, 0x07, 'o', 'p', 'a', 'q', 'u', 'e', '!'}
+	if err := pub.PublishRaw("home/5/sensor", payload); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOrFail(t, ch, "binary frame via proxy")
+	if !m.Binary || !bytes.Equal(m.Payload, payload) {
+		t.Fatalf("proxy mangled binary frame: %+v", m)
+	}
+	if rewrites != 0 {
+		t.Fatalf("proxy rewrite hook fired %d times on binary traffic", rewrites)
+	}
+}

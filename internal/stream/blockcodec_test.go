@@ -1,0 +1,163 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"github.com/acyd-lab/shatter/internal/aras"
+	"github.com/acyd-lab/shatter/internal/home"
+)
+
+// codecBlocks materializes every day-block of a generated world — realistic
+// column content (weather floats, zone/activity IDs, appliance bitsets) for
+// the round-trip cases.
+func codecBlocks(t *testing.T, house string, days int) []*DayBlock {
+	t.Helper()
+	h := home.MustHouse(house)
+	gen, err := aras.NewGenerator(h, aras.GeneratorConfig{Days: days, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewGeneratorSource(house, gen)
+	var blocks []*DayBlock
+	for {
+		blk := new(DayBlock)
+		if err := src.NextBlock(blk); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, blk)
+	}
+	if len(blocks) != days {
+		t.Fatalf("generated %d blocks, want %d", len(blocks), days)
+	}
+	return blocks
+}
+
+// TestBlockFrameRoundTrip pins encode → decode as the identity on realistic
+// blocks from both paper houses, including decoder storage reuse across
+// differently shaped homes.
+func TestBlockFrameRoundTrip(t *testing.T) {
+	var dst DayBlock // reused across every decode, shapes A and B interleaved
+	var buf []byte
+	for _, house := range []string{"A", "B"} {
+		for _, blk := range codecBlocks(t, house, 3) {
+			var err error
+			buf, err = AppendBlockFrame(buf[:0], blk, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !IsBlockFrame(buf) {
+				t.Fatal("encoded frame not classified as block frame")
+			}
+			epoch, err := DecodeBlockFrame(&dst, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if epoch != 7 {
+				t.Fatalf("epoch %d, want 7", epoch)
+			}
+			if !reflect.DeepEqual(&dst, blk) {
+				t.Fatalf("house %s day %d: decoded block differs from original", house, blk.Day)
+			}
+		}
+	}
+}
+
+// TestBlockFrameCorruption walks every single-byte corruption and every
+// truncation length of a valid frame through the decoder: each must error
+// (never panic, never decode silently wrong data). Flipping any payload or
+// header byte breaks magic, length, or CRC; the frame has no slack bytes.
+func TestBlockFrameCorruption(t *testing.T) {
+	blk := codecBlocks(t, "A", 1)[0]
+	frame, err := AppendBlockFrame(nil, blk, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst DayBlock
+	for i := 0; i < len(frame); i++ {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x40
+		if _, err := DecodeBlockFrame(&dst, mut); !errors.Is(err, ErrBadBlockFrame) {
+			t.Fatalf("flip at byte %d: got %v, want ErrBadBlockFrame", i, err)
+		}
+	}
+	for n := 0; n < len(frame); n++ {
+		if _, err := DecodeBlockFrame(&dst, frame[:n]); !errors.Is(err, ErrBadBlockFrame) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrBadBlockFrame", n, err)
+		}
+	}
+	// Trailing garbage after a valid frame must also be rejected.
+	if _, err := DecodeBlockFrame(&dst, append(append([]byte(nil), frame...), 0)); !errors.Is(err, ErrBadBlockFrame) {
+		t.Fatalf("trailing byte: got %v, want ErrBadBlockFrame", err)
+	}
+}
+
+// TestBlockFrameEncodeRejects pins the encoder's own validation: malformed
+// shapes and out-of-range fields must refuse to produce a frame.
+func TestBlockFrameEncodeRejects(t *testing.T) {
+	blk := codecBlocks(t, "A", 1)[0]
+	if _, err := AppendBlockFrame(nil, blk, -1); err == nil {
+		t.Error("negative epoch accepted")
+	}
+	blk.Day = -1
+	if _, err := AppendBlockFrame(nil, blk, 0); err == nil {
+		t.Error("negative day accepted")
+	}
+	blk.Day = 0
+	blk.TrueZone[0][5] = 1 << 20
+	if _, err := AppendBlockFrame(nil, blk, 0); err == nil {
+		t.Error("zone ID beyond int16 accepted")
+	}
+	blk.TrueZone[0][5] = 0
+	short := &DayBlock{Home: "A"}
+	if _, err := AppendBlockFrame(nil, short, 0); err == nil {
+		t.Error("short-column block accepted")
+	}
+}
+
+// FuzzDecodeBlockFrame hammers the block decoder with arbitrary bytes: every
+// input either decodes to a block that re-encodes byte-identically or errors
+// cleanly — no panics, no lossy acceptance.
+func FuzzDecodeBlockFrame(f *testing.F) {
+	h := home.MustHouse("A")
+	gen, err := aras.NewGenerator(h, aras.GeneratorConfig{Days: 1, Seed: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	src := NewGeneratorSource("A", gen)
+	var blk DayBlock
+	if err := src.NextBlock(&blk); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := AppendBlockFrame(nil, &blk, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:16])
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte("SHBLOK1\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dst DayBlock
+		epoch, err := DecodeBlockFrame(&dst, data)
+		if err != nil {
+			if !errors.Is(err, ErrBadBlockFrame) {
+				t.Fatalf("decode error outside ErrBadBlockFrame: %v", err)
+			}
+			return
+		}
+		re, err := AppendBlockFrame(nil, &dst, epoch)
+		if err != nil {
+			t.Fatalf("re-encode of accepted block failed: %v", err)
+		}
+		if string(re) != string(data) {
+			t.Fatalf("accepted frame does not re-encode identically (%d vs %d bytes)", len(re), len(data))
+		}
+	})
+}

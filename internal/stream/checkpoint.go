@@ -92,27 +92,19 @@ func (h *Home) Checkpoint() (*Checkpoint, error) {
 	if h.nat != nil {
 		st := h.nat.Snapshot()
 		ck.Natural = &st
-		ck.Verdicts = make(map[int][]adm.Verdict, len(h.verdicts))
-		for d, vs := range h.verdicts {
-			ck.Verdicts[d] = append([]adm.Verdict(nil), vs...)
-		}
-		ck.NaturalLedger = make(map[int][][4]int, len(h.natural))
-		for d, set := range h.natural {
-			keys := make([][4]int, 0, len(set))
-			for k := range set {
-				keys = append(keys, k)
+		// The in-memory ledger keeps verdicts in close order and natural keys
+		// pre-sorted, so the serialized maps are byte-identical to what the
+		// map-backed ledger produced (JSON sorts the day keys).
+		ck.Verdicts = make(map[int][]adm.Verdict, len(h.led))
+		ck.NaturalLedger = make(map[int][][4]int, len(h.led))
+		for i := range h.led {
+			l := &h.led[i]
+			if len(l.verdicts) > 0 {
+				ck.Verdicts[l.day] = append([]adm.Verdict(nil), l.verdicts...)
 			}
-			// Deterministic order keeps checkpoint files byte-stable across
-			// runs (map iteration would shuffle them).
-			sort.Slice(keys, func(i, j int) bool {
-				for x := 0; x < 4; x++ {
-					if keys[i][x] != keys[j][x] {
-						return keys[i][x] < keys[j][x]
-					}
-				}
-				return false
-			})
-			ck.NaturalLedger[d] = keys
+			if len(l.natural) > 0 {
+				ck.NaturalLedger[l.day] = append([][4]int(nil), l.natural...)
+			}
 		}
 	}
 	return ck, nil
@@ -153,17 +145,27 @@ func (h *Home) Restore(ck *Checkpoint) error {
 		if err := h.nat.Restore(*ck.Natural); err != nil {
 			return fmt.Errorf("stream: restore %s truth episodizer: %w", h.cfg.ID, err)
 		}
-		h.verdicts = make(map[int][]adm.Verdict, len(ck.Verdicts))
-		for d, vs := range ck.Verdicts {
-			h.verdicts[d] = append([]adm.Verdict(nil), vs...)
+		days := make([]int, 0, len(ck.Verdicts)+len(ck.NaturalLedger))
+		for d := range ck.Verdicts {
+			days = append(days, d)
 		}
-		h.natural = make(map[int]map[[4]int]bool, len(ck.NaturalLedger))
-		for d, keys := range ck.NaturalLedger {
-			set := make(map[[4]int]bool, len(keys))
-			for _, k := range keys {
-				set[k] = true
+		for d := range ck.NaturalLedger {
+			if _, dup := ck.Verdicts[d]; !dup {
+				days = append(days, d)
 			}
-			h.natural[d] = set
+		}
+		sort.Ints(days)
+		h.led = h.led[:0]
+		for _, d := range days {
+			l := dayLedger{
+				day:      d,
+				verdicts: append([]adm.Verdict(nil), ck.Verdicts[d]...),
+				natural:  append([][4]int(nil), ck.NaturalLedger[d]...),
+			}
+			// Serialized key order is untrusted input; binary search at
+			// resolution needs it sorted.
+			sort.Slice(l.natural, func(i, j int) bool { return keyLess(l.natural[i], l.natural[j]) })
+			h.led = append(h.led, l)
 		}
 	}
 	h.res = ck.Result

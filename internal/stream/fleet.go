@@ -61,6 +61,14 @@ type FleetOptions struct {
 	// home's transport (see FaultConfig).
 	Chaos *FaultConfig
 
+	// LegacyJSON forces per-slot JSON framing even on clean runs. By default
+	// a chaos-free fleet moves whole day-blocks — one binary wire frame per
+	// home-day on the bus, IngestDay on the consumer — and falls back to the
+	// per-slot path automatically under chaos (faults perturb individual slot
+	// frames). This flag pins the per-slot JSON path for debugging and
+	// wire-level comparison; results are bit-identical either way.
+	LegacyJSON bool
+
 	// Dial configures every fleet broker connection (dial deadline, redial
 	// attempts with exponential backoff, per-frame write deadline).
 	Dial mqtt.DialOptions
@@ -161,9 +169,11 @@ type FleetStats struct {
 	Elapsed      time.Duration `json:"elapsed_ns"`
 	HomesPerSec  float64       `json:"homes_per_sec"`
 	EventsPerSec float64       `json:"events_per_sec"`
-	// BusFrames counts the frames the fleet-wide home/+/sensor monitor saw
-	// (zero without a broker). Under chaos this is an at-least-once tally:
-	// retried attempts republish their frames.
+	// BusFrames counts the data frames the fleet-wide home/+/sensor monitor
+	// saw (zero without a broker). On the default block transport each
+	// home-day is one binary frame, so a clean fleet tallies its Days here;
+	// under chaos (or LegacyJSON) every slot is its own JSON frame and the
+	// tally is an at-least-once count of Slots — retried attempts republish.
 	BusFrames int64 `json:"bus_frames"`
 	// Retries counts extra attempts across the fleet; Restores counts the
 	// attempts that resumed from a checkpoint; Quarantined counts homes
@@ -366,6 +376,10 @@ func runAttempt(job Job, opts FleetOptions, attempt int) (HomeResult, attemptInf
 		// save overwrites the bad file.
 	}
 
+	// Block transport is gated on the whole run being chaos-free, not on this
+	// attempt's plan: a chaos run's clean retry attempts must keep publishing
+	// per-slot frames so the fleet's bus accounting stays one consistent unit.
+	useBlocks := !opts.LegacyJSON && opts.Chaos == nil
 	plan := opts.Chaos.Plan(job.ID, attempt)
 	var s Source = src
 	if opts.Broker != "" {
@@ -375,14 +389,30 @@ func runAttempt(job Job, opts FleetOptions, attempt int) (HomeResult, attemptInf
 			ReceiveTimeout: opts.ReceiveTimeout,
 			Faults:         plan,
 			Epoch:          attempt,
+			Blocks:         useBlocks,
 		})
 		if perr != nil {
 			return HomeResult{}, info, perr
 		}
 		defer pipe.Close()
+		if pipe.Blocks() {
+			if err := driveBlocks(pipe.NextBlock, home, opts, &info); err != nil {
+				return HomeResult{}, info, err
+			}
+			res, err := home.Close()
+			return res, info, err
+		}
 		s = pipe
 	} else if plan != nil {
 		s = newFaultSource(src, plan)
+	} else if useBlocks {
+		if bsrc, ok := src.(BlockSource); ok {
+			if err := driveBlocks(bsrc.NextBlock, home, opts, &info); err != nil {
+				return HomeResult{}, info, err
+			}
+			res, err := home.Close()
+			return res, info, err
+		}
 	}
 
 	var slot Slot
@@ -413,6 +443,35 @@ func runAttempt(job Job, opts FleetOptions, attempt int) (HomeResult, attemptInf
 	}
 	res, err := home.Close()
 	return res, info, err
+}
+
+// driveBlocks drives a home at day-block granularity — the clean-run fast
+// path shared by the direct and broker transports. Checkpoint cadence and
+// day progress match the per-slot loop's day-boundary behaviour exactly.
+func driveBlocks(next func(*DayBlock) error, home *Home, opts FleetOptions, info *attemptInfo) error {
+	var blk DayBlock
+	for {
+		if err := next(&blk); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return err
+		}
+		if _, err := home.IngestDay(&blk); err != nil {
+			return err
+		}
+		done := blk.Day + 1
+		info.days = done
+		if opts.CheckpointDir != "" && done%opts.CheckpointEvery == 0 {
+			ck, cerr := home.Checkpoint()
+			if cerr != nil {
+				return cerr
+			}
+			if serr := SaveCheckpoint(opts.CheckpointDir, ck); serr != nil {
+				return serr
+			}
+			info.checkpointDay = done
+		}
+	}
 }
 
 // RestoreFrom applies a checkpoint to a freshly opened (source, home) pair:
@@ -472,6 +531,11 @@ func newFleetMonitor(broker string, opts FleetOptions) (*fleetMonitor, error) {
 			if first {
 				close(m.seen)
 				first = false
+			}
+			if IsBlockFrame(msg.Payload) {
+				// One binary frame carries a whole home-day of data.
+				m.frames.Add(1)
+				continue
 			}
 			var hdr struct {
 				Day int `json:"day"`

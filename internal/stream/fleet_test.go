@@ -146,8 +146,11 @@ func TestRunFleetHundredSynthHomes(t *testing.T) {
 }
 
 // TestFleetBrokerTransport routes a small fleet through a real MQTT broker
-// over loopback TCP and checks (a) per-home results match the direct runs
-// and (b) the fleet-wide home/+/sensor monitor saw every data frame.
+// over loopback TCP on both wire encodings and checks (a) per-home results
+// are bit-identical across the direct run, the default binary day-block
+// transport, and the per-slot LegacyJSON transport, and (b) the fleet-wide
+// home/+/sensor monitor tallied each encoding's own frame unit — one frame
+// per home-day on the block path, one per slot on the JSON path.
 func TestFleetBrokerTransport(t *testing.T) {
 	broker, err := mqtt.NewBroker("127.0.0.1:0")
 	if err != nil {
@@ -168,9 +171,17 @@ func TestFleetBrokerTransport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	legacy, err := RunFleet(jobs, FleetOptions{Workers: 2, Broker: broker.Addr(), LegacyJSON: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkDeterministic(t, direct, piped)
-	if piped.Stats.BusFrames != piped.Stats.Slots {
-		t.Fatalf("monitor saw %d bus frames, want %d", piped.Stats.BusFrames, piped.Stats.Slots)
+	checkDeterministic(t, direct, legacy)
+	if piped.Stats.BusFrames != piped.Stats.Days {
+		t.Fatalf("block monitor saw %d bus frames, want %d (one per home-day)", piped.Stats.BusFrames, piped.Stats.Days)
+	}
+	if legacy.Stats.BusFrames != legacy.Stats.Slots {
+		t.Fatalf("JSON monitor saw %d bus frames, want %d", legacy.Stats.BusFrames, legacy.Stats.Slots)
 	}
 	if direct.Stats.BusFrames != 0 {
 		t.Fatalf("direct run reported %d bus frames", direct.Stats.BusFrames)

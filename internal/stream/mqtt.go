@@ -54,6 +54,12 @@ type PipeOptions struct {
 	// never poison its successor's stream (stale data advancing the dedup
 	// cursor, or a stale end-of-stream sentinel ending the new attempt).
 	Epoch int
+	// Blocks requests day-block transport: one binary frame per home-day
+	// (the zero-copy wire codec) instead of aras.SlotsPerDay JSON envelopes.
+	// The pipe falls back to per-slot JSON silently when the source cannot
+	// emit blocks or a fault plan is attached (chaos perturbs individual slot
+	// frames); callers check Blocks() to learn which mode is live.
+	Blocks bool
 }
 
 // busFrame is the wire envelope: a Slot plus the publishing attempt's
@@ -90,8 +96,10 @@ type Pipe struct {
 
 	recvTimeout time.Duration
 	timer       *time.Timer
-	epoch       int // attempt tag; frames from other epochs are discarded
-	last        int // highest delivered day*SlotsPerDay+slot; -1 before any
+	epoch       int  // attempt tag; frames from other epochs are discarded
+	blocks      bool // day-block transport is live (see PipeOptions.Blocks)
+	last        int  // highest delivered day*SlotsPerDay+slot; -1 before any
+	scratch     Slot // NextBlock's decode target for JSON control frames
 
 	mu      sync.Mutex
 	pumpErr error
@@ -140,9 +148,18 @@ func OpenPipeOptions(broker, topic string, src Source, opts PipeOptions) (*Pipe,
 	}
 	p := &Pipe{pub: pub, rcv: rcv, ch: ch, recvTimeout: opts.ReceiveTimeout, epoch: opts.Epoch, last: -1}
 	p.wg.Add(1)
-	go p.pump(topic, src, opts.Faults)
+	if bsrc, ok := src.(BlockSource); ok && opts.Blocks && opts.Faults == nil {
+		p.blocks = true
+		go p.pumpBlocks(topic, bsrc)
+	} else {
+		go p.pump(topic, src, opts.Faults)
+	}
 	return p, nil
 }
+
+// Blocks reports whether day-block transport is live on this pipe — when
+// true the consumer must drain it with NextBlock, not Next.
+func (p *Pipe) Blocks() bool { return p.blocks }
 
 // pump publishes src's frames until EOF or error, then an end-of-stream
 // sentinel either way. A non-nil fault plan perturbs the published stream
@@ -204,6 +221,37 @@ func (p *Pipe) pump(topic string, src Source, faults *FaultPlan) {
 				p.publishFailed(err)
 				return
 			}
+		}
+	}
+	p.pub.Publish(topic, busFrame{Slot: Slot{Day: dayEOF}, Epoch: p.epoch})
+}
+
+// pumpBlocks publishes src's day-blocks as binary wire frames — one raw
+// publish per home-day through a reused encode buffer, so a warm pump runs
+// the whole transport path (encode, frame, fan-out) allocation-free. The
+// end-of-stream sentinel stays a JSON frame: sentinels are control traffic,
+// and the fleet monitor classifies them without the block decoder.
+func (p *Pipe) pumpBlocks(topic string, src BlockSource) {
+	defer p.wg.Done()
+	var blk DayBlock
+	var buf []byte
+	for {
+		err := src.NextBlock(&blk)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			p.setErr(err)
+			break
+		}
+		buf, err = AppendBlockFrame(buf[:0], &blk, p.epoch)
+		if err != nil {
+			p.setErr(fmt.Errorf("stream: pipe encode day %d: %w", blk.Day, err))
+			break
+		}
+		if err := p.pub.PublishRaw(topic, buf); err != nil {
+			p.publishFailed(err)
+			return
 		}
 	}
 	p.pub.Publish(topic, busFrame{Slot: Slot{Day: dayEOF}, Epoch: p.epoch})
@@ -303,6 +351,67 @@ func (p *Pipe) Next(dst *Slot) error {
 			p.last = key
 		}
 		return nil
+	}
+}
+
+// NextBlock drains a block-mode pipe: binary frames decode into dst, JSON
+// frames are the control plane (probes, foreign-epoch stragglers, the
+// end-of-stream sentinel). A same-epoch per-slot data frame on a block pipe
+// is a protocol violation and errors — the two granularities never mix
+// within one attempt.
+func (p *Pipe) NextBlock(dst *DayBlock) error {
+	if !p.blocks {
+		return errors.New("stream: NextBlock on a per-slot pipe")
+	}
+	for {
+		m, ok, err := p.receive()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if err := p.err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("stream: pipe connection lost: %w", io.ErrUnexpectedEOF)
+		}
+		if IsBlockFrame(m.Payload) {
+			epoch, err := DecodeBlockFrame(dst, m.Payload)
+			if err != nil {
+				return fmt.Errorf("stream: pipe decode: %w", err)
+			}
+			if epoch != p.epoch {
+				continue // a dead attempt's tail still flushing out
+			}
+			// Dedup at day granularity: delivering day d advances the slot
+			// cursor past every slot of d, so retransmissions and any stale
+			// per-slot stragglers below it are both absorbed.
+			if key := dst.Day*aras.SlotsPerDay + aras.SlotsPerDay - 1; key <= p.last {
+				continue
+			} else {
+				p.last = key
+			}
+			return nil
+		}
+		rx := rxFrame{Slot: &p.scratch}
+		if err := json.Unmarshal(m.Payload, &rx); err != nil {
+			return fmt.Errorf("stream: pipe decode: %w", err)
+		}
+		if p.scratch.Day == dayProbe {
+			continue // stray handshake frame
+		}
+		if rx.Epoch != p.epoch {
+			continue // foreign epoch: data, corrupt, or sentinel — all stale
+		}
+		if rx.Corrupt {
+			return fmt.Errorf("stream: pipe frame (%d,%d) failed integrity check: %w", p.scratch.Day, p.scratch.Index, ErrInjectedFault)
+		}
+		if p.scratch.Day == dayEOF {
+			if err := p.err(); err != nil {
+				return err
+			}
+			return io.EOF
+		}
+		return fmt.Errorf("stream: per-slot frame (%d,%d) on a block-mode pipe", p.scratch.Day, p.scratch.Index)
 	}
 }
 

@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/acyd-lab/shatter/internal/adm"
@@ -75,13 +76,32 @@ type Home struct {
 
 	// Per-day ledger: reported verdicts and natural (occupant, zone,
 	// arrival, duration) tuples, resolved once the day's episodes have all
-	// closed. The natural set is keyed per occupant, matching the batch
+	// closed. Natural keys are compared per occupant, matching the batch
 	// DayReportedEpisodes semantics (each occupant's reported stream is
-	// compared against that occupant's own truth).
-	verdicts map[int][]adm.Verdict
-	natural  map[int]map[[4]int]bool
+	// checked against that occupant's own truth). The ledger is a day-sorted
+	// slice of per-day entries whose storage is recycled as days resolve, so
+	// a warm stream runs it allocation-free.
+	labeling bool
+	led      []dayLedger
+	ledSpare []dayLedger
 	closed   bool
 	res      HomeResult
+
+	// IngestDay scratch: per-occupant verdict columns awaiting the
+	// order-preserving merge, merge cursors, natural-episode buffer, and the
+	// HVAC day input aliasing the in-flight block's columns.
+	vcols [][]adm.Verdict
+	vcur  []int
+	ncol  []aras.Episode
+	dayIn hvac.DayInput
+}
+
+// dayLedger is one day's unresolved labelling state: verdicts in close
+// order, natural keys sorted lexicographically for binary search.
+type dayLedger struct {
+	day      int
+	verdicts []adm.Verdict
+	natural  [][4]int
 }
 
 // NewHome builds the runtime for one home.
@@ -107,8 +127,7 @@ func NewHome(cfg HomeConfig) (*Home, error) {
 		h.det = adm.NewDetector(cfg.Defender)
 		if cfg.Injector != nil {
 			h.nat = adm.NewEpisodizer(len(cfg.House.Occupants))
-			h.verdicts = make(map[int][]adm.Verdict)
-			h.natural = make(map[int]map[[4]int]bool)
+			h.labeling = true
 		}
 	}
 	return h, nil
@@ -204,6 +223,116 @@ func (h *Home) Ingest(s *Slot) (Action, error) {
 	}, nil
 }
 
+// DayStats is the per-block event accounting IngestDay reports back to its
+// driver — what a per-slot loop would have tallied from its own frames, so
+// block-mode fleet paths keep identical metrics without reaching into the
+// home's internals.
+type DayStats struct {
+	SensorEvents int64
+	ActionEvents int64
+}
+
+// IngestDay advances the pipeline by one whole day-block — the hot-path
+// equivalent of aras.SlotsPerDay Ingest calls, bit-identical in every
+// result and in the OnVerdict callback order, without per-slot frame
+// materialization. The block's reported and true-appliance columns are
+// rewritten in place when an injector is attached (as Ingest rewrites its
+// frame); detection runs column-wise per occupant with the closed episodes
+// re-merged into the per-slot (close-slot, occupant) verdict order; the
+// plant advances via the segment-amortized hvac day stepper.
+func (h *Home) IngestDay(b *DayBlock) (DayStats, error) {
+	if h.closed {
+		return DayStats{}, errors.New("stream: IngestDay after Close")
+	}
+	if b.Day != h.sim.Day() || h.sim.SlotOfDay() != 0 {
+		return DayStats{}, fmt.Errorf("stream: home %s: day block %d arrived at stepper position (%d,%d)",
+			h.cfg.ID, b.Day, h.sim.Day(), h.sim.SlotOfDay())
+	}
+	occ, appl := len(h.actual), len(h.cfg.House.Appliances)
+	if err := b.shapeErr(occ, appl); err != nil {
+		return DayStats{}, fmt.Errorf("stream: home %s: %w", h.cfg.ID, err)
+	}
+	if h.cfg.Injector != nil {
+		h.cfg.Injector.RewriteBlock(b)
+	}
+	if h.det != nil {
+		if h.vcols == nil {
+			h.vcols = make([][]adm.Verdict, occ)
+			h.vcur = make([]int, occ)
+		}
+		for o := 0; o < occ; o++ {
+			col, err := h.det.ObserveDay(b.Day, o, b.RepZone[o], b.RepAct[o], h.vcols[o][:0])
+			if err != nil {
+				return DayStats{}, err
+			}
+			h.vcols[o] = col
+			h.vcur[o] = 0
+		}
+		// Merge the per-occupant close streams back into per-slot emission
+		// order: ascending close slot (day-boundary closes of the previous
+		// day surface at slot 0), ties by occupant. Each column is already
+		// close-ordered, so this is a k-way merge over tiny k.
+		for {
+			best, bestPos := -1, 0
+			for o := 0; o < occ; o++ {
+				if h.vcur[o] >= len(h.vcols[o]) {
+					continue
+				}
+				v := &h.vcols[o][h.vcur[o]]
+				pos := 0
+				if v.Episode.Day == b.Day {
+					pos = v.Episode.ArrivalSlot + v.Episode.Duration
+				}
+				if best == -1 || pos < bestPos {
+					best, bestPos = o, pos
+				}
+			}
+			if best == -1 {
+				break
+			}
+			h.recordVerdict(h.vcols[best][h.vcur[best]])
+			h.vcur[best]++
+		}
+		if h.nat != nil {
+			for o := 0; o < occ; o++ {
+				col, err := h.nat.ObserveDay(b.Day, o, b.TrueZone[o], b.TrueAct[o], h.ncol[:0])
+				h.ncol = col[:0]
+				if err != nil {
+					return DayStats{}, err
+				}
+				for _, e := range col {
+					h.recordNatural(e)
+				}
+			}
+			if b.Day > 0 {
+				h.resolveDaysBelow(b.Day)
+			}
+		}
+	}
+	h.dayIn = hvac.DayInput{
+		OutdoorTempF:      b.TempF,
+		OutdoorCO2PPM:     b.CO2PPM,
+		BelievedZone:      b.RepZone,
+		BelievedAct:       b.RepAct,
+		BelievedAppliance: b.RepAppliance,
+		ActualZone:        b.TrueZone,
+		ActualAct:         b.TrueAct,
+		ActualAppliance:   b.TrueAppliance,
+	}
+	if err := h.sim.StepDay(&h.dayIn); err != nil {
+		return DayStats{}, err
+	}
+	st := DayStats{
+		SensorEvents: int64(aras.SlotsPerDay) * int64(occ+appl),
+		ActionEvents: int64(aras.SlotsPerDay) * int64(len(h.cfg.House.Zones)),
+	}
+	h.res.Days++
+	h.res.Slots += int64(aras.SlotsPerDay)
+	h.res.SensorEvents += st.SensorEvents
+	h.res.ActionEvents += st.ActionEvents
+	return st, nil
+}
+
 // Close seals open episodes, resolves the detection ledger, and returns the
 // final accounting.
 func (h *Home) Close() (HomeResult, error) {
@@ -219,11 +348,36 @@ func (h *Home) Close() (HomeResult, error) {
 			for _, e := range h.nat.Flush() {
 				h.recordNatural(e)
 			}
-			h.resolveDaysBelow(int(^uint(0) >> 1)) // all days
+			h.resolveDaysBelow(math.MaxInt) // all days
 		}
 	}
 	h.res.Sim = h.sim.Result()
 	return h.res, nil
+}
+
+// ledgerFor returns the labelling entry for a day, creating it (from
+// recycled storage when available) in day-sorted position. Streams touch
+// days in nondecreasing order, so the entry is almost always last already.
+func (h *Home) ledgerFor(day int) *dayLedger {
+	i := len(h.led)
+	for i > 0 && h.led[i-1].day > day {
+		i--
+	}
+	if i > 0 && h.led[i-1].day == day {
+		return &h.led[i-1]
+	}
+	var entry dayLedger
+	if n := len(h.ledSpare); n > 0 {
+		entry = h.ledSpare[n-1]
+		h.ledSpare = h.ledSpare[:n-1]
+	}
+	entry.day = day
+	entry.verdicts = entry.verdicts[:0]
+	entry.natural = entry.natural[:0]
+	h.led = append(h.led, dayLedger{})
+	copy(h.led[i+1:], h.led[i:])
+	h.led[i] = entry
+	return &h.led[i]
 }
 
 // recordVerdict counts a closed reported episode and, under attack,
@@ -236,39 +390,52 @@ func (h *Home) recordVerdict(v adm.Verdict) {
 	if h.cfg.OnVerdict != nil {
 		h.cfg.OnVerdict(v)
 	}
-	if h.verdicts != nil {
-		h.verdicts[v.Episode.Day] = append(h.verdicts[v.Episode.Day], v)
+	if h.labeling {
+		l := h.ledgerFor(v.Episode.Day)
+		l.verdicts = append(l.verdicts, v)
 	}
 }
 
-// recordNatural ledgers a truth-stream episode for injection labelling.
+// recordNatural ledgers a truth-stream episode for injection labelling,
+// keeping the day's key slice sorted for binary search at resolution.
 func (h *Home) recordNatural(e aras.Episode) {
-	day := h.natural[e.Day]
-	if day == nil {
-		day = make(map[[4]int]bool)
-		h.natural[e.Day] = day
+	l := h.ledgerFor(e.Day)
+	key := [4]int{e.Occupant, int(e.Zone), e.ArrivalSlot, e.Duration}
+	i := sort.Search(len(l.natural), func(i int) bool { return !keyLess(l.natural[i], key) })
+	l.natural = append(l.natural, [4]int{})
+	copy(l.natural[i+1:], l.natural[i:])
+	l.natural[i] = key
+}
+
+func keyLess(a, b [4]int) bool {
+	for x := 0; x < 4; x++ {
+		if a[x] != b[x] {
+			return a[x] < b[x]
+		}
 	}
-	day[[4]int{e.Occupant, int(e.Zone), e.ArrivalSlot, e.Duration}] = true
+	return false
 }
 
 // resolveDaysBelow labels every ledgered day < bound: a reported episode
-// absent from the day's natural set is an injection (the batch
+// absent from the day's natural keys is an injection (the batch
 // DayReportedEpisodes semantics), and flagged injections mark the day
-// detected.
+// detected. Resolved entries' storage is recycled, so a steady-state stream
+// resolves each day without allocating.
 func (h *Home) resolveDaysBelow(bound int) {
-	var days []int
-	for d := range h.verdicts {
-		if d < bound {
-			days = append(days, d)
-		}
+	n := 0
+	for n < len(h.led) && h.led[n].day < bound {
+		n++
 	}
-	sort.Ints(days)
-	for _, d := range days {
-		nat := h.natural[d]
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		l := &h.led[i]
 		detected := false
-		for _, v := range h.verdicts[d] {
+		for _, v := range l.verdicts {
 			key := [4]int{v.Episode.Occupant, int(v.Episode.Zone), v.Episode.ArrivalSlot, v.Episode.Duration}
-			if nat[key] {
+			j := sort.Search(len(l.natural), func(j int) bool { return !keyLess(l.natural[j], key) })
+			if j < len(l.natural) && l.natural[j] == key {
 				continue // occurs in that occupant's truth: ordinary FP surface, not an injection
 			}
 			h.res.Injected++
@@ -280,14 +447,8 @@ func (h *Home) resolveDaysBelow(bound int) {
 		if detected {
 			h.res.DetectedDays++
 		}
-		delete(h.verdicts, d)
-		delete(h.natural, d)
+		h.ledSpare = append(h.ledSpare, *l)
+		*l = dayLedger{}
 	}
-	// Natural-only days (no reported verdicts) can linger; drop any below
-	// the bound so the ledger stays bounded.
-	for d := range h.natural {
-		if d < bound {
-			delete(h.natural, d)
-		}
-	}
+	h.led = h.led[:copy(h.led, h.led[n:])]
 }

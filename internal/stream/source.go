@@ -50,6 +50,28 @@ func (s *GeneratorSource) Next(dst *Slot) error {
 	return nil
 }
 
+// NextBlock implements BlockSource: the generator plans the next day
+// directly into the block's ground-truth columns (no intermediate aras.Day
+// allocation) and mirrors them into the reported view. Interleaving with a
+// partially consumed per-slot day is an error — blocks only coarsen whole
+// days.
+func (s *GeneratorSource) NextBlock(dst *DayBlock) error {
+	if s.slot != aras.SlotsPerDay {
+		return fmt.Errorf("stream: source for %s mid-day (slot %d); cannot emit a day block", s.id, s.slot)
+	}
+	d := s.gen.DayIndex()
+	dst.ensure(len(s.gen.House().Occupants), len(s.gen.House().Appliances))
+	day := aras.Day{Zone: dst.TrueZone, Act: dst.TrueAct, Appliance: dst.TrueAppliance}
+	wth := aras.Weather{TempF: dst.TempF, CO2PPM: dst.CO2PPM}
+	if err := s.gen.NextDayInto(&day, &wth); err != nil {
+		return err
+	}
+	dst.Home = s.id
+	dst.Day = d
+	dst.mirrorTruth()
+	return nil
+}
+
 // SeekDay implements DaySeeker: it fast-forwards the stream to the start
 // of the given day by planning and discarding the skipped days, which
 // evolves the generator's RNG streams exactly as emitting them would — the
@@ -102,6 +124,34 @@ func (s *TraceSource) Next(dst *Slot) error {
 		s.slot = 0
 		s.d++
 	}
+	return nil
+}
+
+// NextBlock implements BlockSource: the trace day is copied column-wise into
+// the block (a copy, not an alias — injectors rewrite blocks in place and
+// must not corrupt the source trace). Mid-day cursors refuse to coarsen.
+func (s *TraceSource) NextBlock(dst *DayBlock) error {
+	if s.slot != 0 {
+		return fmt.Errorf("stream: source for %s mid-day (slot %d); cannot emit a day block", s.id, s.slot)
+	}
+	if s.d >= s.trace.NumDays() {
+		return io.EOF
+	}
+	day, wth := s.trace.Days[s.d], s.trace.Weather[s.d]
+	dst.ensure(len(day.Zone), len(day.Appliance))
+	copy(dst.TempF, wth.TempF)
+	copy(dst.CO2PPM, wth.CO2PPM)
+	for o := range day.Zone {
+		copy(dst.TrueZone[o], day.Zone[o])
+		copy(dst.TrueAct[o], day.Act[o])
+	}
+	for a := range day.Appliance {
+		copy(dst.TrueAppliance[a], day.Appliance[a])
+	}
+	dst.Home = s.id
+	dst.Day = s.d
+	dst.mirrorTruth()
+	s.d++
 	return nil
 }
 

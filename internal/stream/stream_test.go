@@ -373,10 +373,7 @@ func TestHomeIngestHygiene(t *testing.T) {
 // its OWN occupant's truth, so a falsified stay that happens to coincide
 // with another occupant's real stay is still an injection.
 func TestInjectionLedgerIsPerOccupant(t *testing.T) {
-	h := &Home{
-		verdicts: make(map[int][]adm.Verdict),
-		natural:  make(map[int]map[[4]int]bool),
-	}
+	h := &Home{labeling: true}
 	// Occupant 1 really stayed in zone 2, arrival 480, duration 60.
 	h.recordNatural(aras.Episode{Day: 0, Occupant: 1, Zone: 2, ArrivalSlot: 480, Duration: 60})
 	// Occupant 0 reports the identical (zone, arrival, duration) triple —
