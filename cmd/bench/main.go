@@ -5,20 +5,24 @@
 // scenario_sweep series (the full pipeline over registry archetypes and
 // procedural homes up to 12 zones / 4 occupants), a stream_fleet
 // series: the incremental streaming runtime driving a procedurally
-// generated fleet concurrently, reporting homes/sec and events/sec — and a
-// stream_fleet_chaos series, the same fleet under the supervised
-// fault-injection path (seeded chaos, checkpointed retries), which prices
-// the resilience layer against the clean run. A separate fleetd_scale
-// series runs the sharded fleet service's multiplexed scheduler over
-// -fleetd-scale home counts, producing the scaling curve committed as
-// BENCH_PR8.json.
+// generated fleet concurrently, reporting homes/sec and events/sec — a
+// stream_fleet_mqtt series routing the same fleet through an in-process
+// broker on the binary day-block transport — and a stream_fleet_chaos
+// series, the same fleet under the supervised fault-injection path
+// (block-scale seeded chaos, checkpointed retries on a virtual clock),
+// which prices the resilience layer against the clean run. A separate
+// fleetd_scale series runs the sharded fleet service's multiplexed
+// scheduler over -fleetd-scale home counts (plus -fleetd-chaos counts under
+// mixed fault injection), producing the scaling curve committed as
+// BENCH_PR9.json.
 //
 // Usage:
 //
 //	bench [-days N] [-train N] [-seed S] [-workers N] [-o BENCH.json]
 //	      [-fleet-homes N] [-fleet-days N] [-fleetd-scale N1,N2,...]
-//	      [-fleetd-days N] [-cpuprofile F] [-memprofile F]
-//	      [-baseline BENCH.json] [-max-regress R] [-compare BENCH.json]
+//	      [-fleetd-chaos N1,N2,...] [-fleetd-days N]
+//	      [-cpuprofile F] [-memprofile F] [-baseline BENCH.json]
+//	      [-max-regress R] [-chaos-ratio R] [-compare BENCH.json]
 //
 // The default configuration matches the benchmark harness's quick suite
 // (12 days) so numbers are comparable with `go test -bench` and with the
@@ -49,6 +53,7 @@ import (
 
 	"github.com/acyd-lab/shatter/internal/core"
 	"github.com/acyd-lab/shatter/internal/fleetd"
+	"github.com/acyd-lab/shatter/internal/mqtt"
 	"github.com/acyd-lab/shatter/internal/profiling"
 	"github.com/acyd-lab/shatter/internal/scenario"
 	"github.com/acyd-lab/shatter/internal/stream"
@@ -77,9 +82,14 @@ type Report struct {
 	FleetHomes  int                `json:"fleet_homes"`
 	FleetDays   int                `json:"fleet_days"`
 	StreamFleet *stream.FleetStats `json:"stream_fleet,omitempty"`
+	// StreamFleetMQTT is the stream_fleet_mqtt series' aggregate: the same
+	// fleet routed through an in-process MQTT broker on the binary day-block
+	// transport, pricing the wire hop against the direct path.
+	StreamFleetMQTT *stream.FleetStats `json:"stream_fleet_mqtt,omitempty"`
 	// StreamFleetChaos is the stream_fleet_chaos series' aggregate: the
-	// same fleet under the supervised fault-injection path (seeded chaos,
-	// checkpointed retries), reporting the resilience counters alongside
+	// same fleet under the supervised fault-injection path (block-scale
+	// seeded chaos on the day-frame transport, checkpointed retries on a
+	// virtual clock), reporting the resilience counters alongside
 	// throughput.
 	StreamFleetChaos *stream.FleetStats `json:"stream_fleet_chaos,omitempty"`
 	// FleetdScale is the sharded fleet service's scaling curve: each point
@@ -94,12 +104,18 @@ type Report struct {
 	TotalNS      int64         `json:"total_ns"`
 }
 
-// FleetdPoint is one fleetd scaling measurement.
+// FleetdPoint is one fleetd scaling measurement. Chaos points run the same
+// fleet under mixed block-scale fault injection with supervised retries on
+// a virtual clock (in-memory checkpoints), and carry the resilience
+// counters the run induced.
 type FleetdPoint struct {
 	Homes          int     `json:"homes"`
 	Days           int     `json:"days"`
 	Shards         int     `json:"shards"`
 	MaxResident    int     `json:"max_resident"`
+	Chaos          bool    `json:"chaos,omitempty"`
+	Retries        int64   `json:"retries,omitempty"`
+	Restores       int64   `json:"restores,omitempty"`
 	ElapsedNS      int64   `json:"elapsed_ns"`
 	Slots          int64   `json:"slots"`
 	Events         int64   `json:"events"`
@@ -125,8 +141,10 @@ func run(args []string) error {
 	fleetHomes := fs.Int("fleet-homes", 100, "stream_fleet series: concurrent synth homes")
 	fleetDays := fs.Int("fleet-days", 2, "stream_fleet series: days per home")
 	fleetdScale := fs.String("fleetd-scale", "1000", "fleetd scaling series: comma-separated home counts (empty disables)")
+	fleetdChaos := fs.String("fleetd-chaos", "1000", "fleetd chaos scaling series: comma-separated home counts run under mixed fault injection (empty disables)")
 	fleetdDays := fs.Int("fleetd-days", 1, "fleetd scaling series: days per home")
-	out := fs.String("o", "BENCH_PR8.json", "output path (- for stdout)")
+	chaosRatio := fs.Float64("chaos-ratio", 0, "fail when warm stream_fleet_chaos exceeds this multiple of warm stream_fleet (0 disables)")
+	out := fs.String("o", "BENCH_PR9.json", "output path (- for stdout)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	baseline := fs.String("baseline", "", "committed baseline report to gate warm series against")
@@ -193,11 +211,32 @@ func run(args []string) error {
 			report.StreamFleet = &res.Stats
 			return nil
 		}},
+		{"stream_fleet_mqtt", func() error {
+			// The wire series: the same fleet routed through an in-process
+			// MQTT broker on the binary day-block transport. The delta
+			// against stream_fleet prices the broker hop.
+			broker, err := mqtt.NewBroker("127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			defer broker.Close()
+			res, err := s.Stream(scenario.SynthFleet(*fleetHomes, cfg.Seed), core.StreamOptions{
+				Days:   *fleetDays,
+				Broker: broker.Addr(),
+			})
+			if err != nil {
+				return err
+			}
+			report.StreamFleetMQTT = &res.Stats
+			return nil
+		}},
 		{"stream_fleet_chaos", func() error {
 			// The same fleet under the supervised fault path: a seeded chaos
-			// schedule perturbs every home's transport, failed homes retry
-			// from day-boundary checkpoints, and the stats record how much
-			// resilience work (retries, restores) the faults induced. The
+			// schedule perturbs every home's day-frame transport, failed
+			// homes retry from day-boundary checkpoints (written through the
+			// async sink), and delay faults plus retry backoff burn virtual
+			// time instead of wall-clock. The stats record how much
+			// resilience work (retries, restores) the faults induced; the
 			// delta against stream_fleet prices the supervision layer.
 			dir, err := os.MkdirTemp("", "shatter-bench-ckpt-*")
 			if err != nil {
@@ -205,17 +244,28 @@ func run(args []string) error {
 			}
 			defer os.RemoveAll(dir)
 			res, err := s.Stream(scenario.SynthFleet(*fleetHomes, cfg.Seed), core.StreamOptions{
-				Days:          *fleetDays,
-				Recover:       true,
-				CheckpointDir: dir,
+				Days:             *fleetDays,
+				Recover:          true,
+				CheckpointDir:    dir,
+				AsyncCheckpoints: true,
+				Clock:            stream.NewVirtualClock(),
+				// Block-scale probabilities: the transport moves one frame
+				// per home-day, so per-frame rates are ~1000x the per-slot
+				// rates earlier baselines used.
 				Chaos: &stream.FaultConfig{
-					Seed: cfg.Seed, Drop: 0.0002, Duplicate: 0.0004, Delay: 0.0003,
-					Corrupt: 0.0001, Truncate: 0.0001, Disconnect: 0.00005,
+					Seed: cfg.Seed, Drop: 0.04, Duplicate: 0.06, Delay: 0.05,
+					Corrupt: 0.02, Truncate: 0.02, Disconnect: 0.01,
 					MaxDelay: 100 * time.Microsecond,
 				},
 			})
 			if err != nil {
 				return err
+			}
+			if res.Stats.Quarantined != 0 {
+				return fmt.Errorf("chaos quarantined %d homes", res.Stats.Quarantined)
+			}
+			if res.Stats.Retries == 0 || res.Stats.Restores == 0 {
+				return fmt.Errorf("chaos fixture inert: %d retries, %d restores", res.Stats.Retries, res.Stats.Restores)
 			}
 			report.StreamFleetChaos = &res.Stats
 			return nil
@@ -237,23 +287,32 @@ func run(args []string) error {
 			WarmNS: time.Since(warm).Nanoseconds(),
 		})
 	}
-	for _, field := range strings.Split(*fleetdScale, ",") {
-		field = strings.TrimSpace(field)
-		if field == "" {
-			continue
+	scaleSeries := []struct {
+		flag, spec string
+		chaos      bool
+	}{
+		{"-fleetd-scale", *fleetdScale, false},
+		{"-fleetd-chaos", *fleetdChaos, true},
+	}
+	for _, series := range scaleSeries {
+		for _, field := range strings.Split(series.spec, ",") {
+			field = strings.TrimSpace(field)
+			if field == "" {
+				continue
+			}
+			n, err := strconv.Atoi(field)
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad %s entry %q (want positive home counts)", series.flag, field)
+			}
+			pt, err := runFleetdScale(s, n, *fleetdDays, cfg.Seed, series.chaos)
+			if err != nil {
+				return fmt.Errorf("%s %d: %w", fleetdPointName(FleetdPoint{Homes: n, Days: *fleetdDays, Chaos: series.chaos}), n, err)
+			}
+			fmt.Fprintf(os.Stderr, "%s: %d homes x %d days in %s (%.1f homes/s, %.0f events/s, %d retries, %d restores, heap %.1f MiB)\n",
+				fleetdPointName(pt), pt.Homes, pt.Days, time.Duration(pt.ElapsedNS).Round(time.Millisecond),
+				pt.HomesPerSec, pt.EventsPerSec, pt.Retries, pt.Restores, float64(pt.HeapAllocBytes)/(1<<20))
+			report.FleetdScale = append(report.FleetdScale, pt)
 		}
-		n, err := strconv.Atoi(field)
-		if err != nil || n < 1 {
-			return fmt.Errorf("bad -fleetd-scale entry %q (want positive home counts)", field)
-		}
-		pt, err := runFleetdScale(s, n, *fleetdDays, cfg.Seed)
-		if err != nil {
-			return fmt.Errorf("fleetd_scale %d: %w", n, err)
-		}
-		fmt.Fprintf(os.Stderr, "fleetd_scale: %d homes x %d days in %s (%.1f homes/s, %.0f events/s, heap %.1f MiB)\n",
-			pt.Homes, pt.Days, time.Duration(pt.ElapsedNS).Round(time.Millisecond),
-			pt.HomesPerSec, pt.EventsPerSec, float64(pt.HeapAllocBytes)/(1<<20))
-		report.FleetdScale = append(report.FleetdScale, pt)
 	}
 
 	stats := s.CacheStats()
@@ -288,8 +347,41 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *chaosRatio > 0 {
+		if err := gateChaosRatio(chatter, report, *chaosRatio); err != nil {
+			return err
+		}
+	}
 	if *baseline != "" {
 		return gateAgainstBaseline(chatter, report, *baseline, *maxRegress)
+	}
+	return nil
+}
+
+// gateChaosRatio fails the run when the warm stream_fleet_chaos series costs
+// more than ratio× the warm clean stream_fleet series (plus the absolute
+// slack) — the in-run price ceiling on the resilience layer, independent of
+// any committed baseline.
+func gateChaosRatio(w io.Writer, report Report, ratio float64) error {
+	warm := make(map[string]int64, len(report.Experiments))
+	for _, m := range report.Experiments {
+		warm[m.Name] = m.WarmNS
+	}
+	clean, okClean := warm["stream_fleet"]
+	chaos, okChaos := warm["stream_fleet_chaos"]
+	if !okClean || !okChaos {
+		return fmt.Errorf("chaos-ratio gate: stream_fleet and stream_fleet_chaos series required")
+	}
+	limit := int64(float64(clean)*ratio) + regressSlackNS
+	status := "ok"
+	if chaos > limit {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "gate: chaos/clean warm %12s vs %12s (limit %.1fx+slack = %s) %s\n",
+		time.Duration(chaos), time.Duration(clean), ratio, time.Duration(limit), status)
+	if status == "FAIL" {
+		return fmt.Errorf("chaos-ratio gate: warm stream_fleet_chaos %s exceeds %.1fx warm stream_fleet %s",
+			time.Duration(chaos), ratio, time.Duration(clean))
 	}
 	return nil
 }
@@ -308,9 +400,14 @@ func loadReport(path string) (Report, error) {
 }
 
 // fleetdPointName labels a scaling point by its shape — the key both the
-// gate and the comparison table match points across reports with.
+// gate and the comparison table match points across reports with. Chaos
+// points carry a suffix so they gate against chaos baselines only.
 func fleetdPointName(pt FleetdPoint) string {
-	return fmt.Sprintf("fleetd_scale_%dx%dd", pt.Homes, pt.Days)
+	name := fmt.Sprintf("fleetd_scale_%dx%dd", pt.Homes, pt.Days)
+	if pt.Chaos {
+		name += "_chaos"
+	}
+	return name
 }
 
 // compareAgainstBaseline prints the per-series delta table against a prior
@@ -443,15 +540,29 @@ func gateAgainstBaseline(w io.Writer, report Report, path string, maxRegress flo
 // admitted to a 4-shard service with a bounded admission window, run to
 // completion through the multiplexed scheduler. The elapsed clock covers
 // admission through fleet-idle; the heap figure is sampled at completion.
-func runFleetdScale(s *core.Suite, homes, days int, seed uint64) (FleetdPoint, error) {
+// Chaos points layer mixed block-scale fault injection over the same fleet:
+// supervised retries resume from in-memory day-boundary checkpoints and
+// delay faults plus backoff timers run on a virtual clock, so the point
+// measures recovery compute, not sleep.
+func runFleetdScale(s *core.Suite, homes, days int, seed uint64, chaos bool) (FleetdPoint, error) {
 	jobs, err := s.FleetJobs(scenario.SynthFleet(homes, seed), core.StreamOptions{Days: days})
 	if err != nil {
 		return FleetdPoint{}, err
 	}
 	const shards = 4
+	shard := fleetd.ShardOptions{MaxResident: 2048}
+	if chaos {
+		shard.Recover = true
+		shard.Clock = stream.NewVirtualClock()
+		shard.Chaos = &stream.FaultConfig{
+			Seed: seed, Drop: 0.04, Duplicate: 0.06, Delay: 0.05,
+			Corrupt: 0.02, Truncate: 0.02, Disconnect: 0.01,
+			MaxDelay: 100 * time.Microsecond,
+		}
+	}
 	svc, err := fleetd.NewService(fleetd.Config{
 		Shards: shards,
-		Shard:  fleetd.ShardOptions{MaxResident: 2048},
+		Shard:  shard,
 	})
 	if err != nil {
 		return FleetdPoint{}, err
@@ -470,11 +581,19 @@ func runFleetdScale(s *core.Suite, homes, days int, seed uint64) (FleetdPoint, e
 	if snap.HomesCompleted != int64(homes) {
 		return FleetdPoint{}, fmt.Errorf("completed %d of %d homes", snap.HomesCompleted, homes)
 	}
+	// Single-day homes have no mid-run day boundary to checkpoint at, so
+	// only retries are guaranteed; restores additionally need days > 1.
+	if chaos && (snap.Retries == 0 || (days > 1 && snap.Restores == 0)) {
+		return FleetdPoint{}, fmt.Errorf("chaos fixture inert: %d retries, %d restores", snap.Retries, snap.Restores)
+	}
 	pt := FleetdPoint{
 		Homes:          homes,
 		Days:           days,
 		Shards:         shards,
 		MaxResident:    2048,
+		Chaos:          chaos,
+		Retries:        snap.Retries,
+		Restores:       snap.Restores,
 		ElapsedNS:      elapsed.Nanoseconds(),
 		Slots:          snap.Slots,
 		Events:         snap.SensorEvents + snap.ActionEvents + snap.Verdicts,

@@ -9,6 +9,7 @@
 //	            [-stream-defend] [-stream-attack] [-stream-legacy-json]
 //	            [-stream-chaos spec] [-stream-checkpoint-dir D]
 //	            [-stream-retries N] [-stream-failfast]
+//	            [-stream-virtual-clock] [-stream-async-ckpt]
 //	            [-cpuprofile F] [-memprofile F]
 //
 // -quick runs a reduced 12-day configuration for a fast smoke pass.
@@ -83,6 +84,8 @@ func run(args []string) error {
 	streamRetries := fs.Int("stream-retries", 0, "retry budget per failed home (0 = default, negative = no retries)")
 	streamFailFast := fs.Bool("stream-failfast", false, "abort the fleet on the first quarantined home")
 	streamLegacyJSON := fs.Bool("stream-legacy-json", false, "force per-slot JSON framing instead of binary day-block transport")
+	streamVirtualClock := fs.Bool("stream-virtual-clock", false, "run chaos delays and retry backoff on a virtual clock (compute-bound, byte-identical results)")
+	streamAsyncCkpt := fs.Bool("stream-async-ckpt", false, "write day-boundary checkpoints through the async sink instead of inline")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	if err := fs.Parse(args); err != nil {
@@ -204,6 +207,10 @@ func run(args []string) error {
 			Days: *streamDays, Defend: *streamDefend, Attack: *streamAttack,
 			MaxRetries: *streamRetries, FailFast: *streamFailFast,
 			CheckpointDir: *streamCkptDir, LegacyJSON: *streamLegacyJSON,
+			AsyncCheckpoints: *streamAsyncCkpt,
+		}
+		if *streamVirtualClock {
+			opts.Clock = stream.NewVirtualClock()
 		}
 		if *streamChaos != "" {
 			cfg, err := parseChaos(*streamChaos)

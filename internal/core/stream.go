@@ -41,12 +41,20 @@ type StreamOptions struct {
 	// CheckpointDir persists per-home day-boundary checkpoints so retries
 	// (and later runs) resume instead of replaying from day zero.
 	CheckpointDir string
+	// AsyncCheckpoints moves checkpoint disk writes off the drive hot path
+	// onto a background sink with flush barriers (see
+	// stream.FleetOptions.AsyncCheckpoints).
+	AsyncCheckpoints bool
 	// Chaos injects a deterministic fault schedule into every home's
 	// transport — the resilience test harness.
 	Chaos *stream.FaultConfig
+	// Clock times chaos delays and retry backoff; nil is real wall-clock
+	// time, a stream.VirtualClock makes chaos runs compute-bound with
+	// byte-identical results.
+	Clock stream.Clock
 	// LegacyJSON forces per-slot JSON framing instead of the default binary
-	// day-block transport on chaos-free runs (see
-	// stream.FleetOptions.LegacyJSON). Results are bit-identical either way.
+	// day-block transport (see stream.FleetOptions.LegacyJSON). Results are
+	// bit-identical either way.
 	LegacyJSON bool
 }
 
@@ -68,14 +76,16 @@ func (s *Suite) Stream(specs []scenario.Spec, opts StreamOptions) (stream.FleetR
 		return stream.FleetResult{}, err
 	}
 	return stream.RunFleet(jobs, stream.FleetOptions{
-		Workers:       s.Config.Workers,
-		Broker:        opts.Broker,
-		Recover:       opts.Recover,
-		MaxRetries:    opts.MaxRetries,
-		FailFast:      opts.FailFast,
-		CheckpointDir: opts.CheckpointDir,
-		Chaos:         opts.Chaos,
-		LegacyJSON:    opts.LegacyJSON,
+		Workers:          s.Config.Workers,
+		Broker:           opts.Broker,
+		Recover:          opts.Recover,
+		MaxRetries:       opts.MaxRetries,
+		FailFast:         opts.FailFast,
+		CheckpointDir:    opts.CheckpointDir,
+		AsyncCheckpoints: opts.AsyncCheckpoints,
+		Chaos:            opts.Chaos,
+		Clock:            opts.Clock,
+		LegacyJSON:       opts.LegacyJSON,
 	})
 }
 

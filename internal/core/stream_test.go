@@ -135,7 +135,9 @@ func TestStreamChaosSupervisedMatchesClean(t *testing.T) {
 		Defend: true, Attack: true,
 		Recover:       true,
 		CheckpointDir: t.TempDir(),
-		Chaos:         &stream.FaultConfig{Seed: 17, Drop: 0.002, Duplicate: 0.002, Corrupt: 0.001},
+		// Block-scale probabilities: the default transport moves one frame
+		// per home-day, so per-frame rates sit near the day count's inverse.
+		Chaos:         &stream.FaultConfig{Seed: 17, Drop: 0.2, Duplicate: 0.15, Corrupt: 0.1},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -388,9 +388,11 @@ func TestShardRetryAndQuarantine(t *testing.T) {
 func TestServiceChaosMatchesRunFleet(t *testing.T) {
 	const homes, days = 6, 2
 	jobs := synthJobs(homes, days, 909)
+	// Block-scale probabilities: each 2-day home publishes two day frames
+	// per attempt, so per-frame rates must be large to force retries.
 	chaos := &stream.FaultConfig{
-		Seed: 909, Drop: 0.001, Duplicate: 0.001, Corrupt: 0.0005,
-		Disconnect: 0.0005, MaxDelay: time.Microsecond,
+		Seed: 909, Drop: 0.2, Duplicate: 0.2, Corrupt: 0.1,
+		Disconnect: 0.1, MaxDelay: time.Microsecond,
 	}
 	want, err := stream.RunFleet(jobs, stream.FleetOptions{
 		Workers: 2, Recover: true, CheckpointDir: t.TempDir(), Chaos: chaos,
@@ -420,6 +422,57 @@ func TestServiceChaosMatchesRunFleet(t *testing.T) {
 		if g != w {
 			t.Fatalf("outcome %s diverges:\n%+v\nvs\n%+v", w.ID, g, w)
 		}
+	}
+	if want.Stats.Retries == 0 {
+		t.Fatalf("fixture too tame — chaos never forced a retry: %+v", want.Stats)
+	}
+}
+
+// TestServiceChaosVirtualClockAsyncCheckpoints: the service's fast chaos
+// configuration — virtual clock for delay faults and retry timers, async
+// day-boundary checkpoint writes — must produce results byte-identical to
+// the plain wall-clock, synchronous-checkpoint run.
+func TestServiceChaosVirtualClockAsyncCheckpoints(t *testing.T) {
+	const homes, days = 6, 2
+	jobs := synthJobs(homes, days, 909)
+	chaos := &stream.FaultConfig{
+		Seed: 909, Drop: 0.2, Duplicate: 0.2, Delay: 0.15, Corrupt: 0.1,
+		Disconnect: 0.1, MaxDelay: 200 * time.Microsecond,
+	}
+	run := func(clock stream.Clock, async bool) stream.FleetResult {
+		t.Helper()
+		svc, err := NewService(Config{Shards: 2, Shard: ShardOptions{
+			Workers: 2, Recover: true, CheckpointDir: t.TempDir(), Chaos: chaos,
+			Clock: clock, AsyncCheckpoints: async,
+			RetryBackoff: mqtt.Backoff{Base: 10 * time.Millisecond, Max: 40 * time.Millisecond},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Close(false)
+		if err := svc.Add(jobs); err != nil {
+			t.Fatal(err)
+		}
+		svc.WaitIdle()
+		return svc.Result()
+	}
+	vc := stream.NewVirtualClock()
+	fast := run(vc, true)
+	plain := run(nil, false)
+	checkHomesEqual(t, fast.Homes, plain.Homes)
+	checkStatsEqual(t, fast.Stats, plain.Stats, false)
+	for i := range fast.Outcomes {
+		g, w := fast.Outcomes[i], plain.Outcomes[i]
+		g.Duration, w.Duration = 0, 0
+		if g != w {
+			t.Fatalf("outcome %s diverges:\n%+v\nvs\n%+v", w.ID, g, w)
+		}
+	}
+	if plain.Stats.Retries == 0 {
+		t.Fatalf("fixture too tame: %+v", plain.Stats)
+	}
+	if vc.Advanced() == 0 {
+		t.Fatal("virtual clock recorded no skipped waits")
 	}
 }
 

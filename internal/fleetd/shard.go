@@ -47,10 +47,17 @@ type ShardOptions struct {
 	// in-process drain/rehydrate and retry.
 	CheckpointDir   string
 	CheckpointEvery int
+	// AsyncCheckpoints moves day-boundary disk writes onto a background
+	// sink; drain, stop, restore, and completion barrier the sink before
+	// they read or finalize disk state (see stream.FleetOptions).
+	AsyncCheckpoints bool
 	// Chaos injects the seeded fault schedule into every home's transport.
 	Chaos *stream.FaultConfig
-	// LegacyJSON forces per-slot JSON framing even on clean runs; by default
-	// a chaos-free shard moves binary day-blocks (see
+	// Clock times chaos delay faults and retry backoff timers; nil (the
+	// default, kept by the live service) is real wall-clock time.
+	Clock stream.Clock
+	// LegacyJSON forces per-slot JSON framing; by default a shard moves
+	// binary day-blocks with or without chaos (see
 	// stream.FleetOptions.LegacyJSON). Results are bit-identical either way.
 	LegacyJSON bool
 
@@ -84,6 +91,9 @@ func (o ShardOptions) withDefaults() ShardOptions {
 	}
 	if o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = 1
+	}
+	if o.Clock == nil {
+		o.Clock = stream.RealClock
 	}
 	return o
 }
@@ -159,6 +169,9 @@ type Shard struct {
 	id   int
 	opts ShardOptions
 	met  *Metrics
+	// ckSink is the async checkpoint writer (nil unless CheckpointDir and
+	// AsyncCheckpoints are both set).
+	ckSink *stream.CheckpointSink
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -186,6 +199,9 @@ func newShard(id int, opts ShardOptions, met *Metrics) *Shard {
 		opts:  opts.withDefaults(),
 		met:   met,
 		homes: make(map[string]*homeRun),
+	}
+	if sh.opts.CheckpointDir != "" && sh.opts.AsyncCheckpoints {
+		sh.ckSink = stream.NewCheckpointSink(sh.opts.CheckpointDir)
 	}
 	sh.cond = sync.NewCond(&sh.mu)
 	for w := 0; w < sh.opts.Workers; w++ {
@@ -348,7 +364,7 @@ func (sh *Shard) drive(h *homeRun, slot *stream.Slot, blk *stream.DayBlock) {
 			sh.met.days.Add(1)
 			d++
 			if sh.opts.supervised() && h.days%sh.opts.CheckpointEvery == 0 {
-				if err := sh.checkpoint(h); err != nil {
+				if err := sh.checkpoint(h, false); err != nil {
 					flush()
 					sh.fail(h, err)
 					return
@@ -403,7 +419,7 @@ func (sh *Shard) driveBlocks(h *homeRun, blk *stream.DayBlock) {
 		h.days = blk.Day + 1
 		sh.met.days.Add(1)
 		if sh.opts.supervised() && h.days%sh.opts.CheckpointEvery == 0 {
-			if err := sh.checkpoint(h); err != nil {
+			if err := sh.checkpoint(h, false); err != nil {
 				flush()
 				sh.fail(h, err)
 				return
@@ -425,6 +441,15 @@ func (sh *Shard) open(h *homeRun) error {
 	sh.wireVerdicts(h, home)
 	ck := h.lastCk
 	if sh.opts.CheckpointDir != "" {
+		if sh.ckSink != nil {
+			// The restore decision reads the disk; queued async writes must
+			// land first, and a recorded write failure fails this attempt
+			// (retrying re-runs the flush) instead of resuming stale.
+			if ferr := sh.ckSink.Flush(h.job.ID); ferr != nil {
+				closeSource(src)
+				return ferr
+			}
+		}
 		if disk, lerr := stream.LoadCheckpoint(sh.opts.CheckpointDir, h.job.ID); lerr == nil && disk != nil {
 			ck = disk
 		}
@@ -448,10 +473,10 @@ func (sh *Shard) open(h *homeRun) error {
 		}
 	}
 	h.opens++
-	// Same gating as stream.RunFleet: block transport only when the whole
-	// shard is chaos-free, so a chaos run's clean retries keep the per-slot
-	// bus accounting consistent.
-	useBlocks := !sh.opts.LegacyJSON && sh.opts.Chaos == nil
+	// Same gating as stream.RunFleet: day-block transport is the default
+	// with or without chaos — block-mode faults perturb whole day frames on
+	// the (home, attempt, day)-keyed schedule.
+	useBlocks := !sh.opts.LegacyJSON
 	plan := sh.opts.Chaos.Plan(h.job.ID, h.opens-1)
 	var drive stream.Source = src
 	h.bdrive = nil
@@ -463,6 +488,7 @@ func (sh *Shard) open(h *homeRun) error {
 			Faults:         plan,
 			Epoch:          h.opens - 1,
 			Blocks:         useBlocks,
+			Clock:          sh.opts.Clock,
 		})
 		if perr != nil {
 			closeSource(src)
@@ -473,7 +499,7 @@ func (sh *Shard) open(h *homeRun) error {
 			h.bdrive = pipe
 		}
 	} else {
-		drive = stream.NewFaultSource(src, plan)
+		drive = stream.NewFaultSource(src, plan, sh.opts.Clock)
 		if useBlocks {
 			if bsrc, ok := drive.(stream.BlockSource); ok {
 				h.bdrive = bsrc
@@ -496,7 +522,11 @@ func (sh *Shard) wireVerdicts(h *homeRun, home *stream.Home) {
 
 // checkpoint snapshots a home at its current day boundary: always into
 // memory (the retry path), and onto disk when a checkpoint dir is set.
-func (sh *Shard) checkpoint(h *homeRun) error {
+// Drive-path saves (direct=false) may route through the async sink;
+// finalizing saves (drain, stop) pass direct=true, which barriers the sink
+// first — so a stale queued write can never land after the newer
+// synchronous one — and then writes in place.
+func (sh *Shard) checkpoint(h *homeRun, direct bool) error {
 	ck, err := h.home.Checkpoint()
 	if err != nil {
 		return err
@@ -506,8 +536,19 @@ func (sh *Shard) checkpoint(h *homeRun) error {
 		h.ckDay = ck.Days
 	}
 	if sh.opts.CheckpointDir != "" {
-		if err := stream.SaveCheckpoint(sh.opts.CheckpointDir, ck); err != nil {
-			return err
+		if sh.ckSink != nil && !direct {
+			if err := sh.ckSink.Save(ck); err != nil {
+				return err
+			}
+		} else {
+			if sh.ckSink != nil {
+				if err := sh.ckSink.Flush(h.job.ID); err != nil {
+					return err
+				}
+			}
+			if err := stream.SaveCheckpoint(sh.opts.CheckpointDir, ck); err != nil {
+				return err
+			}
 		}
 	}
 	sh.met.checkpoints.Add(1)
@@ -554,8 +595,13 @@ func (sh *Shard) yield(h *homeRun) {
 func (sh *Shard) complete(h *homeRun) {
 	h.teardown()
 	if sh.opts.CheckpointDir != "" {
-		// The checkpoint served its purpose; a later fresh run must not
-		// resume from it.
+		// Barrier any queued async write, then remove: the checkpoint served
+		// its purpose, and a later fresh run must not resume from it.
+		if sh.ckSink != nil {
+			if ferr := sh.ckSink.Flush(h.job.ID); ferr != nil && h.err == nil {
+				h.err = ferr
+			}
+		}
 		if rerr := stream.RemoveCheckpoint(sh.opts.CheckpointDir, h.job.ID); rerr != nil && h.err == nil {
 			h.err = rerr
 		}
@@ -593,7 +639,7 @@ func (sh *Shard) fail(h *homeRun, err error) {
 		// The retry waits on a timer, not a worker: the home re-enters the
 		// pending queue when the backoff elapses and reopens from its last
 		// checkpoint on whichever worker claims it.
-		time.AfterFunc(delay, func() { sh.requeue(h) })
+		sh.opts.Clock.AfterFunc(delay, func() { sh.requeue(h) })
 		sh.cond.Broadcast()
 		return
 	}
@@ -764,7 +810,7 @@ func (sh *Shard) Drain() error {
 		if h.home == nil {
 			continue
 		}
-		err := sh.checkpoint(h)
+		err := sh.checkpoint(h, true)
 		h.teardown()
 		sh.resident--
 		if err != nil {
@@ -833,18 +879,22 @@ func (sh *Shard) Stop(persist bool) {
 	sh.mu.Unlock()
 	sh.wg.Wait()
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	for _, h := range sh.homes {
 		if h.home == nil {
 			continue
 		}
 		if persist {
-			if err := sh.checkpoint(h); err != nil && h.err == nil {
+			if err := sh.checkpoint(h, true); err != nil && h.err == nil {
 				h.err = err
 			}
 		}
 		h.teardown()
 		sh.resident--
+	}
+	sh.mu.Unlock()
+	if sh.ckSink != nil {
+		// Final barrier: every queued write lands before Stop returns.
+		sh.ckSink.Close()
 	}
 }
 

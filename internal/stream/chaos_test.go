@@ -39,10 +39,10 @@ func checkSameHomes(t *testing.T, got, want FleetResult) {
 	checkDeterministic(t, zero(got), zero(want))
 }
 
-// chaosClasses is the fault matrix the chaos tests sweep. Probabilities are
-// sized for ~2880-frame homes: high enough that first attempts virtually
-// always fail, low enough that a failure usually lands after the first
-// checkpointed day.
+// chaosClasses is the fault matrix for the LegacyJSON (per-slot) legs.
+// Probabilities are sized for ~2880-frame homes: high enough that first
+// attempts virtually always fail, low enough that a failure usually lands
+// after the first checkpointed day.
 func chaosClasses() map[string]FaultConfig {
 	return map[string]FaultConfig{
 		"drop":       {Seed: 101, Drop: 0.002},
@@ -56,12 +56,30 @@ func chaosClasses() map[string]FaultConfig {
 	}
 }
 
+// blockChaosClasses is the same matrix sized for day-block framing: a
+// 2-day home publishes 2 frames per attempt, so per-frame probabilities
+// are ~0.5 to make first attempts virtually always fail while CleanAttempt
+// still guarantees completion.
+func blockChaosClasses() map[string]FaultConfig {
+	return map[string]FaultConfig{
+		"drop":       {Seed: 201, Drop: 0.5},
+		"duplicate":  {Seed: 202, Duplicate: 0.5},
+		"delay":      {Seed: 203, Delay: 0.5, MaxDelay: 100 * time.Microsecond},
+		"corrupt":    {Seed: 204, Corrupt: 0.5},
+		"truncate":   {Seed: 205, Truncate: 0.5},
+		"disconnect": {Seed: 206, Disconnect: 0.5},
+		"mixed": {Seed: 207, Drop: 0.12, Duplicate: 0.12, Delay: 0.1,
+			Corrupt: 0.08, Truncate: 0.08, Disconnect: 0.06, MaxDelay: 100 * time.Microsecond},
+	}
+}
+
 // TestFleetChaosMatrix runs a supervised fleet under every fault class, on
-// both the direct path and a real MQTT broker, and requires byte-identical
-// per-home results against the clean unsupervised baseline: recoverable
-// faults must change *nothing* but the retry counters. CHAOS_CLASS narrows
-// the sweep to one class and CHAOS_SEED reseeds the schedule (the CI matrix
-// drives both).
+// both the direct path and a real MQTT broker, over both framings — the
+// default day-block transport and the equivalence-locked LegacyJSON shim —
+// and requires byte-identical per-home results against the clean
+// unsupervised baseline: recoverable faults must change *nothing* but the
+// retry counters. CHAOS_CLASS narrows the sweep to one class and CHAOS_SEED
+// reseeds the schedule (the CI matrix drives both).
 func TestFleetChaosMatrix(t *testing.T) {
 	const homes, days = 4, 2
 	jobs := chaosJobs(homes, days)
@@ -79,77 +97,96 @@ func TestFleetChaosMatrix(t *testing.T) {
 		}
 		seed = s
 	}
-	for name, cfg := range chaosClasses() {
-		if only != "" && only != name {
-			continue
-		}
-		if seed != 0 {
-			cfg.Seed = seed
-		}
-		cfg := cfg
-		t.Run(name+"/direct", func(t *testing.T) {
-			got, err := RunFleet(jobs, FleetOptions{
-				Workers: 3, Recover: true, Chaos: &cfg,
-				CheckpointDir: t.TempDir(),
-				RetryBackoff:  mqtt.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	legs := []struct {
+		framing string
+		legacy  bool
+		classes map[string]FaultConfig
+	}{
+		{"block", false, blockChaosClasses()},
+		{"legacy", true, chaosClasses()},
+	}
+	for _, leg := range legs {
+		for name, cfg := range leg.classes {
+			if only != "" && only != name {
+				continue
+			}
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			cfg, leg := cfg, leg
+			// Direct-path expectations: delay only slows frames down; every
+			// other class (duplicates included — the direct path has no dedup
+			// layer) must force retries.
+			t.Run(leg.framing+"/"+name+"/direct", func(t *testing.T) {
+				got, err := RunFleet(jobs, FleetOptions{
+					Workers: 3, Recover: true, Chaos: &cfg, LegacyJSON: leg.legacy,
+					CheckpointDir: t.TempDir(),
+					RetryBackoff:  mqtt.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Stats.Quarantined != 0 {
+					t.Fatalf("recoverable chaos quarantined %d homes: %+v", got.Stats.Quarantined, got.Outcomes)
+				}
+				checkSameHomes(t, got, baseline)
+				switch name {
+				case "delay":
+					if got.Stats.Retries != 0 {
+						t.Fatalf("delay-only chaos caused %d retries", got.Stats.Retries)
+					}
+				default:
+					if got.Stats.Retries == 0 {
+						t.Fatalf("%s chaos caused no retries (faults not reaching the stream?)", name)
+					}
+				}
 			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got.Stats.Quarantined != 0 {
-				t.Fatalf("recoverable chaos quarantined %d homes: %+v", got.Stats.Quarantined, got.Outcomes)
-			}
-			checkSameHomes(t, got, baseline)
-			switch name {
-			case "delay":
-				if got.Stats.Retries != 0 {
-					t.Fatalf("delay-only chaos caused %d retries", got.Stats.Retries)
+			t.Run(leg.framing+"/"+name+"/mqtt", func(t *testing.T) {
+				broker, err := mqtt.NewBroker("127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
 				}
-			default:
-				if got.Stats.Retries == 0 {
-					t.Fatalf("%s chaos caused no retries (faults not reaching the stream?)", name)
+				defer broker.Close()
+				got, err := RunFleet(jobs, FleetOptions{
+					Workers: 3, Broker: broker.Addr(), Recover: true, Chaos: &cfg, LegacyJSON: leg.legacy,
+					CheckpointDir:  t.TempDir(),
+					RetryBackoff:   mqtt.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+					ReceiveTimeout: 2 * time.Second,
+					DrainTimeout:   2 * time.Second,
+				})
+				if err != nil {
+					t.Fatal(err)
 				}
-			}
-		})
-		t.Run(name+"/mqtt", func(t *testing.T) {
-			broker, err := mqtt.NewBroker("127.0.0.1:0")
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer broker.Close()
-			got, err := RunFleet(jobs, FleetOptions{
-				Workers: 3, Broker: broker.Addr(), Recover: true, Chaos: &cfg,
-				CheckpointDir:  t.TempDir(),
-				RetryBackoff:   mqtt.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
-				ReceiveTimeout: 2 * time.Second,
-				DrainTimeout:   2 * time.Second,
+				if got.Stats.Quarantined != 0 {
+					t.Fatalf("recoverable chaos quarantined %d homes: %+v", got.Stats.Quarantined, got.Outcomes)
+				}
+				checkSameHomes(t, got, baseline)
+				// The clean bus moves one frame per home-day on the block
+				// path, one per slot on the legacy path.
+				expect := got.Stats.Days
+				if leg.legacy {
+					expect = got.Stats.Slots
+				}
+				switch name {
+				case "delay":
+					if got.Stats.Retries != 0 {
+						t.Fatalf("delay-only chaos caused %d retries", got.Stats.Retries)
+					}
+				case "duplicate":
+					// The pipe's position tracking absorbs duplicates entirely.
+					if got.Stats.Retries != 0 {
+						t.Fatalf("transport failed to dedup: %d retries", got.Stats.Retries)
+					}
+					if got.Stats.BusFrames <= expect {
+						t.Fatalf("duplicates missing from the bus: %d frames for %d expected", got.Stats.BusFrames, expect)
+					}
+				default:
+					if got.Stats.Retries == 0 {
+						t.Fatalf("%s chaos caused no retries (faults not reaching the transport?)", name)
+					}
+				}
 			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got.Stats.Quarantined != 0 {
-				t.Fatalf("recoverable chaos quarantined %d homes: %+v", got.Stats.Quarantined, got.Outcomes)
-			}
-			checkSameHomes(t, got, baseline)
-			switch name {
-			case "delay":
-				if got.Stats.Retries != 0 {
-					t.Fatalf("delay-only chaos caused %d retries", got.Stats.Retries)
-				}
-			case "duplicate":
-				// The pipe's position tracking absorbs duplicates entirely.
-				if got.Stats.Retries != 0 {
-					t.Fatalf("transport failed to dedup: %d retries", got.Stats.Retries)
-				}
-				if got.Stats.BusFrames <= got.Stats.Slots {
-					t.Fatalf("duplicates missing from the bus: %d frames for %d slots", got.Stats.BusFrames, got.Stats.Slots)
-				}
-			default:
-				if got.Stats.Retries == 0 {
-					t.Fatalf("%s chaos caused no retries (faults not reaching the transport?)", name)
-				}
-			}
-		})
+		}
 	}
 }
 
@@ -158,7 +195,7 @@ func TestFleetChaosMatrix(t *testing.T) {
 // is byte-identical across worker counts — retries, restores, and all.
 func TestFleetChaosWorkerDeterminism(t *testing.T) {
 	jobs := chaosJobs(4, 2)
-	cfg := chaosClasses()["mixed"]
+	cfg := blockChaosClasses()["mixed"]
 	run := func(workers int) FleetResult {
 		t.Helper()
 		got, err := RunFleet(jobs, FleetOptions{
@@ -204,8 +241,10 @@ func TestFleetChaosSoakMQTT(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer broker.Close()
-	cfg := FaultConfig{Seed: 2023, Drop: 0.0002, Duplicate: 0.0004, Delay: 0.0003,
-		Corrupt: 0.0001, Truncate: 0.0001, Disconnect: 0.00005, MaxDelay: 100 * time.Microsecond}
+	// Block-scale probabilities: each home publishes `days` frames per
+	// attempt, so per-frame rates are ~1000x the old per-slot ones.
+	cfg := FaultConfig{Seed: 2023, Drop: 0.04, Duplicate: 0.06, Delay: 0.05,
+		Corrupt: 0.02, Truncate: 0.02, Disconnect: 0.01, MaxDelay: 100 * time.Microsecond}
 	got, err := RunFleet(jobs, FleetOptions{
 		Workers: 0, Broker: broker.Addr(), Recover: true, Chaos: &cfg,
 		CheckpointDir:  t.TempDir(),
@@ -220,8 +259,10 @@ func TestFleetChaosSoakMQTT(t *testing.T) {
 		t.Fatalf("soak quarantined %d homes: %+v", got.Stats.Quarantined, got.Outcomes)
 	}
 	checkSameHomes(t, got, baseline)
-	if got.Stats.BusFrames < got.Stats.Slots {
-		t.Fatalf("frames lost for good: %d on the bus, %d slots", got.Stats.BusFrames, got.Stats.Slots)
+	// On the block transport each home-day is one frame; at-least-once
+	// delivery means the bus saw at least the fleet's day count.
+	if got.Stats.BusFrames < got.Stats.Days {
+		t.Fatalf("frames lost for good: %d on the bus, %d home-days", got.Stats.BusFrames, got.Stats.Days)
 	}
 	if !testing.Short() && got.Stats.Restores == 0 {
 		t.Fatalf("soak exercised no checkpoint restores: %+v", got.Stats)

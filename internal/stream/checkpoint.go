@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"github.com/acyd-lab/shatter/internal/adm"
 	"github.com/acyd-lab/shatter/internal/aras"
@@ -189,25 +191,38 @@ func validateCheckpoint(ck *Checkpoint) error {
 	return nil
 }
 
+// ckEncPool recycles checkpoint encode buffers: a day-boundary checkpoint
+// is ~10KB of JSON per home per day, and the fleet hot path writes one for
+// every home-day, so the arena is kept warm instead of reallocated.
+var ckEncPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // WriteCheckpoint serializes a checkpoint: magic, payload length, CRC-32,
 // then the JSON payload. The trailer-free fixed header lets a reader
-// reject truncated or corrupted files before decoding anything.
+// reject truncated or corrupted files before decoding anything. Encoding
+// goes through a pooled buffer and reaches w as a single Write.
 func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
-	payload, err := json.Marshal(ck)
-	if err != nil {
+	buf := ckEncPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= maxCheckpoint {
+			buf.Reset()
+			ckEncPool.Put(buf)
+		}
+	}()
+	buf.Reset()
+	var zero [16]byte
+	buf.Write(zero[:]) // header placeholder, patched below
+	if err := json.NewEncoder(buf).Encode(ck); err != nil {
 		return fmt.Errorf("stream: encode checkpoint: %w", err)
 	}
+	frame := buf.Bytes()
+	payload := frame[16 : len(frame)-1] // Encode appends '\n'; the payload is Marshal's bytes
 	if len(payload) > maxCheckpoint {
 		return fmt.Errorf("stream: checkpoint payload %d bytes exceeds limit", len(payload))
 	}
-	var hdr [16]byte
-	copy(hdr[:8], checkpointMagic[:])
-	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(payload)
+	copy(frame[:8], checkpointMagic[:])
+	binary.BigEndian.PutUint32(frame[8:12], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[12:16], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(frame[:len(frame)-1])
 	return err
 }
 

@@ -1,0 +1,110 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CheckpointSink serializes checkpoint writes onto a single background
+// goroutine, so a day boundary on the drive hot path costs an enqueue
+// instead of an encode-fsync round trip. Durability semantics shift from
+// "persisted at the day boundary" to "persisted by the next flush barrier":
+// the supervisor flushes before any decision that depends on disk state
+// (restoring after a failure, declaring a home complete, draining a shard),
+// which is exactly when staleness would be observable. Write errors are
+// recorded per home and surface at that home's next Flush.
+type CheckpointSink struct {
+	dir string
+	ch  chan *Checkpoint
+
+	// lifeMu fences Save's channel send against Close's channel close.
+	lifeMu sync.RWMutex
+	closed bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int
+	errs    map[string]error
+
+	done chan struct{}
+}
+
+// NewCheckpointSink starts a sink writing into dir.
+func NewCheckpointSink(dir string) *CheckpointSink {
+	s := &CheckpointSink{
+		dir:  dir,
+		ch:   make(chan *Checkpoint, 64),
+		errs: make(map[string]error),
+		done: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+func (s *CheckpointSink) run() {
+	defer close(s.done)
+	for ck := range s.ch {
+		err := SaveCheckpoint(s.dir, ck)
+		s.mu.Lock()
+		if err != nil && s.errs[ck.Home] == nil {
+			s.errs[ck.Home] = err
+		}
+		s.pending--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// Save enqueues a checkpoint write. The caller must not mutate ck after
+// handing it over (the drive paths allocate a fresh Checkpoint per day
+// boundary, so this holds by construction).
+func (s *CheckpointSink) Save(ck *Checkpoint) error {
+	s.lifeMu.RLock()
+	defer s.lifeMu.RUnlock()
+	if s.closed {
+		return fmt.Errorf("stream: checkpoint sink closed")
+	}
+	s.mu.Lock()
+	s.pending++
+	s.mu.Unlock()
+	s.ch <- ck
+	return nil
+}
+
+// Flush blocks until every enqueued write has landed, then reports and
+// clears the given home's recorded write error, if any. An empty homeID
+// barriers without consuming any error.
+func (s *CheckpointSink) Flush(homeID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.pending > 0 {
+		s.cond.Wait()
+	}
+	if homeID == "" {
+		return nil
+	}
+	err := s.errs[homeID]
+	delete(s.errs, homeID)
+	return err
+}
+
+// Close drains the queue, stops the worker, and returns the first still
+// unclaimed write error. Idempotent; Save after Close errors.
+func (s *CheckpointSink) Close() error {
+	s.lifeMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+	s.lifeMu.Unlock()
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for home, err := range s.errs {
+		if err != nil {
+			return fmt.Errorf("stream: checkpoint %s: %w", home, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package stream
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock abstracts every wait the fleet runtime performs — chaos delay
+// faults, supervised-retry backoff, and fleetd's retry timers — so a test
+// or benchmark can substitute virtual time. Real wall-clock time is the
+// default everywhere; the live fleetd service keeps it.
+type Clock interface {
+	// Sleep blocks the caller for d (no-op for non-positive d).
+	Sleep(d time.Duration)
+	// AfterFunc schedules f to run once d has elapsed.
+	AfterFunc(d time.Duration, f func())
+}
+
+// realClock is the wall-clock Clock.
+type realClock struct{}
+
+func (realClock) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (realClock) AfterFunc(d time.Duration, f func()) { time.AfterFunc(d, f) }
+
+// RealClock is the default Clock: time.Sleep and time.AfterFunc.
+var RealClock Clock = realClock{}
+
+// VirtualClock is a deterministic logical clock: every wait returns
+// immediately and only advances an accounting counter, so a chaos run with
+// delay faults and retry backoff is compute-bound instead of wall-clock
+// bound. The fault schedule itself never reads the clock — it is a pure
+// function of (config, home, attempt, day) — so results under VirtualClock
+// are byte-identical to results under RealClock.
+type VirtualClock struct {
+	advanced atomic.Int64
+}
+
+// NewVirtualClock returns a virtual clock starting at zero elapsed time.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Sleep advances virtual time by d and returns immediately.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d > 0 {
+		c.advanced.Add(int64(d))
+	}
+}
+
+// AfterFunc advances virtual time by d and runs f on its own goroutine
+// immediately — a virtual-time wait never holds real work back.
+func (c *VirtualClock) AfterFunc(d time.Duration, f func()) {
+	if d > 0 {
+		c.advanced.Add(int64(d))
+	}
+	go f()
+}
+
+// Advanced reports the total virtual time waited so far — the wall-clock
+// cost the run would have paid under RealClock sleeps.
+func (c *VirtualClock) Advanced() time.Duration {
+	return time.Duration(c.advanced.Load())
+}
+
+// clockOrReal resolves a possibly-nil Clock to the wall-clock default.
+func clockOrReal(c Clock) Clock {
+	if c == nil {
+		return RealClock
+	}
+	return c
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"time"
 
 	"github.com/acyd-lab/shatter/internal/rng"
@@ -20,7 +21,8 @@ type FaultClass int
 const (
 	FaultNone FaultClass = iota
 	// FaultDrop silently loses a frame; the receiver sees a gap in the
-	// (day, slot) sequence and the home retries from its checkpoint.
+	// (day, slot) sequence — or a short stream, when the tail was lost —
+	// and the home retries from its checkpoint.
 	FaultDrop
 	// FaultDuplicate delivers a frame twice; the pipe's dedup absorbs it.
 	FaultDuplicate
@@ -60,9 +62,13 @@ func (c FaultClass) String() string {
 }
 
 // FaultConfig is the seeded chaos schedule for a fleet: per-frame fault
-// probabilities applied to every home's transport. The schedule is
-// deterministic per (home, attempt) and independent of worker count and
-// wall-clock timing, so a chaos run is exactly reproducible from its seed.
+// probabilities applied to every home's transport. A frame is whatever unit
+// the transport moves — a per-slot envelope on the LegacyJSON path, a whole
+// binary day-block on the default path — so probabilities are sized to the
+// granularity the run uses. The schedule is deterministic per
+// (home, attempt) on the slot path and per (home, attempt, day) on the
+// block path, and independent of worker count and wall-clock timing, so a
+// chaos run is exactly reproducible from its seed.
 type FaultConfig struct {
 	// Seed roots every home's fault schedule.
 	Seed uint64
@@ -105,20 +111,23 @@ func (c *FaultConfig) Plan(homeID string, attempt int) *FaultPlan {
 	h := fnv.New64a()
 	h.Write([]byte(homeID))
 	seed := c.Seed ^ h.Sum64() ^ (uint64(attempt+1) * 0x9e3779b97f4a7c15)
-	return &FaultPlan{cfg: c, rng: rng.New(seed)}
+	return &FaultPlan{cfg: c, seed: seed, rng: rng.New(seed)}
 }
 
-// FaultPlan is one transport attempt's seeded fault stream: Roll is
-// consulted once per published frame, in stream order, so the fault
-// sequence depends only on (config, home, attempt).
+// FaultPlan is one transport attempt's seeded fault stream. Roll is
+// consulted once per published slot frame, in stream order, so the per-slot
+// sequence depends only on (config, home, attempt). RollDay keys each
+// day-block's fault by the absolute day instead, so the block schedule is
+// additionally independent of where in the stream an attempt resumed.
 type FaultPlan struct {
-	cfg *FaultConfig
-	rng *rng.Source
+	cfg  *FaultConfig
+	seed uint64
+	rng  *rng.Source
 }
 
-// Roll draws the fault for the next frame.
-func (p *FaultPlan) Roll() FaultClass {
-	u := p.rng.Float64()
+// classify maps one uniform draw to a fault class by the config's
+// cumulative probabilities.
+func (p *FaultPlan) classify(u float64) FaultClass {
 	cum := 0.0
 	for _, t := range [...]struct {
 		prob  float64
@@ -139,42 +148,76 @@ func (p *FaultPlan) Roll() FaultClass {
 	return FaultNone
 }
 
-// DelayFor draws a delayed frame's stall duration.
-func (p *FaultPlan) DelayFor() time.Duration {
+// delayIn draws a delayed frame's stall from the given stream.
+func (p *FaultPlan) delayIn(r *rng.Source) time.Duration {
 	max := p.cfg.MaxDelay
 	if max <= 0 {
 		max = 2 * time.Millisecond
 	}
-	return time.Duration(p.rng.Float64() * float64(max))
+	return time.Duration(r.Float64() * float64(max))
+}
+
+// Roll draws the fault for the next slot frame.
+func (p *FaultPlan) Roll() FaultClass {
+	return p.classify(p.rng.Float64())
+}
+
+// DelayFor draws a delayed slot frame's stall duration.
+func (p *FaultPlan) DelayFor() time.Duration {
+	return p.delayIn(p.rng)
+}
+
+// RollDay draws the fault for the day-block frame covering the given
+// absolute day, plus the stall duration when the class is FaultDelay. The
+// draw is keyed by (home, attempt, day) — not by call order — so a retry
+// that seeks past its checkpoint sees exactly the faults an uninterrupted
+// attempt would have seen for the remaining days.
+func (p *FaultPlan) RollDay(day int) (FaultClass, time.Duration) {
+	r := rng.New(p.seed ^ (uint64(day+1) * 0xbf58476d1ce4e5b9))
+	class := p.classify(r.Float64())
+	var stall time.Duration
+	if class == FaultDelay {
+		stall = p.delayIn(r)
+	}
+	return class, stall
 }
 
 // faultSource wraps a Source with the chaos schedule for the direct
 // (brokerless) path, manufacturing the same observable failures the MQTT
-// transport would: dropped frames surface as sequence gaps, corruption as
-// decode errors, disconnects as a dead stream. Duplicates re-deliver the
-// previous frame (the direct path has no dedup layer, so the home's
-// ordering check trips and the supervisor retries).
+// transport would: dropped frames surface as sequence gaps (or, when the
+// tail is lost, as a short-stream error at EOF), corruption as decode
+// errors, disconnects as a dead stream. Duplicates re-deliver the previous
+// frame (the direct path has no dedup layer, so the home's ordering check
+// trips and the supervisor retries).
 type faultSource struct {
-	src  Source
-	plan *FaultPlan
+	src   Source
+	plan  *FaultPlan
+	clock Clock
 
 	dup  bool // re-deliver prev on the next call
 	prev Slot
 	dead bool
+	gap  bool // a frame was dropped; EOF before it surfaces is a tail loss
 }
 
 // NewFaultSource wraps a source with a chaos schedule on the direct (no
 // broker) path — the constructor the fleet service shares with RunFleet's
-// internal wiring. A nil plan returns src unchanged.
-func NewFaultSource(src Source, plan *FaultPlan) Source {
+// internal wiring. When src can emit day-blocks the wrapper can too, with
+// faults applied per block frame. A nil plan returns src unchanged; a nil
+// clock waits on real time.
+func NewFaultSource(src Source, plan *FaultPlan, clock Clock) Source {
 	if plan == nil {
 		return src
 	}
-	return newFaultSource(src, plan)
+	fs := faultSource{src: src, plan: plan, clock: clockOrReal(clock)}
+	if _, ok := src.(BlockSource); ok {
+		return &blockFaultSource{faultSource: fs}
+	}
+	return &fs
 }
 
 func newFaultSource(src Source, plan *FaultPlan) *faultSource {
-	return &faultSource{src: src, plan: plan}
+	return &faultSource{src: src, plan: plan, clock: RealClock}
 }
 
 // Next implements Source under the fault schedule.
@@ -189,16 +232,23 @@ func (f *faultSource) Next(dst *Slot) error {
 	}
 	for {
 		if err := f.src.Next(dst); err != nil {
+			if err == io.EOF && f.gap {
+				// The dropped frame was never followed by a delivered one, so
+				// no sequence check can catch it — the stream just ends
+				// short. Error instead of silently completing with lost data.
+				return fmt.Errorf("%w: stream ended after a dropped frame", ErrInjectedFault)
+			}
 			return err
 		}
 		switch f.plan.Roll() {
 		case FaultDrop:
+			f.gap = true
 			continue // lose the frame: the consumer sees a gap
 		case FaultDuplicate:
 			copySlot(&f.prev, dst)
 			f.dup = true
 		case FaultDelay:
-			time.Sleep(f.plan.DelayFor())
+			f.clock.Sleep(f.plan.DelayFor())
 		case FaultCorrupt:
 			return fmt.Errorf("%w: corrupted frame (%d,%d)", ErrInjectedFault, dst.Day, dst.Index)
 		case FaultTruncate:
@@ -224,6 +274,56 @@ func (f *faultSource) SeekDay(day int) error {
 	return fmt.Errorf("stream: wrapped source cannot seek")
 }
 
+// blockFaultSource extends the direct-path chaos wrapper to day-block
+// granularity: one RollDay-keyed fault per home-day frame, exercising the
+// same recovery machinery a slot fault would — at 1/1440th of the frame
+// rate. Only constructed over sources that implement BlockSource.
+type blockFaultSource struct {
+	faultSource
+	bdup  bool // re-deliver bprev on the next call
+	bprev DayBlock
+}
+
+// NextBlock implements BlockSource under the day-keyed fault schedule.
+func (f *blockFaultSource) NextBlock(dst *DayBlock) error {
+	if f.dead {
+		return fmt.Errorf("%w: connection force-closed", ErrInjectedFault)
+	}
+	if f.bdup {
+		f.bdup = false
+		copyBlock(dst, &f.bprev)
+		return nil
+	}
+	bsrc := f.src.(BlockSource)
+	for {
+		if err := bsrc.NextBlock(dst); err != nil {
+			if err == io.EOF && f.gap {
+				return fmt.Errorf("%w: stream ended after a dropped day frame", ErrInjectedFault)
+			}
+			return err
+		}
+		class, stall := f.plan.RollDay(dst.Day)
+		switch class {
+		case FaultDrop:
+			f.gap = true
+			continue // lose the whole day frame
+		case FaultDuplicate:
+			copyBlock(&f.bprev, dst)
+			f.bdup = true
+		case FaultDelay:
+			f.clock.Sleep(stall)
+		case FaultCorrupt:
+			return fmt.Errorf("%w: corrupted day frame %d", ErrInjectedFault, dst.Day)
+		case FaultTruncate:
+			truncateBlock(dst)
+		case FaultDisconnect:
+			f.dead = true
+			return fmt.Errorf("%w: connection force-closed at day frame %d", ErrInjectedFault, dst.Day)
+		}
+		return nil
+	}
+}
+
 // copySlot deep-copies a frame into dst, reusing dst's backing storage.
 func copySlot(dst, src *Slot) {
 	dst.ensure(len(src.True), len(src.TrueAppliance))
@@ -235,4 +335,40 @@ func copySlot(dst, src *Slot) {
 	copy(dst.Reported, src.Reported)
 	dst.ReportedAppliance = dst.ReportedAppliance[:len(src.ReportedAppliance)]
 	copy(dst.ReportedAppliance, src.ReportedAppliance)
+}
+
+// copyBlock deep-copies a day-block into dst, reusing dst's backing storage.
+func copyBlock(dst, src *DayBlock) {
+	dst.ensure(len(src.TrueZone), len(src.TrueAppliance))
+	dst.Home, dst.Day = src.Home, src.Day
+	copy(dst.TempF, src.TempF)
+	copy(dst.CO2PPM, src.CO2PPM)
+	for o := range src.TrueZone {
+		copy(dst.TrueZone[o], src.TrueZone[o])
+		copy(dst.TrueAct[o], src.TrueAct[o])
+		copy(dst.RepZone[o], src.RepZone[o])
+		copy(dst.RepAct[o], src.RepAct[o])
+	}
+	for a := range src.TrueAppliance {
+		copy(dst.TrueAppliance[a], src.TrueAppliance[a])
+		copy(dst.RepAppliance[a], src.RepAppliance[a])
+	}
+}
+
+// truncateBlock slices one column pair off a day-block. The remaining
+// columns stay internally consistent (so the block still encodes on the
+// wire), but the home's structural check rejects the short shape — the
+// block-granular analogue of a truncated reading vector.
+func truncateBlock(b *DayBlock) {
+	if n := len(b.TrueAppliance); n > 0 {
+		b.TrueAppliance = b.TrueAppliance[:n-1]
+		b.RepAppliance = b.RepAppliance[:n-1]
+		return
+	}
+	if n := len(b.TrueZone); n > 0 {
+		b.TrueZone = b.TrueZone[:n-1]
+		b.TrueAct = b.TrueAct[:n-1]
+		b.RepZone = b.RepZone[:n-1]
+		b.RepAct = b.RepAct[:n-1]
+	}
 }

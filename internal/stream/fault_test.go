@@ -101,11 +101,13 @@ func plan1(t *testing.T, set func(*FaultConfig)) *FaultPlan {
 // wrapper and checks the manufactured failure mode.
 func TestFaultSourceClasses(t *testing.T) {
 	t.Run("drop", func(t *testing.T) {
-		// Dropping every frame consumes the stream straight to EOF.
+		// Dropping every frame consumes the stream to its end — but losing
+		// the tail must never complete the home silently short, so EOF after
+		// an unsurfaced drop is an injected-fault error.
 		fs := newFaultSource(traceSrc(t, 1), plan1(t, func(c *FaultConfig) { c.Drop = 1 }))
 		var s Slot
-		if err := fs.Next(&s); err != io.EOF {
-			t.Fatalf("err = %v, want EOF", err)
+		if err := fs.Next(&s); !errors.Is(err, ErrInjectedFault) {
+			t.Fatalf("err = %v, want injected fault (tail dropped)", err)
 		}
 	})
 	t.Run("duplicate", func(t *testing.T) {
@@ -171,6 +173,73 @@ func TestFaultSourceClasses(t *testing.T) {
 			t.Fatalf("delivered %d frames, want %d", n, aras.SlotsPerDay)
 		}
 	})
+}
+
+// TestFaultPlanRollDayKeying: the block schedule is keyed by
+// (home, attempt, day), not by call order — querying days in any order, or
+// only a suffix (a resumed attempt), yields the same classes — while
+// different homes, attempts, and days still diverge.
+func TestFaultPlanRollDayKeying(t *testing.T) {
+	cfg := &FaultConfig{Seed: 99, Drop: 0.15, Duplicate: 0.15, Delay: 0.15,
+		Corrupt: 0.15, Truncate: 0.15, Disconnect: 0.1, MaxDelay: time.Millisecond}
+	const days = 64
+	rollAll := func(home string, attempt int, order []int) map[int]FaultClass {
+		p := cfg.Plan(home, attempt)
+		if p == nil {
+			t.Fatalf("plan (%s,%d) unexpectedly clean", home, attempt)
+		}
+		out := make(map[int]FaultClass, len(order))
+		for _, d := range order {
+			c, stall := p.RollDay(d)
+			if (c == FaultDelay) != (stall > 0) {
+				t.Fatalf("day %d: class %v with stall %v", d, c, stall)
+			}
+			out[d] = c
+		}
+		return out
+	}
+	fwd := make([]int, days)
+	rev := make([]int, days)
+	for i := range fwd {
+		fwd[i], rev[i] = i, days-1-i
+	}
+	a, b := rollAll("h1", 0, fwd), rollAll("h1", 0, rev)
+	for d := 0; d < days; d++ {
+		if a[d] != b[d] {
+			t.Fatalf("day %d class depends on query order: %v vs %v", d, a[d], b[d])
+		}
+	}
+	// A resumed attempt that only queries the tail sees the same suffix.
+	tail := rollAll("h1", 0, fwd[days/2:])
+	for d := days / 2; d < days; d++ {
+		if a[d] != tail[d] {
+			t.Fatalf("day %d class depends on resume point", d)
+		}
+	}
+	diff := func(x, y map[int]FaultClass) bool {
+		for d := 0; d < days; d++ {
+			if x[d] != y[d] {
+				return true
+			}
+		}
+		return false
+	}
+	if !diff(a, rollAll("h2", 0, fwd)) {
+		t.Fatal("different homes share a block schedule")
+	}
+	if !diff(a, rollAll("h1", 1, fwd)) {
+		t.Fatal("different attempts share a block schedule")
+	}
+	varies := false
+	for d := 1; d < days; d++ {
+		if a[d] != a[0] {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("every day rolled the same class — day keying inert?")
+	}
 }
 
 // TestFaultSourceSeekDay: the wrapper forwards seeks so faulty retry

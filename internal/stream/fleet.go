@@ -56,17 +56,31 @@ type FleetOptions struct {
 	CheckpointDir string
 	// CheckpointEvery is the checkpoint cadence in days; 0 defaults to 1.
 	CheckpointEvery int
+	// AsyncCheckpoints moves checkpoint writes off the drive hot path onto a
+	// background sink with flush barriers before every restore, completion,
+	// and at fleet drain — durability moves from "at the day boundary" to
+	// "by the next barrier", which is when staleness would be observable.
+	AsyncCheckpoints bool
+	// ckSink is the shared async writer when AsyncCheckpoints is on; wired
+	// internally by RunFleet.
+	ckSink *CheckpointSink
 
 	// Chaos, when non-nil, injects the seeded fault schedule into every
 	// home's transport (see FaultConfig).
 	Chaos *FaultConfig
 
-	// LegacyJSON forces per-slot JSON framing even on clean runs. By default
-	// a chaos-free fleet moves whole day-blocks — one binary wire frame per
-	// home-day on the bus, IngestDay on the consumer — and falls back to the
-	// per-slot path automatically under chaos (faults perturb individual slot
-	// frames). This flag pins the per-slot JSON path for debugging and
-	// wire-level comparison; results are bit-identical either way.
+	// Clock times chaos delay faults and supervised-retry backoff. Nil (the
+	// default) is real wall-clock time; a VirtualClock makes a chaos run
+	// compute-bound while producing byte-identical results.
+	Clock Clock
+
+	// LegacyJSON forces per-slot JSON framing. By default a fleet moves
+	// whole day-blocks — one binary wire frame per home-day on the bus,
+	// IngestDay on the consumer — with or without chaos: block-mode faults
+	// perturb whole day frames on the (home, attempt, day)-keyed schedule.
+	// This flag pins the per-slot JSON path (with its slot-order fault
+	// schedule) for debugging and wire-level comparison; results are
+	// bit-identical either way.
 	LegacyJSON bool
 
 	// Dial configures every fleet broker connection (dial deadline, redial
@@ -82,10 +96,12 @@ type FleetOptions struct {
 	// DrainTimeout bounds the monitor's wait for the fleet's end-of-stream
 	// sentinels; 0 defaults to 10s.
 	DrainTimeout time.Duration
-	// DrainPoll is the monitor's sentinel poll interval; 0 defaults to 5ms.
+	// DrainPoll is retained for compatibility; the monitor drain is
+	// event-driven now and no longer polls for sentinels.
 	DrainPoll time.Duration
-	// QuiescePoll is the monitor's traffic-quiescence poll interval; 0
-	// defaults to 20ms. The quiescence loop is bounded by DrainTimeout.
+	// QuiescePoll is the bus stillness window the monitor requires before
+	// giving up on lost sentinels; 0 defaults to 20ms. The stillness wait is
+	// bounded by a second DrainTimeout.
 	QuiescePoll time.Duration
 }
 
@@ -113,6 +129,9 @@ func (o FleetOptions) withDefaults() FleetOptions {
 	}
 	if o.QuiescePoll <= 0 {
 		o.QuiescePoll = 20 * time.Millisecond
+	}
+	if o.Clock == nil {
+		o.Clock = RealClock
 	}
 	return o
 }
@@ -171,9 +190,10 @@ type FleetStats struct {
 	EventsPerSec float64       `json:"events_per_sec"`
 	// BusFrames counts the data frames the fleet-wide home/+/sensor monitor
 	// saw (zero without a broker). On the default block transport each
-	// home-day is one binary frame, so a clean fleet tallies its Days here;
-	// under chaos (or LegacyJSON) every slot is its own JSON frame and the
-	// tally is an at-least-once count of Slots — retried attempts republish.
+	// home-day is one binary frame, so a clean fleet tallies its Days here
+	// and a chaos fleet an at-least-once count of Days (retried attempts
+	// republish); under LegacyJSON every slot is its own JSON frame and the
+	// tally is in Slots.
 	BusFrames int64 `json:"bus_frames"`
 	// Retries counts extra attempts across the fleet; Restores counts the
 	// attempts that resumed from a checkpoint; Quarantined counts homes
@@ -222,6 +242,13 @@ func RunFleet(jobs []Job, opts FleetOptions) (FleetResult, error) {
 		}
 		monitor = m
 		defer monitor.close()
+	}
+	if opts.CheckpointDir != "" && opts.AsyncCheckpoints {
+		sink := NewCheckpointSink(opts.CheckpointDir)
+		opts.ckSink = sink
+		// The final barrier: any write still queued for a quarantined home
+		// lands before the fleet returns.
+		defer sink.Close()
 	}
 	results := make([]HomeResult, len(jobs))
 	outcomes := make([]HomeOutcome, len(jobs))
@@ -297,7 +324,7 @@ func superviseJob(job Job, opts FleetOptions) (HomeResult, HomeOutcome, error) {
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(opts.RetryBackoff.Delay(attempt - 1))
+			opts.Clock.Sleep(opts.RetryBackoff.Delay(attempt - 1))
 		}
 		out.Attempts++
 		began := time.Now()
@@ -318,8 +345,14 @@ func superviseJob(job Job, opts FleetOptions) (HomeResult, HomeOutcome, error) {
 				out.Status = OutcomeRetried
 			}
 			if opts.CheckpointDir != "" {
-				// The checkpoint served its purpose; a later fresh run must
+				// Barrier any in-flight async write, then remove: the
+				// checkpoint served its purpose, and a later fresh run must
 				// not resume from it.
+				if opts.ckSink != nil {
+					if ferr := opts.ckSink.Flush(job.ID); ferr != nil {
+						out.Err = ferr.Error()
+					}
+				}
 				if rerr := RemoveCheckpoint(opts.CheckpointDir, job.ID); rerr != nil {
 					out.Err = rerr.Error()
 				}
@@ -356,6 +389,14 @@ func runAttempt(job Job, opts FleetOptions, attempt int) (HomeResult, attemptInf
 	defer func() { closeSource(src) }()
 
 	if opts.CheckpointDir != "" {
+		if opts.ckSink != nil {
+			// Restore decisions read the disk; every queued write must land
+			// first, and a write failure makes this attempt fail (retrying
+			// re-runs the flush) instead of silently resuming stale.
+			if ferr := opts.ckSink.Flush(job.ID); ferr != nil {
+				return HomeResult{}, info, ferr
+			}
+		}
 		ck, lerr := LoadCheckpoint(opts.CheckpointDir, job.ID)
 		if lerr == nil && ck != nil && ck.Days > 0 {
 			if rerr := RestoreFrom(src, home, ck); rerr == nil {
@@ -376,10 +417,11 @@ func runAttempt(job Job, opts FleetOptions, attempt int) (HomeResult, attemptInf
 		// save overwrites the bad file.
 	}
 
-	// Block transport is gated on the whole run being chaos-free, not on this
-	// attempt's plan: a chaos run's clean retry attempts must keep publishing
-	// per-slot frames so the fleet's bus accounting stays one consistent unit.
-	useBlocks := !opts.LegacyJSON && opts.Chaos == nil
+	// Day-block transport is the default with or without chaos: block-mode
+	// faults perturb whole day frames on the (home, attempt, day)-keyed
+	// schedule, so a faulty attempt and its clean retries publish the same
+	// frame unit and the fleet's bus accounting stays consistent.
+	useBlocks := !opts.LegacyJSON
 	plan := opts.Chaos.Plan(job.ID, attempt)
 	var s Source = src
 	if opts.Broker != "" {
@@ -390,6 +432,7 @@ func runAttempt(job Job, opts FleetOptions, attempt int) (HomeResult, attemptInf
 			Faults:         plan,
 			Epoch:          attempt,
 			Blocks:         useBlocks,
+			Clock:          opts.Clock,
 		})
 		if perr != nil {
 			return HomeResult{}, info, perr
@@ -403,15 +446,18 @@ func runAttempt(job Job, opts FleetOptions, attempt int) (HomeResult, attemptInf
 			return res, info, err
 		}
 		s = pipe
-	} else if plan != nil {
-		s = newFaultSource(src, plan)
-	} else if useBlocks {
-		if bsrc, ok := src.(BlockSource); ok {
-			if err := driveBlocks(bsrc.NextBlock, home, opts, &info); err != nil {
-				return HomeResult{}, info, err
+	} else {
+		if plan != nil {
+			s = NewFaultSource(src, plan, opts.Clock)
+		}
+		if useBlocks {
+			if bsrc, ok := s.(BlockSource); ok {
+				if err := driveBlocks(bsrc.NextBlock, home, opts, &info); err != nil {
+					return HomeResult{}, info, err
+				}
+				res, err := home.Close()
+				return res, info, err
 			}
-			res, err := home.Close()
-			return res, info, err
 		}
 	}
 
@@ -434,7 +480,7 @@ func runAttempt(job Job, opts FleetOptions, attempt int) (HomeResult, attemptInf
 				if cerr != nil {
 					return HomeResult{}, info, cerr
 				}
-				if serr := SaveCheckpoint(opts.CheckpointDir, ck); serr != nil {
+				if serr := saveFleetCheckpoint(opts, ck); serr != nil {
 					return HomeResult{}, info, serr
 				}
 				info.checkpointDay = done
@@ -466,12 +512,21 @@ func driveBlocks(next func(*DayBlock) error, home *Home, opts FleetOptions, info
 			if cerr != nil {
 				return cerr
 			}
-			if serr := SaveCheckpoint(opts.CheckpointDir, ck); serr != nil {
+			if serr := saveFleetCheckpoint(opts, ck); serr != nil {
 				return serr
 			}
 			info.checkpointDay = done
 		}
 	}
+}
+
+// saveFleetCheckpoint routes a day-boundary save to the async sink when one
+// is wired, else writes synchronously before the next frame is ingested.
+func saveFleetCheckpoint(opts FleetOptions, ck *Checkpoint) error {
+	if opts.ckSink != nil {
+		return opts.ckSink.Save(ck)
+	}
+	return SaveCheckpoint(opts.CheckpointDir, ck)
 }
 
 // RestoreFrom applies a checkpoint to a freshly opened (source, home) pair:
@@ -510,6 +565,7 @@ type fleetMonitor struct {
 	frames atomic.Int64
 	eofs   atomic.Int64
 	seen   chan struct{} // closed on the first frame of any kind
+	bump   chan struct{} // sticky wakeup: set after every counted message
 	done   chan struct{}
 }
 
@@ -523,7 +579,7 @@ func newFleetMonitor(broker string, opts FleetOptions) (*fleetMonitor, error) {
 		c.Close()
 		return nil, err
 	}
-	m := &fleetMonitor{client: c, seen: make(chan struct{}), done: make(chan struct{})}
+	m := &fleetMonitor{client: c, seen: make(chan struct{}), bump: make(chan struct{}, 1), done: make(chan struct{})}
 	go func() {
 		defer close(m.done)
 		first := true
@@ -535,18 +591,24 @@ func newFleetMonitor(broker string, opts FleetOptions) (*fleetMonitor, error) {
 			if IsBlockFrame(msg.Payload) {
 				// One binary frame carries a whole home-day of data.
 				m.frames.Add(1)
-				continue
+			} else {
+				var hdr struct {
+					Day int `json:"day"`
+				}
+				switch err := json.Unmarshal(msg.Payload, &hdr); {
+				case err != nil:
+					// Malformed traffic carries no position to classify; skip it.
+				case hdr.Day >= 0:
+					m.frames.Add(1)
+				case hdr.Day == dayEOF:
+					m.eofs.Add(1)
+				}
 			}
-			var hdr struct {
-				Day int `json:"day"`
-			}
-			switch err := json.Unmarshal(msg.Payload, &hdr); {
-			case err != nil:
-				// Malformed traffic carries no position to classify; skip it.
-			case hdr.Day >= 0:
-				m.frames.Add(1)
-			case hdr.Day == dayEOF:
-				m.eofs.Add(1)
+			// Wake the drain after the counters moved; the 1-slot buffer
+			// makes the signal sticky, so a wakeup is never lost.
+			select {
+			case m.bump <- struct{}{}:
+			default:
 			}
 		}
 	}()
@@ -570,26 +632,49 @@ func newFleetMonitor(broker string, opts FleetOptions) (*fleetMonitor, error) {
 // reached the monitor and returns the data-frame count. Each pipe publishes
 // its data frames and then its sentinel on one connection, and the broker
 // processes a connection's frames in order, so seeing a home's sentinel
-// proves all its data frames were counted. Sentinels can be lost (a
-// chaos-killed publisher, a quarantined home's aborted attempts), so a
-// bounded quiescence fallback closes the gap: once the expected-sentinel
-// wait times out, the count is taken after the bus stays still for one
-// poll interval, and the whole fallback is capped by the drain deadline.
+// proves all its data frames were counted. The wait is event-driven — the
+// subscriber wakes it through the sticky bump channel — so a quiet drain
+// finishes the instant the last sentinel lands instead of on the next poll
+// tick. Sentinels can be lost (a chaos-killed publisher, a quarantined
+// home's aborted attempts), so a bounded stillness fallback closes the gap:
+// once the sentinel wait times out, the count is taken after the bus stays
+// still for one QuiescePoll window, capped by a second DrainTimeout.
 func (m *fleetMonitor) drain(homes int, opts FleetOptions) int64 {
-	deadline := time.Now().Add(opts.DrainTimeout)
-	for m.eofs.Load() < int64(homes) && time.Now().Before(deadline) {
-		time.Sleep(opts.DrainPoll)
-	}
-	last := m.frames.Load()
-	for time.Now().Before(deadline) {
-		time.Sleep(opts.QuiescePoll)
-		now := m.frames.Load()
-		if now == last {
-			return now
+	deadline := time.NewTimer(opts.DrainTimeout)
+	defer deadline.Stop()
+	for m.eofs.Load() < int64(homes) {
+		select {
+		case <-m.bump:
+		case <-deadline.C:
+			return m.quiesce(opts)
 		}
-		last = now
 	}
 	return m.frames.Load()
+}
+
+// quiesce waits for the bus to stay still for one QuiescePoll window — the
+// lost-sentinel fallback — bounded by an extra DrainTimeout.
+func (m *fleetMonitor) quiesce(opts FleetOptions) int64 {
+	bound := time.NewTimer(opts.DrainTimeout)
+	defer bound.Stop()
+	still := time.NewTimer(opts.QuiescePoll)
+	defer still.Stop()
+	for {
+		select {
+		case <-m.bump:
+			if !still.Stop() {
+				select {
+				case <-still.C:
+				default:
+				}
+			}
+			still.Reset(opts.QuiescePoll)
+		case <-still.C:
+			return m.frames.Load()
+		case <-bound.C:
+			return m.frames.Load()
+		}
+	}
 }
 
 func (m *fleetMonitor) close() {

@@ -57,9 +57,12 @@ type PipeOptions struct {
 	// Blocks requests day-block transport: one binary frame per home-day
 	// (the zero-copy wire codec) instead of aras.SlotsPerDay JSON envelopes.
 	// The pipe falls back to per-slot JSON silently when the source cannot
-	// emit blocks or a fault plan is attached (chaos perturbs individual slot
-	// frames); callers check Blocks() to learn which mode is live.
+	// emit blocks; callers check Blocks() to learn which mode is live. A
+	// fault plan composes with either framing — block-mode faults perturb
+	// whole day frames via the (home, attempt, day)-keyed schedule.
 	Blocks bool
+	// Clock times chaos delay faults; nil uses real wall-clock time.
+	Clock Clock
 }
 
 // busFrame is the wire envelope: a Slot plus the publishing attempt's
@@ -73,6 +76,13 @@ type busFrame struct {
 	Slot
 	Epoch   int  `json:"epoch"`
 	Corrupt bool `json:"corrupt,omitempty"`
+	// Final, set only on end-of-stream sentinels, is one past the last
+	// stream position the publisher generated (day*SlotsPerDay+slot+1).
+	// The consumer compares it against the last position it actually
+	// delivered: a mismatch means the stream's tail was lost in transit —
+	// the one loss no sequence-gap check can see, because nothing follows
+	// it.
+	Final int `json:"final,omitempty"`
 }
 
 // rxFrame decodes a bus frame in place into an existing Slot.
@@ -80,6 +90,18 @@ type rxFrame struct {
 	*Slot
 	Epoch   int  `json:"epoch"`
 	Corrupt bool `json:"corrupt"`
+	Final   int  `json:"final"`
+}
+
+// txRec is one publish queued from a chaos pump's reader to its publisher
+// goroutine: a pre-encoded payload (binary block frame or JSON envelope),
+// an optional injected delay served before the publish, or a kill order
+// that force-closes the publishing connection.
+type txRec struct {
+	payload []byte
+	binary  bool
+	delay   time.Duration
+	kill    bool
 }
 
 // Pipe routes a source through an MQTT broker: a pump goroutine publishes
@@ -96,10 +118,11 @@ type Pipe struct {
 
 	recvTimeout time.Duration
 	timer       *time.Timer
-	epoch       int  // attempt tag; frames from other epochs are discarded
-	blocks      bool // day-block transport is live (see PipeOptions.Blocks)
-	last        int  // highest delivered day*SlotsPerDay+slot; -1 before any
-	scratch     Slot // NextBlock's decode target for JSON control frames
+	clock       Clock // times chaos delay faults
+	epoch       int   // attempt tag; frames from other epochs are discarded
+	blocks      bool  // day-block transport is live (see PipeOptions.Blocks)
+	last        int   // highest delivered day*SlotsPerDay+slot; -1 before any
+	scratch     Slot  // NextBlock's decode target for JSON control frames
 
 	mu      sync.Mutex
 	pumpErr error
@@ -146,13 +169,29 @@ func OpenPipeOptions(broker, topic string, src Source, opts PipeOptions) (*Pipe,
 		rcv.Close()
 		return nil, fmt.Errorf("stream: pipe dial: %w", err)
 	}
-	p := &Pipe{pub: pub, rcv: rcv, ch: ch, recvTimeout: opts.ReceiveTimeout, epoch: opts.Epoch, last: -1}
-	p.wg.Add(1)
-	if bsrc, ok := src.(BlockSource); ok && opts.Blocks && opts.Faults == nil {
-		p.blocks = true
-		go p.pumpBlocks(topic, bsrc)
+	p := &Pipe{pub: pub, rcv: rcv, ch: ch, recvTimeout: opts.ReceiveTimeout, clock: clockOrReal(opts.Clock), epoch: opts.Epoch, last: -1}
+	bsrc, isBlock := src.(BlockSource)
+	p.blocks = isBlock && opts.Blocks
+	if opts.Faults != nil {
+		// Chaos pumps split into a reader and a publisher joined by a
+		// bounded queue, so an injected delay stalls only the publishing
+		// side — the reader keeps draining its source, and Close never
+		// waits behind a sleeping frame.
+		txq := make(chan txRec, 64)
+		p.wg.Add(2)
+		if p.blocks {
+			go p.pumpBlocksChaos(topic, bsrc, opts.Faults, txq)
+		} else {
+			go p.pumpChaos(topic, src, opts.Faults, txq)
+		}
+		go p.publisher(topic, txq)
 	} else {
-		go p.pump(topic, src, opts.Faults)
+		p.wg.Add(1)
+		if p.blocks {
+			go p.pumpBlocks(topic, bsrc)
+		} else {
+			go p.pump(topic, src)
+		}
 	}
 	return p, nil
 }
@@ -162,13 +201,12 @@ func OpenPipeOptions(broker, topic string, src Source, opts PipeOptions) (*Pipe,
 func (p *Pipe) Blocks() bool { return p.blocks }
 
 // pump publishes src's frames until EOF or error, then an end-of-stream
-// sentinel either way. A non-nil fault plan perturbs the published stream
-// the way a lossy network would; every manufactured failure eventually
-// surfaces to the consumer as a decode error, a sequence gap, or a dead
-// connection.
-func (p *Pipe) pump(topic string, src Source, faults *FaultPlan) {
+// sentinel either way; the sentinel carries the stream's final position so
+// the consumer can detect a lost tail.
+func (p *Pipe) pump(topic string, src Source) {
 	defer p.wg.Done()
 	var s Slot
+	final := 0
 	for {
 		err := src.Next(&s)
 		if err == io.EOF {
@@ -178,23 +216,95 @@ func (p *Pipe) pump(topic string, src Source, faults *FaultPlan) {
 			p.setErr(err)
 			break
 		}
-		fault := FaultNone
-		if faults != nil {
-			fault = faults.Roll()
+		final = s.Day*aras.SlotsPerDay + s.Index + 1
+		if err := p.pub.Publish(topic, &busFrame{Slot: s, Epoch: p.epoch}); err != nil {
+			p.publishFailed(err)
+			return
 		}
-		switch fault {
+	}
+	p.pub.Publish(topic, busFrame{Slot: Slot{Day: dayEOF}, Epoch: p.epoch, Final: final})
+}
+
+// publisher drains a chaos pump's transmit queue: serve each record's
+// injected delay on the pipe's clock, then publish. Records keep queue
+// order, so delays stall the bus the way a slow link would without ever
+// blocking the reader. After a publish failure (or a kill record) the
+// remaining queue is discarded so the reader's sends never block.
+func (p *Pipe) publisher(topic string, txq <-chan txRec) {
+	defer p.wg.Done()
+	failed := false
+	for rec := range txq {
+		if failed {
+			continue
+		}
+		if rec.delay > 0 {
+			p.clock.Sleep(rec.delay)
+		}
+		if rec.kill {
+			// Force-close the publishing connection mid-stream; the
+			// consumer sees a dead pipe, not a sentinel.
+			p.pub.Close()
+			p.publishFailed(fmt.Errorf("%w: connection force-closed", ErrInjectedFault))
+			failed = true
+			continue
+		}
+		var err error
+		if rec.binary {
+			err = p.pub.PublishRaw(topic, rec.payload)
+		} else {
+			// Pre-marshaled JSON: RawMessage round-trips the bytes as-is.
+			err = p.pub.Publish(topic, json.RawMessage(rec.payload))
+		}
+		if err != nil {
+			p.publishFailed(err)
+			failed = true
+		}
+	}
+}
+
+// pumpChaos reads src and queues per-slot JSON frames under the slot-order
+// fault schedule — the equivalence-locked legacy framing: Roll draws in
+// generation order exactly as the historical inline pump did, so a given
+// (config, home, attempt) produces the same perturbed stream. Every
+// manufactured failure eventually surfaces to the consumer as a decode
+// error, a sequence gap, a short stream, or a dead connection.
+func (p *Pipe) pumpChaos(topic string, src Source, faults *FaultPlan, txq chan<- txRec) {
+	defer p.wg.Done()
+	defer close(txq)
+	enq := func(frame *busFrame, delay time.Duration) bool {
+		raw, err := json.Marshal(frame)
+		if err != nil {
+			p.setErr(fmt.Errorf("stream: pipe encode: %w", err))
+			return false
+		}
+		txq <- txRec{payload: raw, delay: delay}
+		return true
+	}
+	var s Slot
+	final := 0
+	for {
+		err := src.Next(&s)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			p.setErr(err)
+			break
+		}
+		final = s.Day*aras.SlotsPerDay + s.Index + 1
+		switch faults.Roll() {
 		case FaultDrop:
 			continue // the frame never reaches the bus
 		case FaultDelay:
-			time.Sleep(faults.DelayFor())
+			if !enq(&busFrame{Slot: s, Epoch: p.epoch}, faults.DelayFor()) {
+				return
+			}
 		case FaultCorrupt:
 			// Publish the frame with its integrity flag set — the transport
 			// analogue of a payload that fails its checksum on receipt.
-			if err := p.pub.Publish(topic, &busFrame{Slot: Slot{Day: s.Day, Index: s.Index}, Epoch: p.epoch, Corrupt: true}); err != nil {
-				p.publishFailed(err)
+			if !enq(&busFrame{Slot: Slot{Day: s.Day, Index: s.Index}, Epoch: p.epoch, Corrupt: true}, 0) {
 				return
 			}
-			continue
 		case FaultTruncate:
 			trunc := s
 			if len(trunc.Reported) > 0 {
@@ -202,28 +312,87 @@ func (p *Pipe) pump(topic string, src Source, faults *FaultPlan) {
 			} else {
 				trunc.True = trunc.True[:0]
 			}
-			if err := p.pub.Publish(topic, &busFrame{Slot: trunc, Epoch: p.epoch}); err != nil {
-				p.publishFailed(err)
+			if !enq(&busFrame{Slot: trunc, Epoch: p.epoch}, 0) {
 				return
 			}
-			continue
 		case FaultDisconnect:
-			// Force-close the publishing connection; the publish below
-			// fails into the dead-publisher teardown.
-			p.pub.Close()
-		}
-		if err := p.pub.Publish(topic, &busFrame{Slot: s, Epoch: p.epoch}); err != nil {
-			p.publishFailed(err)
-			return
-		}
-		if fault == FaultDuplicate {
-			if err := p.pub.Publish(topic, &busFrame{Slot: s, Epoch: p.epoch}); err != nil {
-				p.publishFailed(err)
+			txq <- txRec{kill: true}
+			return // no sentinel: the connection died mid-stream
+		case FaultDuplicate:
+			if !enq(&busFrame{Slot: s, Epoch: p.epoch}, 0) {
+				return
+			}
+			if !enq(&busFrame{Slot: s, Epoch: p.epoch}, 0) {
+				return
+			}
+		default:
+			if !enq(&busFrame{Slot: s, Epoch: p.epoch}, 0) {
 				return
 			}
 		}
 	}
-	p.pub.Publish(topic, busFrame{Slot: Slot{Day: dayEOF}, Epoch: p.epoch})
+	enq(&busFrame{Slot: Slot{Day: dayEOF}, Epoch: p.epoch, Final: final}, 0)
+}
+
+// pumpBlocksChaos reads day-blocks and queues binary wire frames under the
+// (home, attempt, day)-keyed fault schedule: one roll per home-day, so a
+// single block fault exercises the same recovery machinery as a day's worth
+// of slot faults at 1/1440th of the frame rate.
+func (p *Pipe) pumpBlocksChaos(topic string, src BlockSource, faults *FaultPlan, txq chan<- txRec) {
+	defer p.wg.Done()
+	defer close(txq)
+	var blk DayBlock
+	final := 0
+	for {
+		err := src.NextBlock(&blk)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			p.setErr(err)
+			break
+		}
+		final = (blk.Day + 1) * aras.SlotsPerDay
+		class, stall := faults.RollDay(blk.Day)
+		switch class {
+		case FaultDrop:
+			continue // the whole day frame never reaches the bus
+		case FaultCorrupt:
+			raw, err := json.Marshal(&busFrame{Slot: Slot{Day: blk.Day}, Epoch: p.epoch, Corrupt: true})
+			if err != nil {
+				p.setErr(fmt.Errorf("stream: pipe encode: %w", err))
+				return
+			}
+			txq <- txRec{payload: raw}
+			continue
+		case FaultTruncate:
+			// Slice a column pair off in place; the generator's ensure
+			// restores the backing storage on the next read.
+			truncateBlock(&blk)
+		case FaultDisconnect:
+			txq <- txRec{kill: true}
+			return // no sentinel: the connection died mid-stream
+		}
+		raw, err := AppendBlockFrame(nil, &blk, p.epoch)
+		if err != nil {
+			p.setErr(fmt.Errorf("stream: pipe encode day %d: %w", blk.Day, err))
+			return
+		}
+		rec := txRec{payload: raw, binary: true}
+		if class == FaultDelay {
+			rec.delay = stall
+		}
+		txq <- rec
+		if class == FaultDuplicate {
+			txq <- txRec{payload: raw, binary: true}
+		}
+	}
+	raw, err := json.Marshal(&busFrame{Slot: Slot{Day: dayEOF}, Epoch: p.epoch, Final: final})
+	if err != nil {
+		p.setErr(fmt.Errorf("stream: pipe encode: %w", err))
+		return
+	}
+	txq <- txRec{payload: raw}
 }
 
 // pumpBlocks publishes src's day-blocks as binary wire frames — one raw
@@ -235,6 +404,7 @@ func (p *Pipe) pumpBlocks(topic string, src BlockSource) {
 	defer p.wg.Done()
 	var blk DayBlock
 	var buf []byte
+	final := 0
 	for {
 		err := src.NextBlock(&blk)
 		if err == io.EOF {
@@ -244,6 +414,7 @@ func (p *Pipe) pumpBlocks(topic string, src BlockSource) {
 			p.setErr(err)
 			break
 		}
+		final = (blk.Day + 1) * aras.SlotsPerDay
 		buf, err = AppendBlockFrame(buf[:0], &blk, p.epoch)
 		if err != nil {
 			p.setErr(fmt.Errorf("stream: pipe encode day %d: %w", blk.Day, err))
@@ -254,7 +425,7 @@ func (p *Pipe) pumpBlocks(topic string, src BlockSource) {
 			return
 		}
 	}
-	p.pub.Publish(topic, busFrame{Slot: Slot{Day: dayEOF}, Epoch: p.epoch})
+	p.pub.Publish(topic, busFrame{Slot: Slot{Day: dayEOF}, Epoch: p.epoch, Final: final})
 }
 
 // publishFailed records a dead publisher and tears the receive side down —
@@ -343,6 +514,11 @@ func (p *Pipe) Next(dst *Slot) error {
 			if err := p.err(); err != nil {
 				return err
 			}
+			if rx.Final > 0 && p.last != rx.Final-1 {
+				// The publisher generated frames past the last one we
+				// delivered: the stream's tail was lost in transit.
+				return fmt.Errorf("stream: pipe stream ended short of position %d (last delivered %d): frames lost", rx.Final-1, p.last)
+			}
 			return io.EOF
 		}
 		if key := dst.Day*aras.SlotsPerDay + dst.Index; key <= p.last {
@@ -408,6 +584,11 @@ func (p *Pipe) NextBlock(dst *DayBlock) error {
 		if p.scratch.Day == dayEOF {
 			if err := p.err(); err != nil {
 				return err
+			}
+			if rx.Final > 0 && p.last != rx.Final-1 {
+				// The publisher generated day frames past the last one we
+				// delivered: the stream's tail was lost in transit.
+				return fmt.Errorf("stream: pipe stream ended short of position %d (last delivered %d): frames lost", rx.Final-1, p.last)
 			}
 			return io.EOF
 		}
