@@ -14,13 +14,17 @@
 // fleetd_scale series runs the sharded fleet service's multiplexed
 // scheduler over -fleetd-scale home counts (plus -fleetd-chaos counts under
 // mixed fault injection), producing the scaling curve committed as
-// BENCH_PR9.json.
+// BENCH_PR9.json. A fleetd_restart series prices process-level recovery:
+// a fleet admitted through the durable manifest is dropped without any
+// flush at roughly half completion and rebooted from the state directory,
+// measuring manifest replay and the catch-up run from day-boundary
+// checkpoints (committed as BENCH_PR10.json).
 //
 // Usage:
 //
 //	bench [-days N] [-train N] [-seed S] [-workers N] [-o BENCH.json]
 //	      [-fleet-homes N] [-fleet-days N] [-fleetd-scale N1,N2,...]
-//	      [-fleetd-chaos N1,N2,...] [-fleetd-days N]
+//	      [-fleetd-chaos N1,N2,...] [-fleetd-days N] [-fleetd-restart N]
 //	      [-cpuprofile F] [-memprofile F] [-baseline BENCH.json]
 //	      [-max-regress R] [-chaos-ratio R] [-compare BENCH.json]
 //
@@ -98,10 +102,13 @@ type Report struct {
 	// exists in the gate baseline are gated on elapsed time; other point
 	// counts (CI runs small, committed baselines go to 100k+) are reported
 	// but never fail the gate.
-	FleetdScale  []FleetdPoint `json:"fleetd_scale,omitempty"`
-	ADMTrainings int64         `json:"adm_trainings"`
-	CacheEntries int           `json:"cache_entries"`
-	TotalNS      int64         `json:"total_ns"`
+	FleetdScale []FleetdPoint `json:"fleetd_scale,omitempty"`
+	// FleetdRestart is the fleetd_restart series: the crash-restart recovery
+	// measurement over the durable state directory.
+	FleetdRestart *FleetdRestart `json:"fleetd_restart,omitempty"`
+	ADMTrainings  int64          `json:"adm_trainings"`
+	CacheEntries  int            `json:"cache_entries"`
+	TotalNS       int64          `json:"total_ns"`
 }
 
 // FleetdPoint is one fleetd scaling measurement. Chaos points run the same
@@ -125,6 +132,24 @@ type FleetdPoint struct {
 	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
 }
 
+// FleetdRestart is the fleetd_restart series' record: a fleet admitted
+// through the durable manifest is dropped without any persistence flush
+// (the bench's stand-in for kill -9) at roughly half completion and
+// rebooted from the same state directory. ReplayNS covers manifest replay
+// plus re-admission inside NewService; ResumeNS is the rebooted service's
+// catch-up run — finished homes served from the journal, in-flight homes
+// restored from their newest day-boundary checkpoints.
+type FleetdRestart struct {
+	Homes        int   `json:"homes"`
+	Days         int   `json:"days"`
+	KilledAtDone int64 `json:"killed_at_done"`
+	ResumedDone  int   `json:"resumed_done"`
+	ResumedLive  int   `json:"resumed_live"`
+	Restores     int64 `json:"restores"`
+	ReplayNS     int64 `json:"replay_ns"`
+	ResumeNS     int64 `json:"resume_ns"`
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -143,8 +168,9 @@ func run(args []string) error {
 	fleetdScale := fs.String("fleetd-scale", "1000", "fleetd scaling series: comma-separated home counts (empty disables)")
 	fleetdChaos := fs.String("fleetd-chaos", "1000", "fleetd chaos scaling series: comma-separated home counts run under mixed fault injection (empty disables)")
 	fleetdDays := fs.Int("fleetd-days", 1, "fleetd scaling series: days per home")
+	fleetdRestart := fs.Int("fleetd-restart", 1000, "fleetd_restart series: homes for the crash-restart recovery measurement (0 disables)")
 	chaosRatio := fs.Float64("chaos-ratio", 0, "fail when warm stream_fleet_chaos exceeds this multiple of warm stream_fleet (0 disables)")
-	out := fs.String("o", "BENCH_PR9.json", "output path (- for stdout)")
+	out := fs.String("o", "BENCH_PR10.json", "output path (- for stdout)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	baseline := fs.String("baseline", "", "committed baseline report to gate warm series against")
@@ -313,6 +339,16 @@ func run(args []string) error {
 				pt.HomesPerSec, pt.EventsPerSec, pt.Retries, pt.Restores, float64(pt.HeapAllocBytes)/(1<<20))
 			report.FleetdScale = append(report.FleetdScale, pt)
 		}
+	}
+	if *fleetdRestart > 0 {
+		rp, err := runFleetdRestart(s, *fleetdRestart, *fleetdDays, cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("fleetd_restart: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "fleetd_restart: %d homes killed at %d done, replay %s, resume %s (%d finished, %d live, %d restores)\n",
+			rp.Homes, rp.KilledAtDone, time.Duration(rp.ReplayNS).Round(time.Microsecond),
+			time.Duration(rp.ResumeNS).Round(time.Millisecond), rp.ResumedDone, rp.ResumedLive, rp.Restores)
+		report.FleetdRestart = rp
 	}
 
 	stats := s.CacheStats()
@@ -605,6 +641,76 @@ func runFleetdScale(s *core.Suite, homes, days int, seed uint64, chaos bool) (Fl
 		pt.EventsPerSec = float64(pt.Events) / secs
 	}
 	return pt, nil
+}
+
+// runFleetdRestart measures the process-level recovery path: admit homes
+// synthetic homes through the durable manifest, drop the service without
+// any persistence flush once roughly half the fleet completed, and reboot
+// from the same state directory. Replay covers NewService's manifest read
+// and re-admission; resume is the catch-up run to fleet-idle. Days is
+// floored at 2 so in-flight homes have a day boundary to checkpoint at —
+// otherwise the restart would measure only from-scratch reruns.
+func runFleetdRestart(s *core.Suite, homes, days int, seed uint64) (*FleetdRestart, error) {
+	if days < 2 {
+		days = 2
+	}
+	stateDir, err := os.MkdirTemp("", "shatter-bench-state-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(stateDir)
+	cfg := fleetd.Config{
+		Shards:   4,
+		StateDir: stateDir,
+		Shard:    fleetd.ShardOptions{MaxResident: 2048, Recover: true},
+	}
+	svc, err := core.NewFleetService(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := svc.AddSpec(fleetd.AddRequest{Synth: homes, Seed: seed, Days: days}); err != nil {
+		svc.Close(false)
+		return nil, err
+	}
+	var killedAt int64
+	for {
+		snap := svc.Snapshot()
+		killedAt = snap.HomesCompleted
+		if killedAt >= int64(homes)/2 || snap.HomesActive == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	svc.Close(false) // no final flush: the bench's kill -9
+
+	replayStart := time.Now()
+	svc2, err := core.NewFleetService(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer svc2.Close(false)
+	replay := time.Since(replayStart)
+	resumedDone, resumedLive := svc2.Resumed()
+	resumeStart := time.Now()
+	svc2.WaitIdle()
+	resume := time.Since(resumeStart)
+	snap := svc2.Snapshot()
+	if snap.HomesFailed > 0 {
+		return nil, fmt.Errorf("%d homes failed after restart", snap.HomesFailed)
+	}
+	if got := len(svc2.Result().Homes); got != homes {
+		return nil, fmt.Errorf("restarted fleet finished %d of %d homes", got, homes)
+	}
+	return &FleetdRestart{
+		Homes:        homes,
+		Days:         days,
+		KilledAtDone: killedAt,
+		ResumedDone:  resumedDone,
+		ResumedLive:  resumedLive,
+		Restores:     snap.Restores,
+		ReplayNS:     replay.Nanoseconds(),
+		ResumeNS:     resume.Nanoseconds(),
+	}, nil
 }
 
 // discard adapts an experiment method to a result-free runner.

@@ -8,10 +8,17 @@
 // snapshots until an admin stop request (or SIGINT/SIGTERM) shuts it down:
 //
 //	fleetd serve [-listen addr] [-shards N] [-workers N] [-max-resident N]
-//	             [-checkpoint-dir D] [-mqtt-frames] [-retries N]
+//	             [-checkpoint-dir D] [-state-dir D] [-mqtt-frames] [-retries N]
 //	             [-synth N] [-scenarios list] [-stream-days N]
 //	             [-days N] [-train N] [-seed S] [-defend] [-attack]
 //	             [-metrics-every D] [-print-every D] [-exit-when-idle]
+//	             [-result-json F] [-broker-chaos SCHED] [-progress-deadline D]
+//
+// With -state-dir the service keeps a durable manifest of every admitted
+// fleet and admin mutation alongside day-boundary checkpoints; restarting
+// the same command after a crash (even kill -9) replays the manifest and
+// resumes the fleet from its checkpoints, producing the same per-home
+// results as an uninterrupted run.
 //
 // The admin verbs speak to a running service over its broker:
 //
@@ -28,10 +35,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -39,6 +48,7 @@ import (
 	"github.com/acyd-lab/shatter/internal/core"
 	"github.com/acyd-lab/shatter/internal/fleetd"
 	"github.com/acyd-lab/shatter/internal/mqtt"
+	"github.com/acyd-lab/shatter/internal/stream"
 )
 
 func main() {
@@ -70,6 +80,10 @@ func serve(args []string) error {
 	maxResident := fs.Int("max-resident", 0, "admission window: live pipelines per shard (0 = default 4096)")
 	quantum := fs.Int("quantum-days", 0, "days per scheduling turn (0 = 1)")
 	ckptDir := fs.String("checkpoint-dir", "", "persist day-boundary checkpoints in this directory")
+	stateDir := fs.String("state-dir", "", "durable state directory: fleet manifest + checkpoints; a restart with the same flags resumes the fleet")
+	resultJSON := fs.String("result-json", "", "write per-home fleet results to this file (JSON) at shutdown")
+	brokerChaos := fs.String("broker-chaos", "", "broker outage schedule: every=DUR,down=DUR[,count=N][,seed=S]")
+	progressDeadline := fs.Duration("progress-deadline", 0, "liveness watchdog: force-fail a home with no day-boundary progress within this window (0 disables)")
 	mqttFrames := fs.Bool("mqtt-frames", false, "route every home's sensor frames through the broker too")
 	retries := fs.Int("retries", 0, "per-home retry budget (enables supervision when > 0)")
 	synth := fs.Int("synth", 0, "admit this many synthetic homes at startup")
@@ -104,27 +118,35 @@ func serve(args []string) error {
 	fcfg := fleetd.Config{
 		Shards: *shards,
 		Shard: fleetd.ShardOptions{
-			Workers:       *workers,
-			MaxResident:   *maxResident,
-			QuantumDays:   *quantum,
-			CheckpointDir: *ckptDir,
-			Recover:       *retries > 0 || *ckptDir != "",
-			MaxRetries:    *retries,
+			Workers:          *workers,
+			MaxResident:      *maxResident,
+			QuantumDays:      *quantum,
+			CheckpointDir:    *ckptDir,
+			Recover:          *retries > 0 || *ckptDir != "" || *stateDir != "",
+			MaxRetries:       *retries,
+			ProgressDeadline: *progressDeadline,
 		},
 		Broker:       broker.Addr(),
+		StateDir:     *stateDir,
 		MetricsEvery: *metricsEvery,
 	}
 	if *mqttFrames {
 		fcfg.Shard.Broker = broker.Addr()
+		// Home pipes ride broker restarts via session resume.
+		fcfg.Shard.Dial = mqtt.DialOptions{Redial: true}
 	}
 	svc, err := core.NewFleetService(suite, fcfg)
 	if err != nil {
 		return err
 	}
-	persist := *ckptDir != ""
+	persist := *ckptDir != "" || *stateDir != ""
 	defer svc.Close(persist)
 
-	if *synth > 0 || *scenarios != "" {
+	if resumedDone, resumedLive := svc.Resumed(); resumedDone+resumedLive > 0 {
+		// The manifest already names the fleet; admitting the startup fleet
+		// again would double every home.
+		fmt.Printf("fleetd: resuming fleet from manifest (%d finished, %d live)\n", resumedDone, resumedLive)
+	} else if *synth > 0 || *scenarios != "" {
 		req := fleetd.AddRequest{
 			Synth: *synth, Seed: *seed, Days: *streamDays,
 			Defend: *defend, Attack: *attack,
@@ -134,14 +156,20 @@ func serve(args []string) error {
 				req.Scenarios = append(req.Scenarios, entry)
 			}
 		}
-		jobs, err := suite.FleetJobFactory()(req)
+		n, err := svc.AddSpec(req)
 		if err != nil {
 			return err
 		}
-		if err := svc.Add(jobs); err != nil {
+		fmt.Printf("fleetd: admitted %d homes\n", n)
+	}
+
+	if *brokerChaos != "" {
+		sched, err := parseOutageSchedule(*brokerChaos)
+		if err != nil {
 			return err
 		}
-		fmt.Printf("fleetd: admitted %d homes\n", len(jobs))
+		outages := stream.StartBrokerOutages(broker, sched, nil)
+		defer outages.Stop()
 	}
 
 	idle := make(chan struct{})
@@ -159,24 +187,76 @@ func serve(args []string) error {
 		defer t.Stop()
 		tick = t.C
 	}
+	finish := func() error {
+		printSnapshot(svc.Snapshot())
+		return writeFleetResult(*resultJSON, svc)
+	}
 	for {
 		select {
 		case <-tick:
 			printSnapshot(svc.Snapshot())
 		case <-idle:
 			fmt.Println("fleetd: fleet idle, shutting down")
-			printSnapshot(svc.Snapshot())
-			return nil
+			return finish()
 		case s := <-sig:
 			fmt.Printf("fleetd: %v, shutting down (persist=%v)\n", s, persist)
-			printSnapshot(svc.Snapshot())
-			return nil
+			return finish()
 		case <-svc.Done():
 			fmt.Println("fleetd: stop requested, shutting down")
-			printSnapshot(svc.Snapshot())
-			return nil
+			return finish()
 		}
 	}
+}
+
+// parseOutageSchedule parses the -broker-chaos grammar:
+// every=DUR,down=DUR[,count=N][,seed=S].
+func parseOutageSchedule(s string) (stream.OutageSchedule, error) {
+	var sched stream.OutageSchedule
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return sched, fmt.Errorf("broker-chaos: %q is not key=value", part)
+		}
+		var err error
+		switch key {
+		case "every":
+			sched.Every, err = time.ParseDuration(val)
+		case "down":
+			sched.Down, err = time.ParseDuration(val)
+		case "count":
+			sched.Count, err = strconv.Atoi(val)
+		case "seed":
+			sched.Seed, err = strconv.ParseUint(val, 10, 64)
+		default:
+			return sched, fmt.Errorf("broker-chaos: unknown key %q", key)
+		}
+		if err != nil {
+			return sched, fmt.Errorf("broker-chaos: %s: %w", key, err)
+		}
+	}
+	if sched.Every <= 0 || sched.Down <= 0 {
+		return sched, fmt.Errorf("broker-chaos: every and down are required (got %q)", s)
+	}
+	return sched, nil
+}
+
+// writeFleetResult dumps the per-home results as JSON — stream-time outcomes
+// only, no wall-clock fields, so a resumed run's file is byte-comparable to
+// an uninterrupted run's.
+func writeFleetResult(path string, svc *fleetd.Service) error {
+	if path == "" {
+		return nil
+	}
+	fr := svc.Result()
+	data, err := json.MarshalIndent(fr.Homes, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // admin runs one control-plane verb against a running service.
@@ -300,8 +380,9 @@ func printSnapshot(s fleetd.Snapshot) {
 		fmt.Printf("  detection: %d verdicts (%d anomalous), latency mean %.1f / max %d slots\n",
 			s.Verdicts, s.Anomalies, s.DetectionLatencyMeanSlots, s.DetectionLatencyMaxSlots)
 	}
-	if s.Retries > 0 || s.Restores > 0 || s.Checkpoints > 0 {
-		fmt.Printf("  resilience: %d retries, %d restores, %d checkpoints\n", s.Retries, s.Restores, s.Checkpoints)
+	if s.Retries > 0 || s.Restores > 0 || s.Checkpoints > 0 || s.WatchdogTrips > 0 {
+		fmt.Printf("  resilience: %d retries, %d restores, %d checkpoints, %d watchdog trips\n",
+			s.Retries, s.Restores, s.Checkpoints, s.WatchdogTrips)
 	}
 	for _, sh := range s.Shards {
 		fmt.Printf("  shard %d: %d pending, %d resident (%d ready, %d running, %d paused), %d done, %d failed, ~%.1f MiB%s\n",

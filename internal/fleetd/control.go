@@ -88,6 +88,10 @@ type controlPlane struct {
 }
 
 func newControlPlane(svc *Service, broker string, dial mqtt.DialOptions, every time.Duration) (*controlPlane, error) {
+	// The control plane rides through broker restarts: the client redials
+	// with the data path's backoff schedule and re-registers the admin
+	// subscription itself, so the serve loop below survives an outage.
+	dial.Redial = true
 	client, err := mqtt.DialWithOptions(broker, dial)
 	if err != nil {
 		return nil, err
@@ -160,17 +164,13 @@ func (cp *controlPlane) handle(verb string, req *Request) Response {
 		if req.Add == nil {
 			return fail(fmt.Errorf("fleetd: add request missing payload"))
 		}
-		if cp.svc.cfg.Jobs == nil {
-			return fail(fmt.Errorf("fleetd: service has no job factory"))
-		}
-		jobs, err := cp.svc.cfg.Jobs(*req.Add)
+		// AddSpec journals the spec to the manifest (when the service is
+		// durable) before admitting, so control-plane adds survive a crash.
+		n, err := cp.svc.AddSpec(*req.Add)
 		if err != nil {
 			return fail(err)
 		}
-		if err := cp.svc.Add(jobs); err != nil {
-			return fail(err)
-		}
-		return Response{OK: true, Added: len(jobs)}
+		return Response{OK: true, Added: n}
 	case VerbRemove:
 		if err := cp.svc.Remove(req.Home); err != nil {
 			return fail(err)
@@ -213,6 +213,9 @@ func (cp *controlPlane) handle(verb string, req *Request) Response {
 }
 
 // publishMetrics broadcasts snapshots on the metrics topic until close.
+// A failed publish skips that tick instead of killing the publisher: with
+// session resume on the control-plane client, a broker restart is a
+// transient the next tick rides out, not a terminal condition.
 func (cp *controlPlane) publishMetrics(every time.Duration) {
 	defer cp.wg.Done()
 	tick := time.NewTicker(every)
@@ -222,9 +225,7 @@ func (cp *controlPlane) publishMetrics(every time.Duration) {
 		case <-cp.quit:
 			return
 		case <-tick.C:
-			if err := cp.client.Publish(MetricsTopic, cp.svc.Snapshot()); err != nil {
-				return // connection gone; the serve loop winds down too
-			}
+			_ = cp.client.Publish(MetricsTopic, cp.svc.Snapshot())
 		}
 	}
 }
@@ -254,8 +255,13 @@ type Admin struct {
 	closed  bool
 }
 
-// NewAdmin connects an admin client to the service's broker.
+// NewAdmin connects an admin client to the service's broker. The
+// connection redials with the same backoff DialOptions the data path uses,
+// re-establishing the private reply-topic subscription (and any Watch
+// feed) after a broker restart — requests issued while the broker is down
+// fail fast with a disconnected error and succeed again after resume.
 func NewAdmin(broker string, dial mqtt.DialOptions) (*Admin, error) {
+	dial.Redial = true
 	client, err := mqtt.DialWithOptions(broker, dial)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,360 @@
+package fleetd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/acyd-lab/shatter/internal/stream"
+)
+
+// The fleet manifest is the service's durable intent journal: every admitted
+// job spec (the AddRequest, not the materialized jobs — replay re-resolves
+// it through the job factory), every admin mutation (pause/resume/remove),
+// and every per-home completion is appended as one framed record. On
+// restart, NewService replays the journal to rebuild the fleet: finished
+// homes are restored from their journaled results without re-running,
+// in-flight homes are re-admitted and resume from their day-boundary
+// checkpoints. Each record is individually framed exactly like a stream
+// checkpoint — 8-byte magic, big-endian payload length, CRC-32 (IEEE), then
+// the JSON payload — so a reader rejects corruption before decoding
+// anything, and a record half-written by a crash is recognizable as a torn
+// tail rather than silent garbage.
+
+// Manifest record operations.
+const (
+	manifestOpAdd    = "add"
+	manifestOpPause  = "pause"
+	manifestOpResume = "resume"
+	manifestOpRemove = "remove"
+	manifestOpDone   = "done"
+)
+
+// ManifestRecord is one journal entry. Op selects which payload fields are
+// meaningful: add carries the job spec, the per-home ops carry Home, and
+// done additionally carries the home's supervision record plus (for
+// completed homes) its full deterministic result.
+type ManifestRecord struct {
+	Op string `json:"op"`
+	// Add is the admitted job spec (op "add").
+	Add *AddRequest `json:"add,omitempty"`
+	// Home addresses the per-home ops (pause/resume/remove/done).
+	Home string `json:"home,omitempty"`
+	// Outcome is the terminal supervision record (op "done").
+	Outcome *stream.HomeOutcome `json:"outcome,omitempty"`
+	// Result is the completed home's full result (op "done" with a
+	// completed/retried outcome); quarantined and removed homes have none.
+	Result *stream.HomeResult `json:"result,omitempty"`
+}
+
+// manifestVersion is bumped when the serialized layout changes; readers
+// reject other versions instead of guessing.
+const manifestVersion = 1
+
+// manifestMagic prefixes every serialized manifest record.
+var manifestMagic = [8]byte{'S', 'H', 'M', 'F', 'S', 'T', '0' + manifestVersion, '\n'}
+
+// maxManifestRecord bounds a record payload so a corrupted length header
+// cannot force a huge allocation.
+const maxManifestRecord = 64 << 20
+
+// ErrBadManifest is returned when a manifest record fails structural
+// validation: bad magic, truncation, checksum mismatch, malformed JSON, or
+// an inconsistent payload. Corrupted journals must error cleanly, never
+// replay garbage.
+var ErrBadManifest = errors.New("fleetd: corrupt manifest")
+
+// validateManifestRecord checks the internal consistency a decoded record
+// must have before the service replays it.
+func validateManifestRecord(rec *ManifestRecord) error {
+	switch rec.Op {
+	case manifestOpAdd:
+		if rec.Add == nil {
+			return fmt.Errorf("%w: add record missing spec", ErrBadManifest)
+		}
+	case manifestOpPause, manifestOpResume, manifestOpRemove:
+		if rec.Home == "" {
+			return fmt.Errorf("%w: %s record missing home", ErrBadManifest, rec.Op)
+		}
+	case manifestOpDone:
+		if rec.Home == "" {
+			return fmt.Errorf("%w: done record missing home", ErrBadManifest)
+		}
+		if rec.Outcome == nil {
+			return fmt.Errorf("%w: done record for %q missing outcome", ErrBadManifest, rec.Home)
+		}
+		if rec.Outcome.ID != rec.Home {
+			return fmt.Errorf("%w: done record home %q holds outcome of %q", ErrBadManifest, rec.Home, rec.Outcome.ID)
+		}
+		if rec.Result != nil && rec.Result.ID != rec.Home {
+			return fmt.Errorf("%w: done record home %q holds result of %q", ErrBadManifest, rec.Home, rec.Result.ID)
+		}
+	default:
+		return fmt.Errorf("%w: unknown op %q", ErrBadManifest, rec.Op)
+	}
+	return nil
+}
+
+// WriteManifestRecord serializes one record: magic, payload length, CRC-32,
+// then the JSON payload — the same trailer-free fixed header as a stream
+// checkpoint, reaching w as a single Write.
+func WriteManifestRecord(w io.Writer, rec *ManifestRecord) error {
+	if err := validateManifestRecord(rec); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fleetd: encode manifest record: %w", err)
+	}
+	if len(payload) > maxManifestRecord {
+		return fmt.Errorf("fleetd: manifest record %d bytes exceeds limit", len(payload))
+	}
+	frame := make([]byte, 16+len(payload))
+	copy(frame[:8], manifestMagic[:])
+	binary.BigEndian.PutUint32(frame[8:12], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[12:16], crc32.ChecksumIEEE(payload))
+	copy(frame[16:], payload)
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadManifestRecord decodes one record from r. A clean end of journal
+// returns io.EOF; a record cut off mid-write (the torn tail a kill -9
+// leaves) returns an error wrapping both ErrBadManifest and
+// io.ErrUnexpectedEOF, so loaders can distinguish crash truncation from
+// in-place corruption; every other malformed input wraps ErrBadManifest.
+// It never panics and never returns a record that fails validation.
+func ReadManifestRecord(r io.Reader) (*ManifestRecord, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: truncated header: %w", ErrBadManifest, io.ErrUnexpectedEOF)
+	}
+	if [8]byte(hdr[:8]) != manifestMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadManifest, hdr[:8])
+	}
+	n := binary.BigEndian.Uint32(hdr[8:12])
+	if n > maxManifestRecord {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadManifest, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %w", ErrBadManifest, io.ErrUnexpectedEOF)
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(hdr[12:16]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadManifest)
+	}
+	rec := &ManifestRecord{}
+	if err := json.Unmarshal(payload, rec); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrBadManifest, err)
+	}
+	if err := validateManifestRecord(rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// ReadManifest strictly decodes a whole journal: every record must be
+// well-formed, including the last. This is the validation entry point (and
+// the fuzz target); the service's own loader additionally tolerates a torn
+// final record (see OpenManifest).
+func ReadManifest(r io.Reader) ([]ManifestRecord, error) {
+	var recs []ManifestRecord
+	for {
+		rec, err := ReadManifestRecord(r)
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, *rec)
+	}
+}
+
+// manifestName is the journal file inside the state dir.
+const manifestName = "fleet.manifest"
+
+// ManifestPath names the journal inside a state dir.
+func ManifestPath(dir string) string { return filepath.Join(dir, manifestName) }
+
+// Manifest is the open journal: an append-only file handle plus the
+// serialization lock. Appends from shard workers (done records) and the
+// admin path (add/pause/remove) interleave safely.
+type Manifest struct {
+	mu   sync.Mutex
+	dir  string
+	path string
+	f    *os.File
+}
+
+// OpenManifest opens (creating when absent) dir's manifest journal and
+// replays its records. Crash truncation is absorbed here: a torn final
+// record — the only damage an append-only journal can take from a kill -9,
+// since rewrites are atomic — is dropped and the journal is compacted by an
+// atomic rewrite (temp file + rename) of the surviving records. Any other
+// corruption is an error: the journal is the fleet's source of truth, and a
+// scribbled-on one must not silently replay a subset.
+func OpenManifest(dir string) (*Manifest, []ManifestRecord, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	path := ManifestPath(dir)
+	recs, torn, err := loadManifest(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	compacted := CompactManifest(recs)
+	if torn || len(compacted) != len(recs) {
+		if err := rewriteManifest(dir, path, compacted); err != nil {
+			return nil, nil, err
+		}
+		recs = compacted
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Manifest{dir: dir, path: path, f: f}, recs, nil
+}
+
+// loadManifest reads the journal leniently: a torn tail truncates the
+// replay (torn=true) instead of failing it.
+func loadManifest(path string) (recs []ManifestRecord, torn bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for {
+		rec, rerr := ReadManifestRecord(br)
+		if rerr == io.EOF {
+			return recs, false, nil
+		}
+		if errors.Is(rerr, io.ErrUnexpectedEOF) {
+			return recs, true, nil
+		}
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		recs = append(recs, *rec)
+	}
+}
+
+// CompactManifest rewrites a replayed record sequence into its minimal
+// equivalent: add records in order, then the surviving per-home state —
+// removals, completions, and still-effective pauses. Pause/resume pairs
+// that cancelled out are dropped. Replay order within the compacted form is
+// immaterial: mutations always refer to homes an add record introduces, and
+// the service applies them as final state, not as a replayed timeline.
+func CompactManifest(recs []ManifestRecord) []ManifestRecord {
+	paused := make(map[string]bool)
+	out := make([]ManifestRecord, 0, len(recs))
+	for i := range recs {
+		rec := recs[i]
+		switch rec.Op {
+		case manifestOpAdd, manifestOpRemove, manifestOpDone:
+			out = append(out, rec)
+		case manifestOpPause:
+			paused[rec.Home] = true
+		case manifestOpResume:
+			delete(paused, rec.Home)
+		}
+	}
+	for i := range recs {
+		if recs[i].Op == manifestOpPause && paused[recs[i].Home] {
+			out = append(out, recs[i])
+			delete(paused, recs[i].Home)
+		}
+	}
+	return out
+}
+
+// rewriteManifest atomically replaces the journal with recs: write to a
+// temp file in the same dir, fsync, rename over the old journal. A crash
+// anywhere in the rewrite leaves either the old or the new journal intact.
+func rewriteManifest(dir, path string, recs []ManifestRecord) error {
+	tmp, err := os.CreateTemp(dir, manifestName+".tmp*")
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(tmp)
+	for i := range recs {
+		if err := WriteManifestRecord(w, &recs[i]); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Append journals one record. Appends are buffered by the OS, not fsynced:
+// a process kill keeps them (the kernel owns the pages), and the power-loss
+// window is closed by the Sync the admin paths and Close perform.
+func (m *Manifest) Append(rec ManifestRecord) error {
+	var buf bytes.Buffer
+	if err := WriteManifestRecord(&buf, &rec); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return errors.New("fleetd: manifest closed")
+	}
+	_, err := m.f.Write(buf.Bytes())
+	return err
+}
+
+// Sync flushes the journal to stable storage.
+func (m *Manifest) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	return m.f.Sync()
+}
+
+// Close syncs and closes the journal. Idempotent.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	err := m.f.Sync()
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	m.f = nil
+	return err
+}

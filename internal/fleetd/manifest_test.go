@@ -1,0 +1,234 @@
+package fleetd
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"reflect"
+	"testing"
+
+	"github.com/acyd-lab/shatter/internal/stream"
+)
+
+// sampleManifest is a journal exercising every record op.
+func sampleManifest() []ManifestRecord {
+	return []ManifestRecord{
+		{Op: manifestOpAdd, Add: &AddRequest{Synth: 4, Seed: 7, Days: 2, Defend: true}},
+		{Op: manifestOpPause, Home: "h1"},
+		{Op: manifestOpResume, Home: "h1"},
+		{Op: manifestOpPause, Home: "h2"},
+		{Op: manifestOpRemove, Home: "h3"},
+		{Op: manifestOpDone, Home: "h0",
+			Outcome: &stream.HomeOutcome{ID: "h0", Status: stream.OutcomeCompleted, Attempts: 1, Days: 2},
+			Result:  &stream.HomeResult{ID: "h0", Days: 2, Slots: 2880}},
+		{Op: manifestOpDone, Home: "h4",
+			Outcome: &stream.HomeOutcome{ID: "h4", Status: stream.OutcomeQuarantined, Attempts: 3, Err: "flaky"}},
+	}
+}
+
+func encodeManifest(t *testing.T, recs []ManifestRecord) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i := range recs {
+		if err := WriteManifestRecord(&buf, &recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	recs := sampleManifest()
+	got, err := ReadManifest(bytes.NewReader(encodeManifest(t, recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip diverges:\n%+v\nvs\n%+v", got, recs)
+	}
+}
+
+func TestWriteManifestRecordRejectsInvalid(t *testing.T) {
+	bad := []ManifestRecord{
+		{Op: "unknown"},
+		{Op: manifestOpAdd},             // missing spec
+		{Op: manifestOpPause},           // missing home
+		{Op: manifestOpDone, Home: "x"}, // missing outcome
+		{Op: manifestOpDone, Home: "x", // outcome for a different home
+			Outcome: &stream.HomeOutcome{ID: "y"}},
+		{Op: manifestOpDone, Home: "x", // result for a different home
+			Outcome: &stream.HomeOutcome{ID: "x"},
+			Result:  &stream.HomeResult{ID: "y"}},
+	}
+	for i := range bad {
+		if err := WriteManifestRecord(io.Discard, &bad[i]); !errors.Is(err, ErrBadManifest) {
+			t.Fatalf("record %d: want ErrBadManifest, got %v", i, err)
+		}
+	}
+}
+
+// TestReadManifestEveryByteCorruption flips every byte of a valid journal in
+// turn: each flip must surface as a clean error — magic, length, and CRC
+// cover the entire frame, so no single-byte corruption may decode silently.
+func TestReadManifestEveryByteCorruption(t *testing.T) {
+	data := encodeManifest(t, sampleManifest())
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		recs, err := ReadManifest(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("flip at byte %d decoded silently: %d records", i, len(recs))
+		}
+		if !errors.Is(err, ErrBadManifest) {
+			t.Fatalf("flip at byte %d: unclassified error %v", i, err)
+		}
+	}
+	// Truncation at every length is an error too — except the clean
+	// record-boundary prefixes, which read as a shorter journal.
+	boundaries := map[int]bool{len(data): true}
+	off := 0
+	for _, rec := range sampleManifest() {
+		var buf bytes.Buffer
+		if err := WriteManifestRecord(&buf, &rec); err != nil {
+			t.Fatal(err)
+		}
+		off += buf.Len()
+		boundaries[off] = true
+	}
+	for n := 0; n < len(data); n++ {
+		_, err := ReadManifest(bytes.NewReader(data[:n]))
+		if boundaries[n] || n == 0 {
+			if err != nil {
+				t.Fatalf("clean prefix %d: %v", n, err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrBadManifest) || !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncation at %d should wrap ErrBadManifest and ErrUnexpectedEOF, got %v", n, err)
+		}
+	}
+}
+
+func TestCompactManifest(t *testing.T) {
+	got := CompactManifest(sampleManifest())
+	want := []ManifestRecord{
+		sampleManifest()[0], // add
+		sampleManifest()[4], // remove h3
+		sampleManifest()[5], // done h0
+		sampleManifest()[6], // done h4
+		sampleManifest()[3], // pause h2 still in effect
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("compaction diverges:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+// TestOpenManifestTornTail simulates the journal a kill -9 leaves: valid
+// records followed by a half-written frame. OpenManifest must drop the torn
+// tail, rewrite the journal clean, and keep appending.
+func TestOpenManifestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleManifest()
+	data := encodeManifest(t, recs)
+	// Append half of one more record — torn mid-payload.
+	var extra bytes.Buffer
+	tail := ManifestRecord{Op: manifestOpPause, Home: "torn"}
+	if err := WriteManifestRecord(&extra, &tail); err != nil {
+		t.Fatal(err)
+	}
+	torn := append(data, extra.Bytes()[:extra.Len()/2]...)
+	if err := os.WriteFile(ManifestPath(dir), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	man, replayed, err := OpenManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CompactManifest(recs)
+	if !reflect.DeepEqual(replayed, want) {
+		t.Fatalf("torn-tail replay diverges:\n%+v\nvs\n%+v", replayed, want)
+	}
+	// The rewrite left a strictly valid journal on disk.
+	onDisk, err := os.ReadFile(ManifestPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(bytes.NewReader(onDisk)); err != nil {
+		t.Fatalf("journal still dirty after recovery: %v", err)
+	}
+	// Appends continue past the recovery.
+	add := ManifestRecord{Op: manifestOpRemove, Home: "h9"}
+	if err := man.Append(add); err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	_, replayed2, err := OpenManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed2, append(want, add)) {
+		t.Fatalf("appended record lost: %+v", replayed2)
+	}
+}
+
+// TestOpenManifestRejectsCorruption: mid-journal corruption is not crash
+// damage and must fail the open, never replay a silent subset.
+func TestOpenManifestRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	data := encodeManifest(t, sampleManifest())
+	data[20] ^= 0xff // inside the first record's payload
+	if err := os.WriteFile(ManifestPath(dir), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenManifest(dir); !errors.Is(err, ErrBadManifest) {
+		t.Fatalf("want ErrBadManifest, got %v", err)
+	}
+}
+
+// FuzzReadManifest hammers the journal decoder with corrupted, truncated,
+// and hostile inputs: it must never panic or over-allocate, every rejection
+// must classify as ErrBadManifest, and anything accepted must re-encode and
+// re-decode to the same records.
+func FuzzReadManifest(f *testing.F) {
+	var valid bytes.Buffer
+	rec := ManifestRecord{Op: manifestOpPause, Home: "fuzz"}
+	if err := WriteManifestRecord(&valid, &rec); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(append(append([]byte{}, valid.Bytes()...), valid.Bytes()...))
+	f.Add(valid.Bytes()[:9])
+	f.Add([]byte("NOTMAGIC\x00\x00\x00\x02{}"))
+	f.Add([]byte{'S', 'H', 'M', 'F', 'S', 'T', '1', '\n', 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add(append(append([]byte{}, valid.Bytes()[:16]...), []byte("xxxxxxxx")...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadManifest(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadManifest) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		for i := range recs {
+			if err := WriteManifestRecord(&buf, &recs[i]); err != nil {
+				t.Fatalf("re-encode of accepted record failed: %v", err)
+			}
+		}
+		again, err := ReadManifest(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(recs) || (len(recs) > 0 && !reflect.DeepEqual(again, recs)) {
+			t.Fatalf("decode not stable:\n%+v\nvs\n%+v", again, recs)
+		}
+	})
+}

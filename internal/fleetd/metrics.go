@@ -27,6 +27,7 @@ type Metrics struct {
 	retries        atomic.Int64
 	restores       atomic.Int64
 	checkpoints    atomic.Int64
+	watchdogTrips  atomic.Int64
 
 	// Detection latency: stream-time distance (in slots, i.e. minutes of
 	// simulated time) between an episode's last slot and the slot whose
@@ -103,6 +104,9 @@ type Snapshot struct {
 	Retries        int64 `json:"retries"`
 	Restores       int64 `json:"restores"`
 	Checkpoints    int64 `json:"checkpoints"`
+	// WatchdogTrips counts homes whose transport the liveness watchdog
+	// force-closed after ProgressDeadline elapsed with no day boundary.
+	WatchdogTrips int64 `json:"watchdog_trips"`
 
 	HomesPerSec  float64 `json:"homes_per_sec"` // completed homes / uptime
 	DaysPerSec   float64 `json:"days_per_sec"`
@@ -139,6 +143,7 @@ func (m *Metrics) Snapshot(shards []ShardStatus) Snapshot {
 		Retries:        m.retries.Load(),
 		Restores:       m.restores.Load(),
 		Checkpoints:    m.checkpoints.Load(),
+		WatchdogTrips:  m.watchdogTrips.Load(),
 		HeapAllocBytes: ms.HeapAlloc,
 		Goroutines:     runtime.NumGoroutine(),
 		Shards:         shards,

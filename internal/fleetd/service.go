@@ -2,6 +2,7 @@ package fleetd
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -39,6 +40,26 @@ type Config struct {
 	// Jobs resolves control-plane add requests; nil rejects them (homes can
 	// still be added programmatically via Add).
 	Jobs JobFactory
+
+	// StateDir enables the durable fleet manifest: admissions through
+	// AddSpec and the control plane, admin mutations (pause/resume/remove),
+	// and per-home completions are journaled to <StateDir>/fleet.manifest,
+	// and day-boundary checkpoints default to <StateDir>/checkpoints (unless
+	// Shard.CheckpointDir overrides). NewService replays the manifest:
+	// finished homes are restored from their journaled results without
+	// re-running, in-flight homes are re-admitted (paused ones still paused)
+	// and resume from their checkpoints — so a service killed without drain
+	// and restarted produces results byte-identical to an uninterrupted run.
+	// Requires Jobs (replay re-resolves specs through the factory).
+	// Programmatic Add is NOT journaled; durable fleets admit via AddSpec.
+	StateDir string
+}
+
+// endedHome is a terminal home restored from the manifest rather than run
+// by a shard this process lifetime.
+type endedHome struct {
+	result  stream.HomeResult
+	outcome stream.HomeOutcome
 }
 
 // Service is the long-running fleet runtime: a set of shards multiplexing
@@ -48,17 +69,32 @@ type Service struct {
 	cfg    Config
 	met    *Metrics
 	shards []*Shard
+	man    *Manifest
+
+	// admitMu serializes AddSpec's journal-then-admit sequence so manifest
+	// add records land in admission order.
+	admitMu sync.Mutex
 
 	mu    sync.Mutex
-	order []string       // home IDs in add order, for Result
-	where map[string]int // home ID -> shard
-	next  int            // round-robin cursor
+	order []string             // home IDs in add order, for Result
+	where map[string]int       // home ID -> shard (endedShard for manifest-restored terminal homes)
+	ended map[string]endedHome // terminal homes restored from the manifest
+	next  int                  // round-robin cursor
 	ctl   *controlPlane
 	done  chan struct{}
 	stop  sync.Once
+
+	resumedDone int // terminal homes restored from the manifest
+	resumedLive int // in-flight homes re-admitted from the manifest
 }
 
-// NewService starts the shards (and the control plane when configured).
+// endedShard is the where-map sentinel for homes that finished in a prior
+// process lifetime: they live in the ended map, not on any shard.
+const endedShard = -1
+
+// NewService starts the shards, replays the manifest when a state dir is
+// configured, and then attaches the control plane — so an admin never
+// observes a half-restored fleet.
 func NewService(cfg Config) (*Service, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
@@ -66,14 +102,35 @@ func NewService(cfg Config) (*Service, error) {
 	if cfg.MetricsEvery <= 0 {
 		cfg.MetricsEvery = 2 * time.Second
 	}
+	if cfg.StateDir != "" && cfg.Shard.CheckpointDir == "" {
+		cfg.Shard.CheckpointDir = filepath.Join(cfg.StateDir, "checkpoints")
+	}
 	s := &Service{
 		cfg:   cfg,
 		met:   NewMetrics(),
 		where: make(map[string]int),
+		ended: make(map[string]endedHome),
 		done:  make(chan struct{}),
 	}
+	if cfg.StateDir != "" {
+		// The completion hook journals terminal homes; it must be wired
+		// before any shard worker can finish one.
+		s.cfg.Shard.onDone = s.noteDone
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		s.shards = append(s.shards, newShard(i, cfg.Shard, s.met))
+		s.shards = append(s.shards, newShard(i, s.cfg.Shard, s.met))
+	}
+	if cfg.StateDir != "" {
+		man, recs, err := OpenManifest(cfg.StateDir)
+		if err != nil {
+			s.Close(false)
+			return nil, err
+		}
+		s.man = man
+		if err := s.replay(recs); err != nil {
+			s.Close(false)
+			return nil, fmt.Errorf("fleetd: manifest replay: %w", err)
+		}
 	}
 	if cfg.Broker != "" {
 		ctl, err := newControlPlane(s, cfg.Broker, cfg.Dial, cfg.MetricsEvery)
@@ -86,18 +143,149 @@ func NewService(cfg Config) (*Service, error) {
 	return s, nil
 }
 
+// replay rebuilds the fleet from manifest records: add specs re-resolve
+// through the job factory, mutations collapse to final per-home state, and
+// each job lands either in the ended map (done/removed, with its journaled
+// outcome) or back on a shard (in-flight, paused when a pause was in
+// effect) to resume from its day-boundary checkpoint.
+func (s *Service) replay(recs []ManifestRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if s.cfg.Jobs == nil {
+		return fmt.Errorf("fleetd: state dir holds a manifest but the service has no job factory")
+	}
+	var jobs []stream.Job
+	seen := make(map[string]bool)
+	paused := make(map[string]bool)
+	removed := make(map[string]bool)
+	finished := make(map[string]*ManifestRecord)
+	for i := range recs {
+		rec := &recs[i]
+		switch rec.Op {
+		case manifestOpAdd:
+			js, err := s.cfg.Jobs(*rec.Add)
+			if err != nil {
+				return err
+			}
+			for _, j := range js {
+				if seen[j.ID] {
+					return fmt.Errorf("fleetd: manifest admits home %q twice", j.ID)
+				}
+				seen[j.ID] = true
+			}
+			jobs = append(jobs, js...)
+		case manifestOpPause:
+			paused[rec.Home] = true
+		case manifestOpResume:
+			delete(paused, rec.Home)
+		case manifestOpRemove:
+			removed[rec.Home] = true
+		case manifestOpDone:
+			finished[rec.Home] = rec
+		}
+	}
+	var live []stream.Job
+	for _, j := range jobs {
+		switch {
+		case finished[j.ID] != nil:
+			rec := finished[j.ID]
+			e := endedHome{outcome: *rec.Outcome, result: stream.HomeResult{ID: j.ID}}
+			if rec.Result != nil {
+				e.result = *rec.Result
+			}
+			s.end(j.ID, e)
+		case removed[j.ID]:
+			s.end(j.ID, endedHome{
+				outcome: stream.HomeOutcome{ID: j.ID, Status: OutcomeRemoved},
+				result:  stream.HomeResult{ID: j.ID},
+			})
+		default:
+			live = append(live, j)
+		}
+	}
+	if err := s.admit(live, paused); err != nil {
+		return err
+	}
+	// end() and admit() each appended their subset; Result order must be
+	// the original admission order with ended and live homes interleaved.
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		ids[i] = j.ID
+	}
+	s.mu.Lock()
+	s.order = ids
+	s.mu.Unlock()
+	s.resumedDone = len(s.ended)
+	s.resumedLive = len(live)
+	return nil
+}
+
+// end registers a manifest-restored terminal home and accounts it in the
+// lifetime counters. A stale checkpoint (crash between the done record and
+// checkpoint removal) is cleaned up here — replay is its tombstone.
+func (s *Service) end(id string, e endedHome) {
+	s.mu.Lock()
+	s.order = append(s.order, id)
+	s.where[id] = endedShard
+	s.ended[id] = e
+	s.mu.Unlock()
+	s.met.homesAdded.Add(1)
+	switch e.outcome.Status {
+	case OutcomeRemoved:
+		s.met.homesRemoved.Add(1)
+	case stream.OutcomeQuarantined:
+		s.met.homesFailed.Add(1)
+	default:
+		s.met.homesCompleted.Add(1)
+	}
+	if dir := s.cfg.Shard.CheckpointDir; dir != "" {
+		_ = stream.RemoveCheckpoint(dir, id)
+	}
+}
+
+// noteDone is the shard completion hook (StateDir only): journal the
+// terminal home so a restart restores it instead of re-running. Appends are
+// deliberately not fsynced on this hot path; a lost record only means the
+// home replays from its checkpoint — deterministically — on restart.
+func (s *Service) noteDone(res stream.HomeResult, out stream.HomeOutcome) {
+	rec := ManifestRecord{Op: manifestOpDone, Home: out.ID, Outcome: &out}
+	switch out.Status {
+	case stream.OutcomeCompleted, stream.OutcomeRetried:
+		rec.Result = &res
+	}
+	_ = s.man.Append(rec)
+}
+
+// journal appends one admin mutation record and syncs it to disk. Called
+// after the mutation succeeded; no-op without a state dir.
+func (s *Service) journal(rec ManifestRecord) error {
+	if s.man == nil {
+		return nil
+	}
+	if err := s.man.Append(rec); err != nil {
+		return err
+	}
+	return s.man.Sync()
+}
+
 // Add admits jobs to the fleet, round-robin across shards in add order.
 // IDs must be unique fleet-wide (they key checkpoints and MQTT topics).
+// Add is NOT journaled — a durable fleet admits via AddSpec so the spec
+// can be replayed through the job factory on restart.
 func (s *Service) Add(jobs []stream.Job) error {
+	return s.admit(jobs, nil)
+}
+
+// admit is Add plus the replay path's pre-paused set.
+func (s *Service) admit(jobs []stream.Job, paused map[string]bool) error {
+	if len(jobs) == 0 {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, j := range jobs {
-		if j.ID == "" || j.Open == nil {
-			return fmt.Errorf("fleetd: job missing ID or Open")
-		}
-		if _, dup := s.where[j.ID]; dup {
-			return fmt.Errorf("fleetd: duplicate home ID %q", j.ID)
-		}
+	if err := s.checkJobsLocked(jobs); err != nil {
+		return err
 	}
 	// Partition preserving add order within each shard.
 	batches := make([][]stream.Job, len(s.shards))
@@ -113,7 +301,7 @@ func (s *Service) Add(jobs []stream.Job) error {
 		if len(batch) == 0 {
 			continue
 		}
-		if err := s.shards[sh].Add(batch); err != nil {
+		if err := s.shards[sh].add(batch, paused); err != nil {
 			return err
 		}
 	}
@@ -125,6 +313,60 @@ func (s *Service) Add(jobs []stream.Job) error {
 	return nil
 }
 
+// checkJobsLocked validates a batch against the fleet: well-formed jobs,
+// no intra-batch duplicates, no collision with admitted or ended homes.
+func (s *Service) checkJobsLocked(jobs []stream.Job) error {
+	batch := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if j.ID == "" || j.Open == nil {
+			return fmt.Errorf("fleetd: job missing ID or Open")
+		}
+		if _, dup := s.where[j.ID]; dup || batch[j.ID] {
+			return fmt.Errorf("fleetd: duplicate home ID %q", j.ID)
+		}
+		batch[j.ID] = true
+	}
+	return nil
+}
+
+// AddSpec resolves an add request through the service's job factory and
+// admits the homes. With a state dir, the spec is journaled (and synced)
+// before admission, so the durable intent always covers the admitted homes:
+// a crash between journal and admit re-admits them fresh on restart, which
+// replays identically.
+func (s *Service) AddSpec(req AddRequest) (int, error) {
+	if s.cfg.Jobs == nil {
+		return 0, fmt.Errorf("fleetd: service has no job factory")
+	}
+	jobs, err := s.cfg.Jobs(req)
+	if err != nil {
+		return 0, err
+	}
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	// Validate before journaling so a rejected add leaves no record.
+	s.mu.Lock()
+	err = s.checkJobsLocked(jobs)
+	s.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := s.journal(ManifestRecord{Op: manifestOpAdd, Add: &req}); err != nil {
+		return 0, err
+	}
+	if err := s.admit(jobs, nil); err != nil {
+		return 0, err
+	}
+	return len(jobs), nil
+}
+
+// Resumed reports what the manifest replay restored: homes already
+// terminal (served from their journaled results) and in-flight homes
+// re-admitted to shards.
+func (s *Service) Resumed() (done, live int) {
+	return s.resumedDone, s.resumedLive
+}
+
 // shardOf locates a home's shard.
 func (s *Service) shardOf(homeID string) (*Shard, error) {
 	s.mu.Lock()
@@ -133,16 +375,24 @@ func (s *Service) shardOf(homeID string) (*Shard, error) {
 	if !ok {
 		return nil, fmt.Errorf("fleetd: unknown home %q", homeID)
 	}
+	if idx == endedShard {
+		return nil, fmt.Errorf("fleetd: home %q already finished", homeID)
+	}
 	return s.shards[idx], nil
 }
 
-// Pause / Resume / Remove forward to the home's shard.
+// Pause / Resume / Remove forward to the home's shard and journal the
+// mutation (synced) once it succeeds, so a restart replays the same fleet
+// shape an uninterrupted service would have.
 func (s *Service) Pause(homeID string) error {
 	sh, err := s.shardOf(homeID)
 	if err != nil {
 		return err
 	}
-	return sh.Pause(homeID)
+	if err := sh.Pause(homeID); err != nil {
+		return err
+	}
+	return s.journal(ManifestRecord{Op: manifestOpPause, Home: homeID})
 }
 
 func (s *Service) Resume(homeID string) error {
@@ -150,7 +400,10 @@ func (s *Service) Resume(homeID string) error {
 	if err != nil {
 		return err
 	}
-	return sh.Resume(homeID)
+	if err := sh.Resume(homeID); err != nil {
+		return err
+	}
+	return s.journal(ManifestRecord{Op: manifestOpResume, Home: homeID})
 }
 
 func (s *Service) Remove(homeID string) error {
@@ -158,7 +411,10 @@ func (s *Service) Remove(homeID string) error {
 	if err != nil {
 		return err
 	}
-	return sh.Remove(homeID)
+	if err := sh.Remove(homeID); err != nil {
+		return err
+	}
+	return s.journal(ManifestRecord{Op: manifestOpRemove, Home: homeID})
 }
 
 // shard bounds-checks a shard index.
@@ -216,6 +472,13 @@ func (s *Service) Result() stream.FleetResult {
 	results := make([]stream.HomeResult, len(order))
 	outcomes := make([]stream.HomeOutcome, len(order))
 	for i, id := range order {
+		s.mu.Lock()
+		e, restored := s.ended[id]
+		s.mu.Unlock()
+		if restored {
+			results[i], outcomes[i] = e.result, e.outcome
+			continue
+		}
 		sh, err := s.shardOf(id)
 		if err != nil {
 			results[i] = stream.HomeResult{ID: id}
@@ -240,9 +503,11 @@ func (s *Service) Outcomes() []stream.HomeOutcome {
 // shuts it down.
 func (s *Service) Done() <-chan struct{} { return s.done }
 
-// Close shuts the service down: the control plane detaches, then every
-// shard stops (persisting still-resident homes to checkpoints when persist
-// is set and a checkpoint dir is configured). Idempotent.
+// Close shuts the service down: the control plane detaches, every shard
+// stops (persisting still-resident homes to checkpoints when persist is set
+// and a checkpoint dir is configured), and finally the manifest takes a
+// last sync and closes — after the shards, so late completion records from
+// finishing workers still land. Idempotent.
 func (s *Service) Close(persist bool) {
 	s.stop.Do(func() { close(s.done) })
 	if s.ctl != nil {
@@ -251,5 +516,8 @@ func (s *Service) Close(persist bool) {
 	}
 	for _, sh := range s.shards {
 		sh.Stop(persist && s.cfg.Shard.CheckpointDir != "")
+	}
+	if s.man != nil {
+		_ = s.man.Close()
 	}
 }

@@ -61,6 +61,16 @@ type ShardOptions struct {
 	// stream.FleetOptions.LegacyJSON). Results are bit-identical either way.
 	LegacyJSON bool
 
+	// ProgressDeadline arms the liveness watchdog: a running home whose
+	// transport produces no day-boundary advance within this window has the
+	// transport force-closed and takes the supervised fault path — retry
+	// from its last checkpoint, then quarantine. 0 disables. The watchdog
+	// guards transports that can stall (the MQTT pipe during a broker hang);
+	// direct in-process sources are pull-driven and never wedge, so it does
+	// not arm on them. Deadlines are scheduled on Clock — a VirtualClock
+	// fires timers immediately, so virtual-time runs should leave this off.
+	ProgressDeadline time.Duration
+
 	// Broker, when non-empty, routes every home's frames through the MQTT
 	// broker at this address (per-home home/<id>/sensor topics), exactly
 	// like stream.RunFleet's MQTT mode.
@@ -70,6 +80,12 @@ type ShardOptions struct {
 	Dial           mqtt.DialOptions
 	ProbeTimeout   time.Duration
 	ReceiveTimeout time.Duration
+
+	// onDone, when set, observes every home reaching a terminal state on
+	// this shard with its final result and supervision record — the
+	// service's manifest hook. Called off the shard lock, on the worker (or
+	// failing goroutine) that finished the home.
+	onDone func(res stream.HomeResult, out stream.HomeOutcome)
 }
 
 // withDefaults resolves the documented option defaults.
@@ -155,6 +171,26 @@ type homeRun struct {
 	err       error
 	result    stream.HomeResult
 	elapsed   time.Duration
+
+	wd *watchdog // liveness watchdog (nil unless ProgressDeadline armed it)
+}
+
+// outcome assembles the home's supervision record. Callers own the home
+// (its worker, or the shard lock for idle homes).
+func (h *homeRun) outcome(status stream.OutcomeStatus) stream.HomeOutcome {
+	out := stream.HomeOutcome{
+		ID:       h.job.ID,
+		Status:   status,
+		Attempts: h.opens,
+		Restores: h.restores,
+		Days:     h.days,
+		Duration: h.elapsed,
+	}
+	out.CheckpointDay = h.ckDay
+	if h.err != nil {
+		out.Err = h.err.Error()
+	}
+	return out
 }
 
 // Shard multiplexes many homes over a small worker pool: homes advance one
@@ -215,6 +251,13 @@ func newShard(id int, opts ShardOptions, met *Metrics) *Shard {
 // completed ones) are rejected — they would collide on checkpoint files
 // and MQTT topics.
 func (sh *Shard) Add(jobs []stream.Job) error {
+	return sh.add(jobs, nil)
+}
+
+// add is Add plus the manifest-replay path's pre-paused set: homes in it
+// are admitted with their pause request already standing, so a fast worker
+// cannot race them past the pause a prior process lifetime recorded.
+func (sh *Shard) add(jobs []stream.Job, paused map[string]bool) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.stopped {
@@ -226,7 +269,7 @@ func (sh *Shard) Add(jobs []stream.Job) error {
 		}
 	}
 	for _, j := range jobs {
-		h := &homeRun{job: j, state: statePending}
+		h := &homeRun{job: j, state: statePending, pauseReq: paused[j.ID]}
 		sh.homes[j.ID] = h
 		sh.pending = append(sh.pending, h)
 		sh.outstanding++
@@ -321,6 +364,10 @@ func (sh *Shard) drive(h *homeRun, slot *stream.Slot, blk *stream.DayBlock) {
 			return
 		}
 	}
+	// The watchdog covers the running quantum only: between quanta the home
+	// sits at a day boundary waiting for a worker, and scheduler latency is
+	// not a stall. Every exit path (yield/complete/fail) disarms it.
+	sh.armWatchdog(h)
 	if h.bdrive != nil {
 		sh.driveBlocks(h, blk)
 		return
@@ -363,6 +410,7 @@ func (sh *Shard) drive(h *homeRun, slot *stream.Slot, blk *stream.DayBlock) {
 			h.days = slot.Day + 1
 			sh.met.days.Add(1)
 			d++
+			h.wd.feed()
 			if sh.opts.supervised() && h.days%sh.opts.CheckpointEvery == 0 {
 				if err := sh.checkpoint(h, false); err != nil {
 					flush()
@@ -418,6 +466,7 @@ func (sh *Shard) driveBlocks(h *homeRun, blk *stream.DayBlock) {
 		action += st.ActionEvents
 		h.days = blk.Day + 1
 		sh.met.days.Add(1)
+		h.wd.feed()
 		if sh.opts.supervised() && h.days%sh.opts.CheckpointEvery == 0 {
 			if err := sh.checkpoint(h, false); err != nil {
 				flush()
@@ -572,8 +621,120 @@ func closeSource(src stream.Source) {
 	}
 }
 
+// watchdog is one home's liveness deadline: armed for the duration of a
+// running quantum, fed at every day boundary, and tripped when a deadline
+// elapses with no advance — at which point it force-closes the home's
+// transport so the blocked worker unwedges into the ordinary supervised
+// fault path (fail → retry from checkpoint → quarantine). Scheduling uses
+// Clock.AfterFunc, which has no cancellation, so stale timers are defeated
+// by a generation counter: every feed/disarm bumps the generation and a
+// firing timer whose generation moved on is a no-op.
+type watchdog struct {
+	deadline time.Duration
+	clock    stream.Clock
+	met      *Metrics
+
+	mu      sync.Mutex
+	gen     int
+	armed   bool
+	tripped bool
+	target  io.Closer
+}
+
+// arm starts a deadline against target (the home's transport).
+func (w *watchdog) arm(target io.Closer) {
+	w.mu.Lock()
+	w.target = target
+	w.tripped = false
+	w.armed = true
+	w.gen++
+	gen := w.gen
+	w.mu.Unlock()
+	w.schedule(gen)
+}
+
+func (w *watchdog) schedule(gen int) {
+	w.clock.AfterFunc(w.deadline, func() { w.fire(gen) })
+}
+
+// fire trips the watchdog if its generation is still current.
+func (w *watchdog) fire(gen int) {
+	w.mu.Lock()
+	if !w.armed || gen != w.gen {
+		w.mu.Unlock()
+		return
+	}
+	w.armed = false
+	w.tripped = true
+	target := w.target
+	w.target = nil
+	w.mu.Unlock()
+	w.met.watchdogTrips.Add(1)
+	switch t := target.(type) {
+	case nil:
+	case interface{ Sever() }:
+		// Pipes expose a non-waiting teardown: a stalled transport may have
+		// its pump wedged inside the source, and a blocking Close here would
+		// stall the timer goroutine behind the very hang being policed.
+		t.Sever()
+	default:
+		target.Close() // unwedges the worker blocked in Next/NextBlock
+	}
+}
+
+// feed restarts the deadline after a day-boundary advance. Nil-safe.
+func (w *watchdog) feed() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if !w.armed {
+		w.mu.Unlock()
+		return
+	}
+	w.gen++
+	gen := w.gen
+	w.mu.Unlock()
+	w.schedule(gen)
+}
+
+// disarm stops the deadline and reports (consuming) whether the watchdog
+// tripped since it was armed. Nil-safe.
+func (w *watchdog) disarm() bool {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.gen++
+	w.armed = false
+	w.target = nil
+	tripped := w.tripped
+	w.tripped = false
+	return tripped
+}
+
+// armWatchdog arms h's watchdog for the quantum the worker is about to
+// drive. Only closable transports are guarded — a direct in-process source
+// is pull-driven and cannot stall, and closing is the only lever the
+// watchdog has.
+func (sh *Shard) armWatchdog(h *homeRun) {
+	if sh.opts.ProgressDeadline <= 0 {
+		return
+	}
+	target, ok := h.drive.(io.Closer)
+	if !ok {
+		return
+	}
+	if h.wd == nil {
+		h.wd = &watchdog{deadline: sh.opts.ProgressDeadline, clock: sh.opts.Clock, met: sh.met}
+	}
+	h.wd.arm(target)
+}
+
 // yield hands a home back to the scheduler at a day boundary.
 func (sh *Shard) yield(h *homeRun) {
+	h.wd.disarm()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.running--
@@ -591,9 +752,20 @@ func (sh *Shard) yield(h *homeRun) {
 	sh.cond.Broadcast()
 }
 
-// complete finishes a home successfully.
+// complete finishes a home successfully. The completion hook runs before
+// the checkpoint is removed: if the process dies between them, the replayed
+// manifest both restores the result and deletes the now-stale checkpoint —
+// whereas the reverse order could lose a finished home's result entirely.
 func (sh *Shard) complete(h *homeRun) {
+	h.wd.disarm()
 	h.teardown()
+	if sh.opts.onDone != nil {
+		status := stream.OutcomeCompleted
+		if h.failures > 0 {
+			status = stream.OutcomeRetried
+		}
+		sh.opts.onDone(h.result, h.outcome(status))
+	}
 	if sh.opts.CheckpointDir != "" {
 		// Barrier any queued async write, then remove: the checkpoint served
 		// its purpose, and a later fresh run must not resume from it.
@@ -620,10 +792,16 @@ func (sh *Shard) complete(h *homeRun) {
 
 // fail handles an attempt failure: tear the pipeline down, then either
 // schedule a retry (off-worker, on a backoff timer) or quarantine the home.
+// A watchdog trip is folded into the error here — the trip closed the
+// transport, so the proximate error is a closed-pipe read, and the wrapped
+// message keeps the real cause visible in the outcome.
 func (sh *Shard) fail(h *homeRun, err error) {
+	if h.wd.disarm() {
+		err = fmt.Errorf("fleetd: home %q made no day-boundary progress within %s (watchdog): %w",
+			h.job.ID, sh.opts.ProgressDeadline, err)
+	}
 	h.teardown()
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sh.running--
 	sh.resident--
 	h.failures++
@@ -641,6 +819,7 @@ func (sh *Shard) fail(h *homeRun, err error) {
 		// checkpoint on whichever worker claims it.
 		sh.opts.Clock.AfterFunc(delay, func() { sh.requeue(h) })
 		sh.cond.Broadcast()
+		sh.mu.Unlock()
 		return
 	}
 	h.state = stateFailed
@@ -648,6 +827,12 @@ func (sh *Shard) fail(h *homeRun, err error) {
 	sh.outstanding--
 	sh.met.homesFailed.Add(1)
 	sh.cond.Broadcast()
+	sh.mu.Unlock()
+	if sh.opts.onDone != nil {
+		// Quarantine is terminal: journal it (off the shard lock) so a
+		// restart does not resurrect a home the supervisor gave up on.
+		sh.opts.onDone(stream.HomeResult{ID: h.job.ID}, h.outcome(stream.OutcomeQuarantined))
+	}
 }
 
 // requeue readmits a retry-scheduled home once its backoff elapses.
@@ -932,30 +1117,19 @@ func (sh *Shard) Outcome(homeID string) (stream.HomeResult, stream.HomeOutcome, 
 	if !ok {
 		return stream.HomeResult{}, stream.HomeOutcome{}, false
 	}
-	out := stream.HomeOutcome{
-		ID:       h.job.ID,
-		Attempts: h.opens,
-		Restores: h.restores,
-		Days:     h.days,
-		Duration: h.elapsed,
-	}
-	out.CheckpointDay = h.ckDay
-	if h.err != nil {
-		out.Err = h.err.Error()
-	}
+	status := OutcomeActive
 	switch h.state {
 	case stateDone:
-		out.Status = stream.OutcomeCompleted
+		status = stream.OutcomeCompleted
 		if h.failures > 0 {
-			out.Status = stream.OutcomeRetried
+			status = stream.OutcomeRetried
 		}
 	case stateFailed:
-		out.Status = stream.OutcomeQuarantined
+		status = stream.OutcomeQuarantined
 	case stateRemoved:
-		out.Status = OutcomeRemoved
-	default:
-		out.Status = OutcomeActive
+		status = OutcomeRemoved
 	}
+	out := h.outcome(status)
 	res := h.result
 	if h.state != stateDone {
 		res = stream.HomeResult{ID: h.job.ID}

@@ -26,6 +26,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Message is one published datum. Ordinary messages carry JSON payloads
@@ -173,15 +174,20 @@ type control struct {
 	Msg   Message `json:"msg,omitempty"`
 }
 
-// Broker is a topic-routing pub/sub hub over TCP.
+// Broker is a topic-routing pub/sub hub over TCP. It is chaos-capable:
+// Suspend severs every connection and stops accepting (a broker crash),
+// Resume re-binds the same address and starts accepting again (a broker
+// restart) — redial-enabled clients ride the outage via session resume.
 type Broker struct {
-	ln net.Listener
+	addr string // bound address, stable across Suspend/Resume
 
-	mu     sync.Mutex
-	subs   map[string]map[net.Conn]*subscriber // exact filter → conn → writer
-	wild   map[string]map[net.Conn]*subscriber // wildcard filter → conn → writer
-	conns  map[net.Conn]struct{}               // every live connection
-	closed bool
+	mu        sync.Mutex
+	ln        net.Listener
+	subs      map[string]map[net.Conn]*subscriber // exact filter → conn → writer
+	wild      map[string]map[net.Conn]*subscriber // wildcard filter → conn → writer
+	conns     map[net.Conn]struct{}               // every live connection
+	suspended bool
+	closed    bool
 
 	wg sync.WaitGroup
 }
@@ -208,28 +214,30 @@ func NewBroker(addr string) (*Broker, error) {
 		return nil, fmt.Errorf("mqtt: listen: %w", err)
 	}
 	b := &Broker{
+		addr:  ln.Addr().String(),
 		ln:    ln,
 		subs:  make(map[string]map[net.Conn]*subscriber),
 		wild:  make(map[string]map[net.Conn]*subscriber),
 		conns: make(map[net.Conn]struct{}),
 	}
 	b.wg.Add(1)
-	go b.acceptLoop()
+	go b.acceptLoop(ln)
 	return b, nil
 }
 
-// Addr returns the broker's listen address.
-func (b *Broker) Addr() string { return b.ln.Addr().String() }
+// Addr returns the broker's listen address. It stays valid across
+// Suspend/Resume — the restarted broker re-binds the same port.
+func (b *Broker) Addr() string { return b.addr }
 
-func (b *Broker) acceptLoop() {
+func (b *Broker) acceptLoop(ln net.Listener) {
 	defer b.wg.Done()
 	for {
-		conn, err := b.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
 		b.mu.Lock()
-		if b.closed {
+		if b.closed || b.suspended {
 			b.mu.Unlock()
 			conn.Close()
 			return
@@ -239,6 +247,68 @@ func (b *Broker) acceptLoop() {
 		b.wg.Add(1)
 		go b.serve(conn)
 	}
+}
+
+// Suspend simulates a broker crash: the listener closes, every live
+// connection is severed, and all subscription state is dropped (a real
+// broker restart loses its in-memory session table). Idempotent; a no-op
+// after Close.
+func (b *Broker) Suspend() {
+	b.mu.Lock()
+	if b.closed || b.suspended {
+		b.mu.Unlock()
+		return
+	}
+	b.suspended = true
+	ln := b.ln
+	for conn := range b.conns {
+		conn.Close()
+	}
+	b.subs = make(map[string]map[net.Conn]*subscriber)
+	b.wild = make(map[string]map[net.Conn]*subscriber)
+	b.conns = make(map[net.Conn]struct{})
+	b.mu.Unlock()
+	ln.Close()
+}
+
+// Resume restarts a suspended broker on its original address. The old
+// port may linger briefly in the kernel after Suspend, so the re-bind
+// retries for a short window before giving up.
+func (b *Broker) Resume() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return errors.New("mqtt: broker closed")
+	}
+	if !b.suspended {
+		b.mu.Unlock()
+		return nil
+	}
+	b.mu.Unlock()
+	var ln net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		ln, err = net.Listen("tcp", b.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("mqtt: resume listen: %w", err)
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		ln.Close()
+		return errors.New("mqtt: broker closed")
+	}
+	b.ln = ln
+	b.suspended = false
+	b.wg.Add(1)
+	b.mu.Unlock()
+	go b.acceptLoop(ln)
+	return nil
 }
 
 func (b *Broker) serve(conn net.Conn) {
@@ -282,11 +352,13 @@ func (b *Broker) serve(conn net.Conn) {
 			if !ValidFilter(ctl.Topic) {
 				return // malformed filter: drop the client
 			}
+			// Table selection must happen under the lock: Suspend swaps both
+			// map headers when it drops the session state.
+			b.mu.Lock()
 			table := b.subs
 			if isWildcard(ctl.Topic) {
 				table = b.wild
 			}
-			b.mu.Lock()
 			if table[ctl.Topic] == nil {
 				table[ctl.Topic] = make(map[net.Conn]*subscriber)
 			}
@@ -356,8 +428,13 @@ func (b *Broker) Close() error {
 		return nil
 	}
 	b.closed = true
+	suspended := b.suspended
+	ln := b.ln
 	b.mu.Unlock()
-	err := b.ln.Close()
+	err := ln.Close()
+	if suspended {
+		err = nil // listener already closed by Suspend
+	}
 	b.mu.Lock()
 	for conn := range b.conns {
 		conn.Close()

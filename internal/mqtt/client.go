@@ -2,11 +2,13 @@ package mqtt
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -51,15 +53,41 @@ type DialOptions struct {
 	// WriteTimeout bounds each control-frame write (publish/subscribe) on
 	// the resulting client; 0 leaves writes unbounded.
 	WriteTimeout time.Duration
+
+	// Redial enables session resume: when an established connection is
+	// lost, the client redials (Timeout per attempt, Backoff between
+	// attempts) and transparently re-issues every active subscription, so
+	// subscription channels stay open across a broker restart. Each resume
+	// bumps the session Epoch — consumers that tag frames with it can
+	// discard stale deliveries straddling the outage. Publishes issued
+	// while the connection is down fail fast with ErrDisconnected; frames
+	// the broker would have delivered during the outage are lost (the
+	// transport is at-most-once), which callers absorb with their own
+	// sequencing/retry machinery.
+	Redial bool
+	// RedialAttempts bounds reconnection attempts per outage; 0 (the
+	// default) retries until Close — the right behaviour for long-running
+	// services that must outlive arbitrary broker downtime.
+	RedialAttempts int
 }
 
-// Client is a broker connection that can publish and subscribe.
-type Client struct {
-	conn         net.Conn
-	writeTimeout time.Duration
+// ErrDisconnected is returned by publishes and subscribes issued while a
+// redial-enabled client is between connections.
+var ErrDisconnected = errors.New("mqtt: connection down (session resuming)")
 
-	wmu sync.Mutex
-	w   *bufio.Writer
+// Client is a broker connection that can publish and subscribe. With
+// DialOptions.Redial it is a session: the connection underneath may be
+// replaced after a broker restart while subscriptions persist.
+type Client struct {
+	addr         string
+	opts         DialOptions
+	writeTimeout time.Duration
+	epoch        atomic.Int64
+
+	wmu  sync.Mutex
+	conn net.Conn
+	w    *bufio.Writer
+	down bool // between connections (redial in progress)
 
 	mu     sync.Mutex
 	subs   map[string][]chan Message
@@ -80,10 +108,6 @@ func Dial(addr string) (*Client, error) {
 // before redialing — the reconnect schedule a fleet client rides through a
 // broker restart.
 func DialWithOptions(addr string, o DialOptions) (*Client, error) {
-	timeout := o.Timeout
-	if timeout <= 0 {
-		timeout = 10 * time.Second
-	}
 	attempts := o.Attempts
 	if attempts <= 0 {
 		attempts = 1
@@ -94,7 +118,7 @@ func DialWithOptions(addr string, o DialOptions) (*Client, error) {
 		if i > 0 {
 			time.Sleep(o.Backoff.Delay(i - 1))
 		}
-		conn, err = net.DialTimeout("tcp", addr, timeout)
+		conn, err = net.DialTimeout("tcp", addr, dialTimeout(o))
 		if err == nil {
 			break
 		}
@@ -103,6 +127,8 @@ func DialWithOptions(addr string, o DialOptions) (*Client, error) {
 		return nil, fmt.Errorf("mqtt: dial (%d attempts): %w", attempts, err)
 	}
 	c := &Client{
+		addr:         addr,
+		opts:         o,
 		conn:         conn,
 		writeTimeout: o.WriteTimeout,
 		w:            bufio.NewWriter(conn),
@@ -113,6 +139,18 @@ func DialWithOptions(addr string, o DialOptions) (*Client, error) {
 	go c.readLoop()
 	return c, nil
 }
+
+func dialTimeout(o DialOptions) time.Duration {
+	if o.Timeout > 0 {
+		return o.Timeout
+	}
+	return 10 * time.Second
+}
+
+// Epoch counts completed session resumes — 0 until the first broker outage
+// is ridden out. Consumers tag in-flight frames with the epoch they were
+// sent under and drop frames from older epochs after a resume.
+func (c *Client) Epoch() int64 { return c.epoch.Load() }
 
 func (c *Client) readLoop() {
 	defer c.wg.Done()
@@ -137,7 +175,13 @@ func (c *Client) readLoop() {
 	for {
 		body, rerr := readBody(r, buf)
 		if rerr != nil {
-			return
+			// Session resume: a lost connection redials and resubscribes
+			// instead of tearing the session down.
+			if r = c.resume(); r == nil {
+				return
+			}
+			buf = nil
+			continue
 		}
 		buf = body
 		m, err := decodeBody(body)
@@ -168,6 +212,93 @@ func (c *Client) readLoop() {
 	}
 }
 
+// resume is the session-resume loop the read loop falls into when its
+// connection dies: redial with the configured backoff, swap the connection
+// in under the write lock, re-issue every active subscription, bump the
+// session epoch, and hand a reader over the new connection back. Returns
+// nil when redial is disabled, the attempt budget is exhausted, or the
+// client closed — the read loop then winds the session down.
+func (c *Client) resume() *bufio.Reader {
+	if !c.opts.Redial || c.isClosed() {
+		return nil
+	}
+	c.wmu.Lock()
+	c.down = true
+	c.wmu.Unlock()
+	// Dials abort promptly when Close fires mid-outage.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-c.done:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	for attempt := 0; c.opts.RedialAttempts == 0 || attempt < c.opts.RedialAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-c.done:
+				return nil
+			case <-time.After(c.opts.Backoff.Delay(attempt - 1)):
+			}
+		}
+		if c.isClosed() {
+			return nil
+		}
+		d := net.Dialer{Timeout: dialTimeout(c.opts)}
+		conn, err := d.DialContext(ctx, "tcp", c.addr)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		filters := make([]string, 0, len(c.subs))
+		for f := range c.subs {
+			filters = append(filters, f)
+		}
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			conn.Close()
+			return nil
+		}
+		c.wmu.Lock()
+		old := c.conn
+		c.conn, c.w = conn, bufio.NewWriter(conn)
+		c.down = false
+		c.wmu.Unlock()
+		if old != nil {
+			old.Close()
+		}
+		// Re-register every active subscription on the new connection; a
+		// failure here is just a failed attempt — mark the session down
+		// again and keep redialing.
+		resubscribed := true
+		for _, f := range filters {
+			if err := c.sendControl(control{Op: "sub", Topic: f}); err != nil {
+				resubscribed = false
+				break
+			}
+		}
+		if !resubscribed {
+			c.wmu.Lock()
+			c.down = true
+			c.wmu.Unlock()
+			conn.Close()
+			continue
+		}
+		c.epoch.Add(1)
+		return bufio.NewReader(conn)
+	}
+	return nil
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
 func (c *Client) sendControl(ctl control) error {
 	payload, err := json.Marshal(ctl)
 	if err != nil {
@@ -175,6 +306,9 @@ func (c *Client) sendControl(ctl control) error {
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.down {
+		return fmt.Errorf("mqtt: %s %q: %w", ctl.Op, ctl.Topic+ctl.Msg.Topic, ErrDisconnected)
+	}
 	if c.writeTimeout > 0 {
 		if err := c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
 			return err
@@ -202,6 +336,9 @@ func (c *Client) Publish(topic string, payload any) error {
 func (c *Client) PublishRaw(topic string, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.down {
+		return fmt.Errorf("mqtt: pub %q: %w", topic, ErrDisconnected)
+	}
 	if c.writeTimeout > 0 {
 		if err := c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
 			return err
@@ -244,7 +381,14 @@ func (c *Client) Close() error {
 	c.closed = true
 	c.mu.Unlock()
 	close(c.done)
-	err := c.conn.Close()
+	// The connection is swapped under wmu during session resume, so take
+	// the same lock to close whichever connection is current.
+	c.wmu.Lock()
+	var err error
+	if c.conn != nil {
+		err = c.conn.Close()
+	}
+	c.wmu.Unlock()
 	c.wg.Wait()
 	return err
 }

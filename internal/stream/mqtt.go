@@ -126,6 +126,7 @@ type Pipe struct {
 
 	mu      sync.Mutex
 	pumpErr error
+	severed bool
 
 	wg sync.WaitGroup
 }
@@ -596,10 +597,33 @@ func (p *Pipe) NextBlock(dst *DayBlock) error {
 	}
 }
 
-// Close tears the transport down and waits for the pump.
+// Close tears the transport down and waits for the pump. A pipe that was
+// Severed skips the wait: its pump may be wedged inside the source, and
+// waiting for it would turn a stalled transport into a stalled caller.
 func (p *Pipe) Close() error {
 	p.pub.Close()
 	p.rcv.Close()
-	p.wg.Wait()
+	p.mu.Lock()
+	severed := p.severed
+	p.mu.Unlock()
+	if !severed {
+		p.wg.Wait()
+	}
 	return nil
+}
+
+// Sever force-closes both bus connections without waiting for the pump —
+// the watchdog's lever against a transport that stopped making progress.
+// Closing the receiver ends the subscription channel, so a consumer blocked
+// in Next/NextBlock unblocks into its failure path immediately; closing the
+// publisher makes the pump's next Publish fail so it winds down on its own.
+// A pump wedged inside src.Next cannot be interrupted from outside — it is
+// abandoned and exits whenever that call returns. After Sever, Close no
+// longer waits for the pump.
+func (p *Pipe) Sever() {
+	p.mu.Lock()
+	p.severed = true
+	p.mu.Unlock()
+	p.pub.Close()
+	p.rcv.Close()
 }
